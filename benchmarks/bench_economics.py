@@ -1,0 +1,108 @@
+"""Section 5 — the economics of remote peering, parameterized by the
+measured offload curve."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.economics import (
+    CostModel,
+    CostParameters,
+    african_scenario,
+    fit_exponential_decay,
+    fit_power_decay,
+    viability_condition,
+    viability_grid,
+)
+from repro.core.offload import remaining_traffic_series
+
+
+def bench_economics_fit(benchmark, estimator):
+    """Report: equation 3's decay rate fitted from the Figure 9 curve."""
+    series = np.array(remaining_traffic_series(estimator, 4, max_ixps=20))
+    exp_fit = benchmark.pedantic(
+        lambda: fit_exponential_decay(series), rounds=5, iterations=1
+    )
+    pow_fit = fit_power_decay(series)
+    text = (
+        "Section 5 — fitting t = e^{-b(n+m)} (eq. 3) to the measured curve\n"
+        f"exponential: b = {exp_fit.rate:.3f}, floor = {exp_fit.floor:.1%}, "
+        f"SSE = {exp_fit.sse:.5f}\n"
+        f"power law  : a = {pow_fit.rate:.3f}, floor = {pow_fit.floor:.1%}, "
+        f"SSE = {pow_fit.sse:.5f}\n"
+        "the exponential family (the paper's choice) fits the decay well"
+    )
+    emit("economics_fit", text)
+    assert exp_fit.rate > 0.2  # steep decay: 5 IXPs realize most potential
+    assert exp_fit.sse < 0.1
+
+
+def bench_economics_closed_forms(benchmark, estimator):
+    """Report: ñ (eq. 11), m̃ (eq. 13) and viability (eq. 14) per scenario."""
+    series = np.array(remaining_traffic_series(estimator, 4, max_ixps=20))
+    b_measured = fit_exponential_decay(series).rate
+
+    scenarios = [
+        ("global content, b=0.15", 0.15),
+        ("multi-regional, b=0.45", 0.45),
+        (f"measured RedIRIS-like, b={b_measured:.2f}", b_measured),
+        ("local traffic, b=2.2", 2.2),
+    ]
+
+    def compute():
+        rows = []
+        for label, b in scenarios:
+            params = CostParameters(p=5.0, g=1.0, u=0.5, h=0.25, v=1.5, b=b)
+            model = CostModel(params)
+            verdict = viability_condition(params)
+            rows.append([
+                label,
+                round(model.optimal_direct(), 2),
+                round(model.optimal_direct_fraction(), 2),
+                round(model.optimal_remote_extra(), 2),
+                round(verdict.ratio, 2),
+                round(verdict.threshold, 2),
+                "YES" if verdict.viable else "no",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=5, iterations=1)
+    table = render_table(
+        ["scenario", "ñ", "d̃", "m̃", "g(p-v)/(h(p-u))", "e^b", "viable"],
+        rows,
+        title="Section 5 — closed-form optima and the eq. 14 condition",
+    )
+    emit("economics_closed_forms", table
+         + "\npaper: remote peering is more viable for networks with lower b"
+           " (global traffic)")
+    viable_flags = [row[-1] for row in rows]
+    assert viable_flags[0] == "YES"   # global traffic: viable
+    assert viable_flags[-1] == "no"   # local traffic: not viable
+
+
+def bench_economics_viability_region(benchmark):
+    """Report: the g/h x b viability plane and the African scenario."""
+    base = CostParameters(p=5.0, g=1.0, u=0.5, h=0.25, v=1.5, b=0.5)
+    ratios = np.array([1.5, 2.0, 4.0, 8.0, 16.0])
+    bs = np.array([0.2, 0.5, 1.0, 1.5, 2.0, 2.5])
+    grid = benchmark.pedantic(
+        lambda: viability_grid(base, ratios, bs), rounds=5, iterations=1
+    )
+    rows = []
+    for i, ratio in enumerate(ratios):
+        rows.append([f"{ratio:g}"] + [
+            "viable" if grid[i, j] else "-" for j in range(len(bs))
+        ])
+    africa = african_scenario()
+    table = render_table(
+        ["g/h", *[f"b={b:g}" for b in bs]],
+        rows,
+        title="Section 5 — viability region of remote peering (eq. 14)",
+    )
+    emit("economics_region", table
+         + f"\nAfrican scenario (h << g): ratio {africa.ratio:.1f} vs "
+           f"e^b {africa.threshold:.2f} -> viable={africa.viable}, "
+           f"m̃ = {africa.optimal_remote_ixps:.1f}")
+    assert africa.viable
+    assert bool(grid[-1].all())      # huge g/h advantage: always viable
+    assert not grid[0].any() or not grid[0][-1]  # slim advantage: rarely

@@ -1,0 +1,52 @@
+"""Figure 10 — the generalized metric: transit-only reachable addresses."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.offload import greedy_reachability
+
+MAX_IXPS = 30
+
+
+def bench_figure10_reachability(benchmark, offload_world, peer_groups):
+    """Report: remaining transit-only address space per peer group."""
+    steps = benchmark.pedantic(
+        lambda: {
+            group: greedy_reachability(
+                offload_world, peer_groups, group, max_ixps=MAX_IXPS
+            )
+            for group in (1, 2, 3, 4)
+        },
+        rounds=1, iterations=1,
+    )
+    total = offload_world.total_address_space()
+    rows = [[0, *(round(total / 1e9, 2) for _ in range(4))]]
+    for k in (1, 2, 3, 5, 10, 20, 30):
+        def at(group):
+            s = steps[group]
+            idx = min(k, len(s)) - 1
+            return round(s[idx].remaining_billions, 2)
+        rows.append([k, at(4), at(3), at(2), at(1)])
+    table = render_table(
+        ["reached IXPs", "group 4 (B addrs)", "group 3", "group 2",
+         "group 1"],
+        rows,
+        title="Figure 10 — IP interfaces reachable only through transit",
+    )
+    first = steps[4][0]
+    emit("figure10", table
+         + f"\nbaseline: {total / 1e9:.2f} B addresses (paper: ~2.6 B)"
+         + f"\nafter the first IXP ({first.ixp}, group 4): "
+           f"{first.remaining_billions:.2f} B (paper: ~1 B)")
+    # Paper shape: ~2.6 B baseline, a deep first-IXP cut for group 4, a
+    # floor above zero, groups ordered, diminishing marginal utility.
+    assert total == pytest.approx(2.6e9, rel=0.02)
+    assert first.remaining_addresses < 0.65 * total
+    assert steps[4][-1].remaining_addresses > 0.1 * total
+    assert steps[1][-1].remaining_addresses >= steps[4][-1].remaining_addresses
+    gains4 = [total - steps[4][0].remaining_addresses] + [
+        steps[4][i - 1].remaining_addresses - steps[4][i].remaining_addresses
+        for i in range(1, len(steps[4]))
+    ]
+    assert gains4[0] == max(gains4)

@@ -1,0 +1,59 @@
+"""Figure 4 — IXP-count distributions and per-count band mixes."""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.detection.classify import BAND_LABELS
+
+
+def bench_figure4a_ixp_counts(benchmark, detection_result):
+    """Report: networks per IXP count, identified vs remotely peering."""
+    all_counts = benchmark.pedantic(
+        detection_result.ixp_count_distribution, rounds=5, iterations=1
+    )
+    remote_counts = detection_result.ixp_count_distribution(remote_only=True)
+    rows = [
+        [k, all_counts[k], remote_counts.get(k, 0)]
+        for k in sorted(all_counts)
+    ]
+    table = render_table(
+        ["IXP count", "identified networks", "remotely peering networks"],
+        rows,
+        title="Figure 4a — distributions of the IXP counts",
+    )
+    identified = len(detection_result.identified_networks())
+    remote = len(detection_result.remotely_peering_networks())
+    emit("figure4a", table
+         + f"\nidentified networks: {identified} (paper: 1,904)"
+         + f"\nremotely peering networks: {remote} (paper: 285)"
+         + f"\nmax IXP count: {max(all_counts)} (paper: 18)")
+    # Paper shape: a heavy skew toward IXP count 1, a long tail, and both
+    # distributions qualitatively similar.
+    assert all_counts[1] > 0.4 * identified
+    assert max(all_counts) >= 12
+    assert remote_counts.get(1, 0) > 0.3 * remote
+
+
+def bench_figure4b_band_mix(benchmark, detection_result):
+    """Report: interface band fractions of remote networks per IXP count."""
+    fractions = benchmark.pedantic(
+        detection_result.band_fractions_by_ixp_count, rounds=5, iterations=1
+    )
+    rows = []
+    for k in sorted(fractions):
+        rows.append([k] + [round(fractions[k][b], 2) for b in BAND_LABELS])
+    table = render_table(
+        ["IXP count", *BAND_LABELS],
+        rows,
+        title="Figure 4b — interface band mix of remotely peering networks",
+    )
+    emit("figure4b", table)
+    # Paper shape: IXP-count-1 remote networks have no sub-10ms interfaces;
+    # the direct (<10ms) fraction grows with the IXP count.
+    assert fractions[1]["<10ms"] < 0.1
+    high_counts = [k for k in fractions if k >= 5]
+    if high_counts:
+        avg_direct_high = sum(
+            fractions[k]["<10ms"] for k in high_counts
+        ) / len(high_counts)
+        assert avg_direct_high > fractions[1]["<10ms"]

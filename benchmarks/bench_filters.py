@@ -1,0 +1,42 @@
+"""Section 3.1's filter pipeline — the 20/82/20/100/28/5 discard counts."""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.detection.filters import FILTER_ORDER, FilterPipeline
+
+#: Discard counts the paper reports, in pipeline order.
+PAPER_DISCARDS = {
+    "sample-size": 20,
+    "ttl-switch": 82,
+    "ttl-match": 20,
+    "rtt-consistent": 100,
+    "lg-consistent": 28,
+    "asn-change": 5,
+}
+
+
+def bench_filter_pipeline(benchmark, campaign, detection_result):
+    """Time: running the six filters over all raw measurements."""
+    measurements = campaign.collect()
+    report = benchmark.pedantic(
+        lambda: FilterPipeline().run(measurements), rounds=3, iterations=1
+    )
+    rows = [
+        [name, PAPER_DISCARDS[name], report.discard_counts[name]]
+        for name in FILTER_ORDER
+    ]
+    rows.append(["TOTAL", sum(PAPER_DISCARDS.values()),
+                 report.total_discarded()])
+    table = render_table(
+        ["filter", "discards (paper)", "discards (measured)"],
+        rows,
+        title="Section 3.1 — filter pipeline discard counts",
+    )
+    emit("filters", table
+         + f"\nanalyzed interfaces: paper 4451, measured {len(report.passed)}")
+    # Shape assertions: the pipeline discards a few percent, dominated by
+    # TTL-switch and RTT-consistent, exactly as in the paper.
+    assert report.discard_counts["rtt-consistent"] >= report.discard_counts["sample-size"]
+    assert report.discard_counts["ttl-switch"] >= report.discard_counts["ttl-match"]
+    assert report.total_discarded() < 0.1 * len(measurements)

@@ -1,0 +1,50 @@
+"""Table 1 — the 22 studied IXPs and their analyzed-interface counts.
+
+Identity columns come from the paper's Table 1; the "measured" column is
+what our campaign's filter pipeline leaves analyzed, to be compared with
+the paper's published counts.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.ixp.catalog import paper_catalog
+from repro.sim import DetectionWorldConfig, build_detection_world
+
+
+def bench_table1_world_build(benchmark):
+    """Time: constructing the full 22-IXP detection world."""
+    world = benchmark.pedantic(
+        lambda: build_detection_world(DetectionWorldConfig(seed=42)),
+        rounds=3, iterations=1,
+    )
+    assert world.candidate_count() > 4000
+
+
+def bench_table1_report(benchmark, detection_result):
+    """Report: Table 1 with paper vs measured analyzed interfaces."""
+    measured = benchmark.pedantic(
+        detection_result.analyzed_count_by_ixp, rounds=5, iterations=1
+    )
+    rows = []
+    for spec in paper_catalog():
+        rows.append([
+            spec.acronym,
+            spec.city_name,
+            spec.country,
+            "N/A" if spec.peak_traffic_tbps is None else spec.peak_traffic_tbps,
+            spec.member_count,
+            spec.analyzed_interfaces,
+            measured.get(spec.acronym, 0),
+        ])
+    total_paper = sum(s.analyzed_interfaces for s in paper_catalog())
+    total_measured = sum(measured.values())
+    table = render_table(
+        ["IXP", "city", "country", "peak Tbps", "members",
+         "analyzed (paper)", "analyzed (measured)"],
+        rows,
+        title="Table 1 — properties of the 22 studied IXPs",
+    )
+    emit("table1", table + f"\ntotal analyzed: paper {total_paper}, "
+                           f"measured {total_measured}")
+    assert abs(total_measured - total_paper) < 0.05 * total_paper

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+The full detection campaign and the full offload world are built once per
+session; individual benches time their own analysis step and print the
+paper-vs-measured comparison.  Rendered reports are also written to
+``benchmarks/out/`` so the artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.detection import CampaignConfig, ProbeCampaign
+from repro.core.offload import OffloadEstimator, PeerGroups
+from repro.sim import (
+    DetectionWorldConfig,
+    OffloadWorldConfig,
+    build_detection_world,
+    build_offload_world,
+)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Seeds for the canonical benchmark runs (fixed so EXPERIMENTS.md numbers
+#: are reproducible).
+WORLD_SEED = 42
+CAMPAIGN_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def detection_world():
+    """The full 22-IXP detection world."""
+    return build_detection_world(DetectionWorldConfig(seed=WORLD_SEED))
+
+
+@pytest.fixture(scope="session")
+def campaign(detection_world):
+    """A campaign object bound to the full world."""
+    return ProbeCampaign(detection_world, CampaignConfig(seed=CAMPAIGN_SEED))
+
+
+@pytest.fixture(scope="session")
+def detection_result(detection_world):
+    """The filtered result of the full campaign (built once)."""
+    return ProbeCampaign(
+        detection_world, CampaignConfig(seed=CAMPAIGN_SEED)
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def offload_world():
+    """The full ~30k-AS offload world."""
+    return build_offload_world(OffloadWorldConfig(seed=WORLD_SEED))
+
+
+@pytest.fixture(scope="session")
+def peer_groups(offload_world):
+    return PeerGroups.build(offload_world)
+
+
+@pytest.fixture(scope="session")
+def estimator(offload_world, peer_groups):
+    return OffloadEstimator(offload_world, peer_groups)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    print(f"\n{text}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on offline boxes.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of *Remote Peering: More Peering without
+Internet Flattening* (Castro, Cardona, Gorinsky, Francois; CoNEXT 2014).
+
+The package has three layers:
+
+* **substrates** (``repro.geo``, ``repro.net``, ``repro.layer2``,
+  ``repro.bgp``, ``repro.ixp``, ``repro.registry``, ``repro.lg``,
+  ``repro.netflow``, ``repro.delaymodel``) — everything the paper's
+  measurements run on top of;
+* **worlds** (``repro.sim``) — deterministic synthetic Internets
+  calibrated to the paper's datasets (the 22 studied IXPs; the RedIRIS
+  offload setting);
+* **core** (``repro.core.detection``, ``repro.core.offload``,
+  ``repro.core.economics``) — the paper's contributions: the ping-based
+  remote-peering detector with its six filters, the traffic-offload
+  estimator, and the economic-viability model.
+
+Quickstart::
+
+    from repro import build_detection_world, ProbeCampaign
+
+    world = build_detection_world()
+    result = ProbeCampaign(world).run()
+    print(result.remote_spread_fraction())  # ~0.91 in the paper
+"""
+
+from repro.core.detection import (
+    CampaignConfig,
+    CampaignResult,
+    FilterConfig,
+    FilterPipeline,
+    ProbeCampaign,
+    REMOTENESS_THRESHOLD_MS,
+)
+from repro.core.economics import CostModel, CostParameters, fit_exponential_decay
+from repro.core.offload import (
+    OffloadEstimator,
+    PeerGroups,
+    greedy_expansion,
+    greedy_reachability,
+)
+from repro.sim import (
+    DetectionWorldConfig,
+    OffloadWorldConfig,
+    build_detection_world,
+    build_offload_world,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FilterConfig",
+    "FilterPipeline",
+    "ProbeCampaign",
+    "REMOTENESS_THRESHOLD_MS",
+    "CostModel",
+    "CostParameters",
+    "fit_exponential_decay",
+    "OffloadEstimator",
+    "PeerGroups",
+    "greedy_expansion",
+    "greedy_reachability",
+    "DetectionWorldConfig",
+    "OffloadWorldConfig",
+    "build_detection_world",
+    "build_offload_world",
+    "__version__",
+]

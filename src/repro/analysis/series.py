@@ -1,0 +1,69 @@
+"""Time-series helpers for the Figure 5b style analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centered-ish moving average (trailing window), same length."""
+    series = np.asarray(series, dtype=float)
+    if window <= 0:
+        raise AnalysisError("window must be positive")
+    if series.size == 0:
+        raise AnalysisError("empty series")
+    if window == 1:
+        return series.copy()
+    kernel = np.ones(window) / window
+    padded = np.concatenate([np.full(window - 1, series[0]), series])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def daily_peaks(series: np.ndarray, bins_per_day: int = 288) -> np.ndarray:
+    """Index of the peak bin within each full day of a 5-minute series."""
+    series = np.asarray(series, dtype=float)
+    if bins_per_day <= 0:
+        raise AnalysisError("bins_per_day must be positive")
+    days = series.size // bins_per_day
+    if days == 0:
+        raise AnalysisError("series shorter than one day")
+    trimmed = series[: days * bins_per_day].reshape(days, bins_per_day)
+    return np.argmax(trimmed, axis=1)
+
+
+def peak_coincidence(
+    a: np.ndarray, b: np.ndarray, bins_per_day: int = 288,
+    tolerance_bins: int = 12,
+) -> float:
+    """Fraction of days on which two series peak within a tolerance.
+
+    Figure 5b's observation — "the peaks of the transit-provider traffic
+    and offload potential consistently coincide" — as a number.  The
+    default tolerance is one hour of 5-minute bins.
+    """
+    peaks_a = daily_peaks(a, bins_per_day)
+    peaks_b = daily_peaks(b, bins_per_day)
+    if peaks_a.size != peaks_b.size:
+        raise AnalysisError("series must cover the same number of days")
+    hits = np.abs(peaks_a - peaks_b) <= tolerance_bins
+    return float(hits.mean())
+
+
+def relative_reduction(series: np.ndarray) -> np.ndarray:
+    """Remaining fraction relative to the first element (Figure 9 y-axis)."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        raise AnalysisError("empty series")
+    if series[0] <= 0:
+        raise AnalysisError("baseline must be positive")
+    return series / series[0]
+
+
+def marginal_gains(series: np.ndarray) -> np.ndarray:
+    """Per-step decrease of a remaining-quantity series."""
+    series = np.asarray(series, dtype=float)
+    if series.size < 2:
+        raise AnalysisError("need at least two points")
+    return -np.diff(series)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benches, examples and the CLI."""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; column widths adapt to
+    content.  Raises on ragged rows, so malformed reports fail loudly.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_number(row[i]) for row in rows) if rows else False
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(row: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,53 @@
+"""Customer cones: the reach a peering relationship buys you.
+
+Peering traffic is "commonly limited to the traffic belonging to the
+peering networks and their customer cones, i.e., their direct and indirect
+transit customers" (Section 2.2).  Everything in the offload study hangs
+off this set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bgp.relationships import ASGraph
+from repro.types import ASN
+
+
+def customer_cone(graph: ASGraph, asn: ASN) -> set[ASN]:
+    """The customer cone of ``asn``: itself plus all transitive customers."""
+    cone: set[ASN] = {asn}
+    queue: deque[ASN] = deque([asn])
+    while queue:
+        node = queue.popleft()
+        for customer in graph.customers_of(node):
+            if customer not in cone:
+                cone.add(customer)
+                queue.append(customer)
+    return cone
+
+
+def customer_cones(graph: ASGraph, asns: list[ASN]) -> dict[ASN, set[ASN]]:
+    """Customer cones for many ASes.
+
+    Cones are computed independently; worst case is O(len(asns) * E) but in
+    hierarchical graphs the cones of stub networks are tiny, so the realistic
+    cost is dominated by the few large transit cones.
+    """
+    return {asn: customer_cone(graph, asn) for asn in asns}
+
+
+def cone_address_mass(graph: ASGraph, cone: set[ASN]) -> int:
+    """Total originated IPv4 address space inside a cone (Figure 10 metric)."""
+    return sum(graph.get(asn).address_space for asn in cone)
+
+
+def cone_size_ranking(graph: ASGraph) -> list[tuple[ASN, int]]:
+    """All ASes ranked by customer-cone size, largest first.
+
+    Useful for sanity checks: the provider-free (tier-1) clique must top
+    this ranking in any realistic topology.
+    """
+    ranked = [(asn, len(customer_cone(graph, asn))) for asn in graph.asns()]
+    ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+    return ranked

@@ -1,0 +1,176 @@
+"""The AS relationship graph (customer-provider and peer-peer edges)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.asys import AutonomousSystem
+from repro.errors import TopologyError
+from repro.types import ASN
+
+
+class Relationship(enum.Enum):
+    """Economic relationship between two adjacent ASes, from A's viewpoint."""
+
+    CUSTOMER = "customer"  # the neighbour is A's customer
+    PROVIDER = "provider"  # the neighbour is A's provider
+    PEER = "peer"          # settlement-free peer
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ASGraph:
+    """Directed-relationship AS graph.
+
+    Customer-provider edges are stored once (customer -> provider) and
+    indexed both ways; peer edges are symmetric.  The graph enforces basic
+    sanity: no self-edges, no duplicate contradictory relationships.
+    """
+
+    _ases: dict[ASN, AutonomousSystem] = field(default_factory=dict)
+    _providers: dict[ASN, set[ASN]] = field(default_factory=dict)
+    _customers: dict[ASN, set[ASN]] = field(default_factory=dict)
+    _peers: dict[ASN, set[ASN]] = field(default_factory=dict)
+
+    # --- node management -----------------------------------------------------
+
+    def add_as(self, asys: AutonomousSystem) -> AutonomousSystem:
+        """Register an AS; duplicate ASNs are topology errors."""
+        if asys.asn in self._ases:
+            raise TopologyError(f"duplicate ASN {asys.asn}")
+        self._ases[asys.asn] = asys
+        self._providers[asys.asn] = set()
+        self._customers[asys.asn] = set()
+        self._peers[asys.asn] = set()
+        return asys
+
+    def get(self, asn: ASN) -> AutonomousSystem:
+        """The AS object for ``asn``; unknown ASNs are topology errors."""
+        try:
+            return self._ases[asn]
+        except KeyError:
+            raise TopologyError(f"unknown ASN {asn}") from None
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def asns(self) -> list[ASN]:
+        """All registered ASNs, sorted."""
+        return sorted(self._ases)
+
+    def ases(self) -> list[AutonomousSystem]:
+        """All AS objects, sorted by ASN."""
+        return [self._ases[a] for a in self.asns()]
+
+    # --- edge management -------------------------------------------------------
+
+    def _check_nodes(self, a: ASN, b: ASN) -> None:
+        if a == b:
+            raise TopologyError(f"self-relationship on ASN {a}")
+        if a not in self._ases:
+            raise TopologyError(f"unknown ASN {a}")
+        if b not in self._ases:
+            raise TopologyError(f"unknown ASN {b}")
+
+    def _check_fresh(self, a: ASN, b: ASN) -> None:
+        related = (
+            b in self._providers[a]
+            or b in self._customers[a]
+            or b in self._peers[a]
+        )
+        if related:
+            raise TopologyError(f"AS{a} and AS{b} already related")
+
+    def add_customer_provider(self, customer: ASN, provider: ASN) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        self._check_nodes(customer, provider)
+        self._check_fresh(customer, provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peering(self, a: ASN, b: ASN) -> None:
+        """Record a settlement-free peering between ``a`` and ``b``."""
+        self._check_nodes(a, b)
+        self._check_fresh(a, b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    # --- queries ----------------------------------------------------------------
+
+    def providers_of(self, asn: ASN) -> set[ASN]:
+        """Direct transit providers of ``asn``."""
+        self.get(asn)
+        return set(self._providers[asn])
+
+    def customers_of(self, asn: ASN) -> set[ASN]:
+        """Direct transit customers of ``asn``."""
+        self.get(asn)
+        return set(self._customers[asn])
+
+    def peers_of(self, asn: ASN) -> set[ASN]:
+        """Settlement-free peers of ``asn``."""
+        self.get(asn)
+        return set(self._peers[asn])
+
+    def relationship(self, a: ASN, b: ASN) -> Relationship | None:
+        """Relationship of ``b`` from ``a``'s viewpoint, or None."""
+        self.get(a)
+        self.get(b)
+        if b in self._customers[a]:
+            return Relationship.CUSTOMER
+        if b in self._providers[a]:
+            return Relationship.PROVIDER
+        if b in self._peers[a]:
+            return Relationship.PEER
+        return None
+
+    def degree(self, asn: ASN) -> int:
+        """Total number of neighbours of ``asn``."""
+        self.get(asn)
+        return (
+            len(self._providers[asn])
+            + len(self._customers[asn])
+            + len(self._peers[asn])
+        )
+
+    def provider_free(self) -> list[ASN]:
+        """ASes with no providers (the tier-1 clique, typically)."""
+        return sorted(a for a in self._ases if not self._providers[a])
+
+    # --- validation ---------------------------------------------------------------
+
+    def assert_hierarchy_acyclic(self) -> None:
+        """Raise TopologyError if the customer-provider edges contain a cycle.
+
+        A provider cycle would make "customer cone" ill-defined; generated
+        worlds must always pass this check.
+        """
+        state: dict[ASN, int] = {}  # 0 visiting, 1 done
+
+        for start in self._ases:
+            if start in state:
+                continue
+            stack: list[tuple[ASN, iter]] = [(start, iter(self._providers[start]))]
+            state[start] = 0
+            while stack:
+                node, neighbours = stack[-1]
+                advanced = False
+                for nxt in neighbours:
+                    if state.get(nxt) == 0:
+                        raise TopologyError(
+                            f"provider cycle through AS{node} and AS{nxt}"
+                        )
+                    if nxt not in state:
+                        state[nxt] = 0
+                        stack.append((nxt, iter(self._providers[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = 1
+                    stack.pop()

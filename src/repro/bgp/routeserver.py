@@ -1,0 +1,58 @@
+"""IXP route servers: multilateral peering in one BGP session.
+
+Open-policy members "automatically peer with any interested IXP member via
+the IXP route server" (Section 4.2).  The route server therefore decides
+which peerings exist without bilateral negotiation — peer group 1 in the
+offload study is exactly the route-server population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.asys import AutonomousSystem
+from repro.errors import TopologyError
+from repro.types import ASN, PeeringPolicy
+
+
+@dataclass
+class RouteServer:
+    """The route server of one IXP."""
+
+    ixp_name: str
+    _participants: dict[ASN, AutonomousSystem] = field(default_factory=dict)
+
+    def connect(self, asys: AutonomousSystem) -> None:
+        """Bring a member's session up on the route server."""
+        if asys.asn in self._participants:
+            raise TopologyError(
+                f"{self.ixp_name} route server: AS{asys.asn} already connected"
+            )
+        self._participants[asys.asn] = asys
+
+    def participants(self) -> list[AutonomousSystem]:
+        """Connected members, sorted by ASN."""
+        return [self._participants[a] for a in sorted(self._participants)]
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._participants
+
+    def multilateral_sessions(self) -> list[tuple[ASN, ASN]]:
+        """All peering pairs the route server establishes (a < b order)."""
+        asns = sorted(self._participants)
+        return [(a, b) for i, a in enumerate(asns) for b in asns[i + 1:]]
+
+    def would_peer(self, a: ASN, b: ASN) -> bool:
+        """Whether members ``a`` and ``b`` exchange routes via this server."""
+        return a in self._participants and b in self._participants and a != b
+
+
+def open_policy_route_server(
+    ixp_name: str, members: list[AutonomousSystem]
+) -> RouteServer:
+    """Build a route server holding exactly the open-policy members."""
+    server = RouteServer(ixp_name=ixp_name)
+    for member in members:
+        if member.policy is PeeringPolicy.OPEN:
+            server.connect(member)
+    return server

@@ -1,0 +1,147 @@
+"""Per-AS routing tables derived from policy route computation.
+
+The offload study reads the BGP tables of RedIRIS's border routers to find
+"the AS-level path and traffic rate for each of the traffic flows"
+(Section 4.1).  :class:`RoutingTable` is that per-viewpoint table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.relationships import ASGraph, Relationship
+from repro.bgp.routing import ASPath, RouteComputation, RouteKind
+from repro.errors import RoutingError
+from repro.types import ASN
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One table entry: destination, chosen AS path, and border class."""
+
+    destination: ASN
+    path: ASPath
+    next_hop: ASN
+    kind: RouteKind
+
+    @property
+    def via_transit(self) -> bool:
+        """Whether traffic to this destination leaves via a transit provider."""
+        return self.kind is RouteKind.PROVIDER
+
+
+class RoutingTable:
+    """The routing view of one AS over a computed topology."""
+
+    def __init__(self, graph: ASGraph, viewpoint: ASN) -> None:
+        graph.get(viewpoint)
+        self._graph = graph
+        self._viewpoint = viewpoint
+        self._computation = RouteComputation(graph)
+        self._entries: dict[ASN, RouteEntry] = {}
+
+    @property
+    def viewpoint(self) -> ASN:
+        """The AS whose view this table represents."""
+        return self._viewpoint
+
+    def lookup(self, destination: ASN) -> RouteEntry:
+        """Best route from the viewpoint to ``destination``.
+
+        Raises RoutingError when no policy-compliant route exists.
+        """
+        if destination in self._entries:
+            return self._entries[destination]
+        path = self._computation.path(self._viewpoint, destination)
+        if path is None:
+            raise RoutingError(
+                f"AS{self._viewpoint} has no route to AS{destination}"
+            )
+        entry = RouteEntry(
+            destination=destination,
+            path=path,
+            next_hop=path.next_hop,
+            kind=path.kind,
+        )
+        self._entries[destination] = entry
+        return entry
+
+    def has_route(self, destination: ASN) -> bool:
+        """Whether any policy-compliant route to ``destination`` exists."""
+        try:
+            self.lookup(destination)
+        except RoutingError:
+            return False
+        return True
+
+    def next_hop_relationship(self, destination: ASN) -> Relationship | None:
+        """Relationship with the next hop used toward ``destination``."""
+        entry = self.lookup(destination)
+        if entry.next_hop == self._viewpoint:
+            return None
+        return self._graph.relationship(self._viewpoint, entry.next_hop)
+
+
+class ReversedPathTable:
+    """Outbound routing view derived from precomputed *inbound* paths.
+
+    For Internet-scale worlds, computing one policy propagation per
+    destination is wasteful: a single propagation with the studied network
+    as destination yields every remote network's best path *toward* it.
+    This table serves the studied network's outbound lookups by reversing
+    those paths.  The approximation ignores hot-potato asymmetry, which
+    affects which of two equivalent provider links carries a flow but not
+    the offload arithmetic (that depends only on customer-cone membership).
+    """
+
+    def __init__(
+        self, graph: ASGraph, viewpoint: ASN, inbound_paths: dict[ASN, ASPath]
+    ) -> None:
+        graph.get(viewpoint)
+        self._graph = graph
+        self._viewpoint = viewpoint
+        self._inbound = inbound_paths
+        self._entries: dict[ASN, RouteEntry] = {}
+
+    @property
+    def viewpoint(self) -> ASN:
+        """The AS whose outbound view this table serves."""
+        return self._viewpoint
+
+    def lookup(self, destination: ASN) -> RouteEntry:
+        """Best outbound route to ``destination`` (reversed inbound path)."""
+        if destination in self._entries:
+            return self._entries[destination]
+        inbound = self._inbound.get(destination)
+        if inbound is None:
+            raise RoutingError(
+                f"AS{destination} has no path toward AS{self._viewpoint}"
+            )
+        if inbound.destination != self._viewpoint:
+            raise RoutingError(
+                f"inbound path for AS{destination} ends at "
+                f"AS{inbound.destination}, not the viewpoint"
+            )
+        reversed_asns = tuple(reversed(inbound.asns))
+        next_hop = reversed_asns[1] if len(reversed_asns) > 1 else self._viewpoint
+        kind = self._kind_for(next_hop)
+        path = ASPath(reversed_asns, kind)
+        entry = RouteEntry(
+            destination=destination, path=path, next_hop=next_hop, kind=kind
+        )
+        self._entries[destination] = entry
+        return entry
+
+    def has_route(self, destination: ASN) -> bool:
+        """Whether an outbound route to ``destination`` exists."""
+        return destination in self._inbound or destination == self._viewpoint
+
+    def _kind_for(self, next_hop: ASN) -> RouteKind:
+        if next_hop == self._viewpoint:
+            return RouteKind.ORIGIN
+        relationship = self._graph.relationship(self._viewpoint, next_hop)
+        if relationship is Relationship.PROVIDER:
+            return RouteKind.PROVIDER
+        if relationship is Relationship.PEER:
+            return RouteKind.PEER
+        return RouteKind.CUSTOMER

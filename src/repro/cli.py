@@ -1,0 +1,228 @@
+"""Command-line entry points: ``repro-detect``, ``repro-offload``,
+``repro-econ``.
+
+Each command builds the corresponding synthetic world, runs the study, and
+prints the paper-shaped report as plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+from repro.core.detection import CampaignConfig, ProbeCampaign
+from repro.core.detection.classify import BAND_LABELS
+from repro.core.economics import (
+    CostModel,
+    CostParameters,
+    fit_exponential_decay,
+    viability_condition,
+)
+from repro.core.offload import (
+    GROUP_LABELS,
+    OffloadEstimator,
+    PeerGroups,
+    greedy_expansion,
+)
+from repro.ixp.catalog import paper_catalog
+from repro.sim import (
+    DetectionWorldConfig,
+    OffloadWorldConfig,
+    build_detection_world,
+    build_offload_world,
+)
+from repro.units import format_rate
+
+
+def detect_main(argv: list[str] | None = None) -> int:
+    """Run the Section 3 detection study and print per-IXP findings."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description="Ping-based detection of remote peering at the 22 "
+        "studied IXPs (synthetic world).",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--threshold-ms", type=float, default=10.0,
+        help="remoteness threshold (paper: 10 ms)",
+    )
+    parser.add_argument(
+        "--ixps", nargs="*", default=None,
+        help="restrict to these IXP acronyms (default: all 22)",
+    )
+    args = parser.parse_args(argv)
+
+    specs = paper_catalog()
+    if args.ixps:
+        specs = tuple(s for s in specs if s.acronym in set(args.ixps))
+        if not specs:
+            parser.error("no matching IXPs")
+    world = build_detection_world(
+        DetectionWorldConfig(seed=args.seed, specs=specs)
+    )
+    config = CampaignConfig(
+        seed=args.seed, remoteness_threshold_ms=args.threshold_ms
+    )
+    result = ProbeCampaign(world, config).run()
+
+    bands = result.band_counts_by_ixp()
+    rows = []
+    for acronym in sorted(bands):
+        counts = bands[acronym]
+        remote = sum(v for k, v in counts.items() if k != "<10ms")
+        rows.append([acronym, *(counts[label] for label in BAND_LABELS), remote])
+    print(render_table(
+        ["IXP", *BAND_LABELS, "remote"],
+        rows,
+        title="Analyzed interfaces by minimum-RTT band",
+    ))
+    print()
+    print(f"analyzed interfaces : {result.analyzed_count()}")
+    print(f"identified networks : {len(result.identified_networks())}")
+    print(f"remotely peering    : {len(result.remotely_peering_networks())}")
+    print(f"IXPs with remote peering: "
+          f"{len(result.ixps_with_remote_peering())}/{len(result.studied_ixps())} "
+          f"({result.remote_spread_fraction():.0%})")
+    return 0
+
+
+def offload_main(argv: list[str] | None = None) -> int:
+    """Run the Section 4 offload study and print the greedy expansion."""
+    parser = argparse.ArgumentParser(
+        prog="repro-offload",
+        description="Transit-offload potential of a RedIRIS-like NREN over "
+        "the 65 Euro-IX IXPs (synthetic world).",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--group", type=int, default=4, choices=(1, 2, 3, 4),
+        help="peer group (paper Section 4.2)",
+    )
+    parser.add_argument(
+        "--max-ixps", type=int, default=10, help="greedy expansion depth"
+    )
+    args = parser.parse_args(argv)
+
+    world = build_offload_world(OffloadWorldConfig(seed=args.seed))
+    estimator = OffloadEstimator(world, PeerGroups.build(world))
+    all_ixps = estimator.reachable_ixps()
+    fi, fo = estimator.offload_fractions(all_ixps, args.group)
+    print(f"peer group {args.group} ({GROUP_LABELS[args.group]})")
+    print(f"candidates after exclusions: {estimator.groups.candidate_count()}")
+    print(f"max offload at {len(all_ixps)} IXPs: "
+          f"inbound {fi:.1%}, outbound {fo:.1%}")
+    print()
+    rows = []
+    for step in greedy_expansion(estimator, args.group, max_ixps=args.max_ixps):
+        rows.append([
+            step.rank,
+            step.ixp,
+            format_rate(step.gained_total_bps),
+            format_rate(step.remaining_total_bps),
+        ])
+    print(render_table(
+        ["#", "IXP", "gained", "remaining transit"],
+        rows,
+        title="Greedy IXP expansion",
+    ))
+    return 0
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    """Run every study and write one combined plain-text report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Run the detection, offload, and economics studies and "
+        "write a combined report.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--output", "-o", default="-",
+        help="output file (default: stdout)",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="use the small scenarios (seconds instead of ~20 s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.detection import CampaignConfig, ProbeCampaign
+    from repro.reporting import (
+        detection_report,
+        economics_report,
+        offload_report,
+    )
+    from repro.sim import scenarios
+
+    world = scenarios.mini3(args.seed) if args.small else scenarios.paper22(args.seed)
+    result = ProbeCampaign(world, CampaignConfig(seed=args.seed)).run()
+    offload_world = (
+        scenarios.rediris_small(args.seed) if args.small
+        else scenarios.rediris(args.seed)
+    )
+    estimator = OffloadEstimator(offload_world, PeerGroups.build(offload_world))
+
+    divider = "\n\n" + "=" * 72 + "\n\n"
+    text = divider.join([
+        detection_report(world, result),
+        offload_report(estimator),
+        economics_report(estimator),
+    ])
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+def econ_main(argv: list[str] | None = None) -> int:
+    """Evaluate the Section 5 viability condition for given prices."""
+    parser = argparse.ArgumentParser(
+        prog="repro-econ",
+        description="Economic viability of remote peering vs transit and "
+        "direct peering (paper eq. 14).",
+    )
+    parser.add_argument("--transit-price", "-p", type=float, default=5.0)
+    parser.add_argument("--direct-fixed", "-g", type=float, default=1.0)
+    parser.add_argument("--direct-unit", "-u", type=float, default=0.5)
+    parser.add_argument("--remote-fixed", "-H", type=float, default=0.25)
+    parser.add_argument("--remote-unit", "-v", type=float, default=1.5)
+    parser.add_argument(
+        "--decay", "-b", type=float, default=None,
+        help="transit decay rate b; default: fit it from the offload world",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    b = args.decay
+    if b is None:
+        import numpy as np
+
+        from repro.core.offload import remaining_traffic_series
+
+        world = build_offload_world(OffloadWorldConfig(seed=args.seed))
+        estimator = OffloadEstimator(world, PeerGroups.build(world))
+        series = remaining_traffic_series(estimator, 4, max_ixps=20)
+        fit = fit_exponential_decay(np.array(series))
+        b = fit.rate
+        print(f"fitted b = {b:.3f} from the offload world "
+              f"(floor {fit.floor:.0%} of traffic stays on transit)")
+    params = CostParameters(
+        p=args.transit_price, g=args.direct_fixed, u=args.direct_unit,
+        h=args.remote_fixed, v=args.remote_unit, b=b,
+    )
+    model = CostModel(params)
+    verdict = viability_condition(params)
+    print(f"optimal direct-peering IXPs  ñ = {model.optimal_direct():.2f}")
+    print(f"optimal remote extension     m̃ = {model.optimal_remote_extra():.2f}")
+    print(f"viability ratio g(p-v)/(h(p-u)) = {verdict.ratio:.2f} "
+          f"vs e^b = {verdict.threshold:.2f}")
+    print(f"remote peering viable: {'YES' if verdict.viable else 'NO'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(detect_main())

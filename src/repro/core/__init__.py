@@ -1,0 +1,1 @@
+"""The paper's contributions: detection, offload estimation, economics."""

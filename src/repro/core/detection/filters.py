@@ -1,0 +1,167 @@
+"""The six conservative filters of Section 3.1, applied in the paper's order.
+
+Order: sample-size, TTL-switch, TTL-match, RTT-consistent, LG-consistent,
+ASN-change.  Each filter either passes an interface (possibly trimming its
+reply set) or discards it, and the pipeline records exactly one discard
+reason per interface — mirroring how the paper reports the 20 / 82 / 20 /
+100 / 28 / 5 counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.detection.measurements import InterfaceMeasurement
+from repro.errors import ConfigurationError
+from repro.net.device import TTL_LINUX, TTL_NETWORK_OS
+from repro.net.icmp import EchoReply
+
+#: Canonical filter order (Section 3.1, "Choice of IXPs" paragraph).
+FILTER_ORDER = (
+    "sample-size",
+    "ttl-switch",
+    "ttl-match",
+    "rtt-consistent",
+    "lg-consistent",
+    "asn-change",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FilterConfig:
+    """Parameters of the filter pipeline, defaulting to the paper's values."""
+
+    min_replies_per_lg: int = 8
+    accepted_ttls: frozenset[int] = frozenset({TTL_LINUX, TTL_NETWORK_OS})
+    consistency_abs_ms: float = 5.0
+    consistency_frac: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_replies_per_lg <= 0:
+            raise ConfigurationError("min_replies_per_lg must be positive")
+        if self.consistency_abs_ms < 0 or self.consistency_frac < 0:
+            raise ConfigurationError("consistency tolerances cannot be negative")
+        if not self.accepted_ttls:
+            raise ConfigurationError("need at least one accepted TTL")
+
+    def envelope_ms(self, min_rtt_ms: float) -> float:
+        """The consistency envelope above a minimum RTT: max(5 ms, 10%)."""
+        return max(self.consistency_abs_ms, self.consistency_frac * min_rtt_ms)
+
+
+@dataclass
+class FilterReport:
+    """Outcome of running the pipeline over a set of measurements."""
+
+    passed: list[InterfaceMeasurement] = field(default_factory=list)
+    discard_counts: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in FILTER_ORDER}
+    )
+    discard_reason: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    def total_discarded(self) -> int:
+        """Interfaces removed by any filter."""
+        return sum(self.discard_counts.values())
+
+
+class FilterPipeline:
+    """Applies the six filters in order, trimming or discarding interfaces."""
+
+    def __init__(self, config: FilterConfig | None = None) -> None:
+        self.config = config or FilterConfig()
+
+    # Individual filters.  Each returns None to discard, or the (possibly
+    # trimmed) measurement to keep.
+
+    def sample_size(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """Require >= 8 replies from *each* probing LG server."""
+        for operator in m.operators():
+            if m.reply_count(operator) < self.config.min_replies_per_lg:
+                return None
+        if not m.operators():
+            return None
+        return m
+
+    def ttl_switch(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """Discard interfaces whose reply TTL changes during the campaign."""
+        if len(m.distinct_ttls()) > 1:
+            return None
+        return m
+
+    def ttl_match(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """Drop replies whose TTL is not an expected maximum (64 or 255).
+
+        If dropping leaves any probing LG below the sample-size floor the
+        interface is discarded here (its usable evidence is gone).
+        """
+        trimmed: dict[str, list[EchoReply]] = {}
+        for operator, replies in m.replies_by_operator.items():
+            kept = [r for r in replies if r.ttl in self.config.accepted_ttls]
+            if len(kept) < self.config.min_replies_per_lg:
+                return None
+            trimmed[operator] = kept
+        m.replies_by_operator = trimmed
+        return m
+
+    def rtt_consistent(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """Require >= 4 replies within max(5 ms, 10%) of the minimum RTT."""
+        replies = m.all_replies()
+        if not replies:
+            return None
+        rtts = [r.rtt_ms for r in replies]
+        floor = min(rtts)
+        ceiling = floor + self.config.envelope_ms(floor)
+        consistent = sum(1 for rtt in rtts if rtt <= ceiling)
+        if consistent < 4:
+            return None
+        return m
+
+    def lg_consistent(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """For dual-LG IXPs, require the two per-LG minima to agree."""
+        minima = [
+            m.min_rtt_ms(operator)
+            for operator in m.operators()
+            if m.reply_count(operator) > 0
+        ]
+        if len(minima) < 2:
+            return m
+        low, high = min(minima), max(minima)  # type: ignore[type-var]
+        if high > low + self.config.envelope_ms(low):
+            return None
+        return m
+
+    def asn_change(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
+        """Discard interfaces whose identified ASN changed mid-campaign."""
+        if (
+            m.asn_at_start is not None
+            and m.asn_at_end is not None
+            and m.asn_at_start != m.asn_at_end
+        ):
+            return None
+        return m
+
+    # Pipeline.
+
+    def run(self, measurements: list[InterfaceMeasurement]) -> FilterReport:
+        """Apply all six filters in the paper's order."""
+        stages = (
+            ("sample-size", self.sample_size),
+            ("ttl-switch", self.ttl_switch),
+            ("ttl-match", self.ttl_match),
+            ("rtt-consistent", self.rtt_consistent),
+            ("lg-consistent", self.lg_consistent),
+            ("asn-change", self.asn_change),
+        )
+        report = FilterReport()
+        for measurement in measurements:
+            key = (measurement.ixp_acronym, measurement.address.value)
+            survivor: InterfaceMeasurement | None = measurement
+            for name, stage in stages:
+                survivor = stage(survivor)  # type: ignore[arg-type]
+                if survivor is None:
+                    report.discard_counts[name] += 1
+                    report.discard_reason[key] = name
+                    break
+            if survivor is not None:
+                report.passed.append(survivor)
+        return report

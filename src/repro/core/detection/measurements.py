@@ -1,0 +1,52 @@
+"""Raw measurement containers produced by the probing campaign."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address
+from repro.net.icmp import EchoReply
+from repro.types import ASN
+
+
+@dataclass(slots=True)
+class InterfaceMeasurement:
+    """Everything the campaign collected about one candidate interface."""
+
+    ixp_acronym: str
+    address: IPv4Address
+    replies_by_operator: dict[str, list[EchoReply]] = field(default_factory=dict)
+    asn_at_start: ASN | None = None
+    asn_at_end: ASN | None = None
+    identification_source: str | None = None
+
+    def all_replies(self) -> list[EchoReply]:
+        """Replies across all LG operators, in probe order."""
+        merged: list[EchoReply] = []
+        for operator in sorted(self.replies_by_operator):
+            merged.extend(self.replies_by_operator[operator])
+        return merged
+
+    def reply_count(self, operator: str | None = None) -> int:
+        """Total replies (optionally for one operator)."""
+        if operator is not None:
+            return len(self.replies_by_operator.get(operator, []))
+        return sum(len(v) for v in self.replies_by_operator.values())
+
+    def operators(self) -> list[str]:
+        """LG operators that probed this interface, sorted."""
+        return sorted(self.replies_by_operator)
+
+    def min_rtt_ms(self, operator: str | None = None) -> float | None:
+        """Minimum observed RTT (optionally per operator); None if no replies."""
+        if operator is not None:
+            replies = self.replies_by_operator.get(operator, [])
+        else:
+            replies = self.all_replies()
+        if not replies:
+            return None
+        return min(r.rtt_ms for r in replies)
+
+    def distinct_ttls(self) -> set[int]:
+        """The set of TTL values seen across all replies."""
+        return {r.ttl for r in self.all_replies()}

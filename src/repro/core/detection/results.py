@@ -1,0 +1,202 @@
+"""Aggregation of campaign output into the paper's reported structures.
+
+:class:`CampaignResult` is the single object every Section 3 figure reads
+from:
+
+* Figure 2 — ``min_rtts()`` (CDF of analyzed-interface minimum RTTs);
+* Figure 3 — ``band_counts_by_ixp()``;
+* Figure 4a — ``ixp_count_distribution()`` for identified and for
+  remotely peering networks;
+* Figure 4b — ``band_fractions_by_ixp_count()``;
+* Table 1's last column — ``analyzed_count_by_ixp()``;
+* the filter paragraph — ``discard_counts``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detection.classify import BAND_LABELS, band_label, is_remote
+from repro.core.detection.filters import FilterReport
+from repro.core.detection.measurements import InterfaceMeasurement
+from repro.errors import AnalysisError
+from repro.net.addr import IPv4Address
+from repro.types import ASN
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzedInterface:
+    """One interface that survived all six filters."""
+
+    ixp_acronym: str
+    address: IPv4Address
+    min_rtt_ms: float
+    per_operator_min_ms: tuple[tuple[str, float], ...]
+    asn: ASN | None
+    identification_source: str | None
+    reply_count: int
+
+    @property
+    def identified(self) -> bool:
+        """Whether the interface maps to a network."""
+        return self.asn is not None
+
+    @property
+    def band(self) -> str:
+        """The Figure 3 RTT band of this interface."""
+        return band_label(self.min_rtt_ms)
+
+    def remote(self, threshold_ms: float) -> bool:
+        """Remote/direct call at a given threshold."""
+        return is_remote(self.min_rtt_ms, threshold_ms)
+
+
+@dataclass
+class CampaignResult:
+    """Filtered, classified output of one measurement campaign."""
+
+    analyzed: list[AnalyzedInterface]
+    discard_counts: dict[str, int]
+    threshold_ms: float
+    candidate_count: int
+    _by_network: dict[ASN, list[AnalyzedInterface]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_network:
+            grouped: dict[ASN, list[AnalyzedInterface]] = defaultdict(list)
+            for iface in self.analyzed:
+                if iface.asn is not None:
+                    grouped[iface.asn].append(iface)
+            self._by_network = dict(grouped)
+
+    # -- interface-level views ----------------------------------------------------
+
+    def analyzed_count(self) -> int:
+        """Total analyzed interfaces (paper: 4,451)."""
+        return len(self.analyzed)
+
+    def analyzed_count_by_ixp(self) -> dict[str, int]:
+        """Table 1's "number of analyzed interfaces" column."""
+        counts: Counter[str] = Counter(i.ixp_acronym for i in self.analyzed)
+        return dict(counts)
+
+    def min_rtts(self) -> np.ndarray:
+        """Minimum RTTs of all analyzed interfaces (Figure 2's sample)."""
+        return np.array([i.min_rtt_ms for i in self.analyzed], dtype=float)
+
+    def band_counts_by_ixp(self) -> dict[str, dict[str, int]]:
+        """Figure 3: per-IXP interface counts in the four RTT bands."""
+        table: dict[str, dict[str, int]] = defaultdict(
+            lambda: {label: 0 for label in BAND_LABELS}
+        )
+        for iface in self.analyzed:
+            table[iface.ixp_acronym][iface.band] += 1
+        return dict(table)
+
+    def remote_interfaces(self) -> list[AnalyzedInterface]:
+        """Interfaces at or above the remoteness threshold."""
+        return [i for i in self.analyzed if i.remote(self.threshold_ms)]
+
+    def ixps_with_remote_peering(self) -> list[str]:
+        """IXPs where at least one remote interface was detected."""
+        return sorted({i.ixp_acronym for i in self.remote_interfaces()})
+
+    def studied_ixps(self) -> list[str]:
+        """All IXPs contributing analyzed interfaces."""
+        return sorted({i.ixp_acronym for i in self.analyzed})
+
+    def remote_spread_fraction(self) -> float:
+        """Fraction of studied IXPs showing remote peering (paper: 91%)."""
+        studied = self.studied_ixps()
+        if not studied:
+            raise AnalysisError("no analyzed interfaces")
+        return len(self.ixps_with_remote_peering()) / len(studied)
+
+    # -- network-level views ---------------------------------------------------------
+
+    def identified_interface_count(self) -> int:
+        """Analyzed interfaces mapped to an ASN (paper: 3,242)."""
+        return sum(1 for i in self.analyzed if i.identified)
+
+    def identified_networks(self) -> dict[ASN, list[AnalyzedInterface]]:
+        """All identified networks and their analyzed interfaces."""
+        return dict(self._by_network)
+
+    def remotely_peering_networks(self) -> dict[ASN, list[AnalyzedInterface]]:
+        """Networks with >= 1 interface classified remote (paper: 285)."""
+        return {
+            asn: ifaces
+            for asn, ifaces in self._by_network.items()
+            if any(i.remote(self.threshold_ms) for i in ifaces)
+        }
+
+    def ixp_count_of(self, asn: ASN) -> int:
+        """Number of studied IXPs where the network has analyzed interfaces."""
+        ifaces = self._by_network.get(asn)
+        if not ifaces:
+            return 0
+        return len({i.ixp_acronym for i in ifaces})
+
+    def ixp_count_distribution(self, remote_only: bool = False) -> dict[int, int]:
+        """Figure 4a: histogram of networks over their IXP counts."""
+        networks = (
+            self.remotely_peering_networks() if remote_only else self._by_network
+        )
+        histogram: Counter[int] = Counter()
+        for asn in networks:
+            histogram[self.ixp_count_of(asn)] += 1
+        return dict(sorted(histogram.items()))
+
+    def band_fractions_by_ixp_count(self) -> dict[int, dict[str, float]]:
+        """Figure 4b: interface band mix of remote networks per IXP count."""
+        remote_nets = self.remotely_peering_networks()
+        counts: dict[int, Counter[str]] = defaultdict(Counter)
+        for asn, ifaces in remote_nets.items():
+            k = self.ixp_count_of(asn)
+            for iface in ifaces:
+                counts[k][iface.band] += 1
+        fractions: dict[int, dict[str, float]] = {}
+        for k, counter in sorted(counts.items()):
+            total = sum(counter.values())
+            fractions[k] = {
+                label: counter.get(label, 0) / total for label in BAND_LABELS
+            }
+        return fractions
+
+
+def build_result(
+    measurements: list[InterfaceMeasurement],
+    report: FilterReport,
+    threshold_ms: float,
+) -> CampaignResult:
+    """Assemble the result object from filtered measurements."""
+    analyzed = []
+    for m in report.passed:
+        min_rtt = m.min_rtt_ms()
+        if min_rtt is None:  # pragma: no cover - filters guarantee replies
+            raise AnalysisError(f"filtered interface {m.address} has no replies")
+        per_operator = tuple(
+            (operator, float(m.min_rtt_ms(operator)))  # type: ignore[arg-type]
+            for operator in m.operators()
+            if m.reply_count(operator) > 0
+        )
+        analyzed.append(
+            AnalyzedInterface(
+                ixp_acronym=m.ixp_acronym,
+                address=m.address,
+                min_rtt_ms=float(min_rtt),
+                per_operator_min_ms=per_operator,
+                asn=m.asn_at_start if m.asn_at_start is not None else m.asn_at_end,
+                identification_source=m.identification_source,
+                reply_count=m.reply_count(),
+            )
+        )
+    return CampaignResult(
+        analyzed=analyzed,
+        discard_counts=dict(report.discard_counts),
+        threshold_ms=threshold_ms,
+        candidate_count=len(measurements),
+    )

@@ -1,0 +1,166 @@
+"""Sensitivity sweeps over the detector's design choices.
+
+Formalizes the ablations DESIGN.md calls out as library API: the
+remoteness-threshold sweep (the paper justifies 10 ms qualitatively; here
+the precision/recall trade-off is measured) and the drop-one-filter sweep
+(what each of the six filters buys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detection.filters import (
+    FILTER_ORDER,
+    FilterConfig,
+    FilterPipeline,
+    FilterReport,
+)
+from repro.core.detection.measurements import InterfaceMeasurement
+from repro.core.detection.results import CampaignResult, build_result
+from repro.core.detection.validation import (
+    GroundTruthReport,
+    validate_against_truth,
+)
+from repro.errors import ConfigurationError
+from repro.sim.detection_world import DetectionWorld
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdPoint:
+    """Detector quality at one remoteness threshold."""
+
+    threshold_ms: float
+    remote_calls: int
+    report: GroundTruthReport
+
+    @property
+    def precision(self) -> float:
+        """Precision at this threshold."""
+        return self.report.precision
+
+    @property
+    def recall(self) -> float:
+        """Recall at this threshold."""
+        return self.report.recall
+
+
+def threshold_sweep(
+    world: DetectionWorld,
+    result: CampaignResult,
+    thresholds: tuple[float, ...] = (2.5, 5.0, 7.5, 10.0, 15.0, 20.0),
+) -> list[ThresholdPoint]:
+    """Evaluate remote/direct classification across thresholds.
+
+    Uses the already-filtered result (filters are threshold-independent),
+    so the sweep is cheap: one confusion matrix per point.
+    """
+    if not thresholds:
+        raise ConfigurationError("need at least one threshold")
+    points = []
+    for threshold in sorted(thresholds):
+        if threshold <= 0:
+            raise ConfigurationError("thresholds must be positive")
+        report = validate_against_truth(world, result, threshold_ms=threshold)
+        remote_calls = sum(
+            1 for i in result.analyzed if i.remote(threshold)
+        )
+        points.append(
+            ThresholdPoint(
+                threshold_ms=threshold,
+                remote_calls=remote_calls,
+                report=report,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class FilterDropPoint:
+    """Pipeline behaviour with one filter removed."""
+
+    dropped: str | None  # None = full pipeline
+    analyzed_count: int
+    report: GroundTruthReport
+
+
+class _PartialPipeline(FilterPipeline):
+    """A pipeline that skips one named stage."""
+
+    def __init__(self, config: FilterConfig | None, dropped: str | None):
+        super().__init__(config)
+        if dropped is not None and dropped not in FILTER_ORDER:
+            raise ConfigurationError(f"unknown filter {dropped!r}")
+        self._dropped = dropped
+
+    def run(self, measurements: list[InterfaceMeasurement]) -> FilterReport:
+        stages = (
+            ("sample-size", self.sample_size),
+            ("ttl-switch", self.ttl_switch),
+            ("ttl-match", self.ttl_match),
+            ("rtt-consistent", self.rtt_consistent),
+            ("lg-consistent", self.lg_consistent),
+            ("asn-change", self.asn_change),
+        )
+        report = FilterReport()
+        for measurement in measurements:
+            key = (measurement.ixp_acronym, measurement.address.value)
+            survivor: InterfaceMeasurement | None = measurement
+            for name, stage in stages:
+                if name == self._dropped:
+                    continue
+                survivor = stage(survivor)  # type: ignore[arg-type]
+                if survivor is None:
+                    report.discard_counts[name] += 1
+                    report.discard_reason[key] = name
+                    break
+            if survivor is not None:
+                report.passed.append(survivor)
+        return report
+
+
+def filter_drop_sweep(
+    world: DetectionWorld,
+    measurements: list[InterfaceMeasurement],
+    threshold_ms: float = 10.0,
+    config: FilterConfig | None = None,
+) -> list[FilterDropPoint]:
+    """Run the pipeline with each filter removed in turn.
+
+    ``measurements`` must be raw (pre-filter); reply lists are copied per
+    variant because the TTL-match stage trims in place.
+    """
+    points = []
+    for dropped in (None, *FILTER_ORDER):
+        fresh = _copy_measurements(measurements)
+        pipeline = _PartialPipeline(config, dropped)
+        report = pipeline.run(fresh)
+        result = build_result(fresh, report, threshold_ms=threshold_ms)
+        truth = validate_against_truth(world, result)
+        points.append(
+            FilterDropPoint(
+                dropped=dropped,
+                analyzed_count=result.analyzed_count(),
+                report=truth,
+            )
+        )
+    return points
+
+
+def _copy_measurements(
+    measurements: list[InterfaceMeasurement],
+) -> list[InterfaceMeasurement]:
+    copies = []
+    for m in measurements:
+        copy = InterfaceMeasurement(
+            ixp_acronym=m.ixp_acronym,
+            address=m.address,
+            replies_by_operator={
+                op: list(replies) for op, replies in m.replies_by_operator.items()
+            },
+            asn_at_start=m.asn_at_start,
+            asn_at_end=m.asn_at_end,
+            identification_source=m.identification_source,
+        )
+        copies.append(copy)
+    return copies

@@ -1,0 +1,115 @@
+"""Fitting the transit-fraction decay from empirical offload curves.
+
+Equation 3 generalizes Figure 9's measured curves as ``t = e^{-b·k}``
+(k = reached IXPs).  Measured curves flatten at a floor — the transit
+traffic no peer group can reach — so we fit ``t = floor + (1-floor)·decay``
+with the floor chosen by grid search and the rate by least squares in log
+space.  A power-law alternative ``(1+k)^{-a}`` lets the exponential-decay
+modelling choice be ablated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class DecayFit:
+    """A fitted decay model for the offloadable transit fraction."""
+
+    family: str  # "exponential" | "power"
+    rate: float  # b for exponential, a for power
+    floor: float  # non-offloadable transit fraction (asymptote)
+    sse: float  # sum of squared errors in fraction space
+
+    def predict(self, k: np.ndarray | float) -> np.ndarray | float:
+        """Predicted transit fraction after reaching ``k`` IXPs."""
+        karr = np.asarray(k, dtype=float)
+        span = 1.0 - self.floor
+        if self.family == "exponential":
+            values = self.floor + span * np.exp(-self.rate * karr)
+        else:
+            values = self.floor + span * (1.0 + karr) ** (-self.rate)
+        return float(values) if np.isscalar(k) else values
+
+
+def _normalise(remaining: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a remaining-traffic series to fractions of the baseline."""
+    remaining = np.asarray(remaining, dtype=float)
+    if remaining.ndim != 1 or remaining.size < 3:
+        raise AnalysisError("need a 1-D series of at least 3 points")
+    if remaining[0] <= 0:
+        raise AnalysisError("baseline traffic must be positive")
+    fractions = remaining / remaining[0]
+    if np.any(fractions < -1e-9) or np.any(fractions > 1.0 + 1e-9):
+        raise AnalysisError("remaining traffic must be within [0, baseline]")
+    ks = np.arange(fractions.size, dtype=float)
+    return fractions, ks
+
+
+def _rate_for_floor(
+    family: str, fractions: np.ndarray, ks: np.ndarray, floor: float
+) -> float:
+    """Least-squares rate in log space for one candidate floor."""
+    span = 1.0 - floor
+    if span <= 0:
+        return 0.0
+    shifted = (fractions - floor) / span
+    mask = shifted > 1e-9
+    if mask.sum() < 2:
+        return 0.0
+    x = ks[mask] if family == "exponential" else np.log(1.0 + ks[mask])
+    y = np.log(shifted[mask])
+    x_centered = x - x.mean()
+    denom = float(np.dot(x_centered, x_centered))
+    if denom == 0:
+        return 0.0
+    slope = float(np.dot(x_centered, y - y.mean()) / denom)
+    return max(0.0, -slope)
+
+
+def _evaluate(
+    family: str, fractions: np.ndarray, ks: np.ndarray, floor: float
+) -> DecayFit:
+    rate = _rate_for_floor(family, fractions, ks, floor)
+    trial = DecayFit(family=family, rate=rate, floor=floor, sse=0.0)
+    sse = float(np.sum((trial.predict(ks) - fractions) ** 2))
+    return DecayFit(family=family, rate=rate, floor=floor, sse=sse)
+
+
+def _fit(family: str, remaining: np.ndarray) -> DecayFit:
+    fractions, ks = _normalise(remaining)
+    observed_floor = float(fractions.min())
+    # Stage 1 — coarse grid over [0, observed minimum]: the true asymptote
+    # sits at or below the last observed point.
+    best: DecayFit | None = None
+    for floor in np.linspace(0.0, observed_floor, 26):
+        candidate = _evaluate(family, fractions, ks, float(floor))
+        if best is None or candidate.sse < best.sse:
+            best = candidate
+    assert best is not None
+    # Stage 2 — refine around the winner: the rate estimate is sensitive to
+    # the floor, so a finer local grid sharpens both.
+    step = observed_floor / 25.0 if observed_floor > 0 else 0.0
+    if step > 0:
+        low = max(0.0, best.floor - step)
+        high = min(observed_floor, best.floor + step)
+        for floor in np.linspace(low, high, 41):
+            candidate = _evaluate(family, fractions, ks, float(floor))
+            if candidate.sse < best.sse:
+                best = candidate
+    return best
+
+
+def fit_exponential_decay(remaining: np.ndarray) -> DecayFit:
+    """Fit ``t(k) = floor + (1-floor)·e^{-b·k}`` to a remaining series."""
+    return _fit("exponential", remaining)
+
+
+def fit_power_decay(remaining: np.ndarray) -> DecayFit:
+    """Fit ``t(k) = floor + (1-floor)·(1+k)^{-a}`` to a remaining series."""
+    return _fit("power", remaining)

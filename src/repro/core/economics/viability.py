@@ -1,0 +1,106 @@
+"""The economic-viability condition and its regional implications.
+
+Equation 14: remote peering at one or more IXPs reduces total cost iff
+
+    g·(p − v) / (h·(p − u))  ≥  e^b
+
+— remote peering favours networks with *global* traffic (low ``b``) and
+regions where its fixed-cost advantage ``g/h`` is large.  Section 5.2
+singles out Africa: local IXPs offer little offload and transit is
+expensive, so ``h ≪ g`` and remote peering to Europe wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.economics.model import CostModel, CostParameters
+from repro.errors import EconomicsError
+
+
+@dataclass(frozen=True, slots=True)
+class ViabilityVerdict:
+    """Outcome of the viability test for one parameter set."""
+
+    params: CostParameters
+    ratio: float        # g(p−v) / (h(p−u))
+    threshold: float    # e^b
+    viable: bool
+    optimal_remote_ixps: float  # m̃ (0 when not viable)
+
+    @property
+    def margin(self) -> float:
+        """log(ratio) − b: positive means viable with room to spare."""
+        return math.log(self.ratio) - math.log(self.threshold)
+
+
+def viability_condition(params: CostParameters) -> ViabilityVerdict:
+    """Evaluate equation 14 for one parameter set."""
+    ratio = params.g * (params.p - params.v) / (
+        params.h * (params.p - params.u)
+    )
+    threshold = math.exp(params.b)
+    model = CostModel(params)
+    return ViabilityVerdict(
+        params=params,
+        ratio=ratio,
+        threshold=threshold,
+        viable=ratio >= threshold,
+        optimal_remote_ixps=model.optimal_remote_extra(),
+    )
+
+
+def viability_threshold_b(params: CostParameters) -> float:
+    """The largest decay rate b at which remote peering stays viable.
+
+    From eq. 14: b* = ln( g(p−v) / (h(p−u)) ).  Networks with global
+    traffic (b below b*) profit from remote peering; networks whose
+    transit shrinks fast with few IXPs (b above b*) do not need it.
+    """
+    ratio = params.g * (params.p - params.v) / (
+        params.h * (params.p - params.u)
+    )
+    if ratio <= 0:
+        raise EconomicsError("degenerate prices: ratio must be positive")
+    return math.log(ratio)
+
+
+def viability_grid(
+    base: CostParameters,
+    g_over_h: np.ndarray,
+    b_values: np.ndarray,
+) -> np.ndarray:
+    """Boolean viability matrix over (g/h ratio, b) — the Section 5 sweep.
+
+    ``g`` is held at the base value and ``h`` derived from each ratio, so
+    the constraint h < g stays satisfied for ratios > 1.
+    """
+    grid = np.zeros((len(g_over_h), len(b_values)), dtype=bool)
+    for i, ratio in enumerate(g_over_h):
+        if ratio <= 1.0:
+            raise EconomicsError("g/h must exceed 1 (h < g by assumption)")
+        h = base.g / float(ratio)
+        for j, b in enumerate(b_values):
+            params = CostParameters(
+                p=base.p, g=base.g, u=base.u, h=h, v=base.v, b=float(b)
+            )
+            grid[i, j] = viability_condition(params).viable
+    return grid
+
+
+def african_scenario(b: float = 0.5) -> ViabilityVerdict:
+    """Section 5.2's Africa case: h ≪ g because local IXPs offload little
+    and transit is expensive.  Remote peering to a European hub wins for
+    any realistic decay rate."""
+    params = CostParameters(
+        p=10.0,   # expensive transit
+        g=8.0,    # extending own infrastructure to Europe: very costly
+        u=1.0,
+        h=0.8,    # remote-peering service: an order of magnitude cheaper
+        v=3.0,
+        b=b,
+    )
+    return viability_condition(params)

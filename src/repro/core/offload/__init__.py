@@ -1,0 +1,40 @@
+"""Traffic offload potential estimation (paper Section 4).
+
+Given the offload world, :class:`PeerGroups` applies the paper's exclusion
+rules and builds the four policy-based peer groups;
+:class:`OffloadEstimator` computes offloadable traffic for any set of
+reached IXPs; :mod:`repro.core.offload.greedy` grows the reached set
+iteratively (Figures 8/9); :mod:`repro.core.offload.reachability`
+generalizes the metric to address space (Figure 10).
+"""
+
+from repro.core.offload.peergroups import (
+    ALL_GROUPS,
+    GROUP_LABELS,
+    PeerGroups,
+)
+from repro.core.offload.potential import ContributorShare, OffloadEstimator
+from repro.core.offload.greedy import (
+    GreedyStep,
+    greedy_expansion,
+    remaining_traffic_series,
+    second_ixp_matrix,
+)
+from repro.core.offload.reachability import (
+    ReachabilityStep,
+    greedy_reachability,
+)
+
+__all__ = [
+    "ALL_GROUPS",
+    "GROUP_LABELS",
+    "PeerGroups",
+    "ContributorShare",
+    "OffloadEstimator",
+    "GreedyStep",
+    "greedy_expansion",
+    "remaining_traffic_series",
+    "second_ixp_matrix",
+    "ReachabilityStep",
+    "greedy_reachability",
+]

@@ -1,0 +1,129 @@
+"""Peer-group construction with the paper's exclusion rules (Section 4.2).
+
+Candidates are the members of the 65 reachable IXPs minus networks highly
+unlikely to peer with the studied NREN:
+
+1. its transit providers (providers do not peer with customers — and the
+   tier-1s have no providers of their own, so no transitive rule is
+   needed);
+2. members of the two IXPs it already belongs to (CATNIX, ESpanix) — this
+   sweeps in every other tier-1;
+3. fellow GÉANT members (already cheaply interconnected).
+
+The four peer groups then slice candidates by PeeringDB policy:
+group 1 = open, group 2 = open + the 10 selective networks with the
+largest individual offload potential, group 3 = open + selective,
+group 4 = everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.offload_world import OffloadWorld
+from repro.types import ASN, PeeringPolicy
+
+#: Group numbering follows the paper.
+ALL_GROUPS = (1, 2, 3, 4)
+
+GROUP_LABELS = {
+    1: "all open policies",
+    2: "all open and top 10 selective policies",
+    3: "all open and selective policies",
+    4: "all policies",
+}
+
+#: How many selective networks group 2 adds on top of group 1.
+TOP_SELECTIVE_COUNT = 10
+
+
+@dataclass
+class PeerGroups:
+    """Candidate peers of the studied network, sliced into the 4 groups."""
+
+    world: OffloadWorld
+    candidates: frozenset[ASN] = field(default_factory=frozenset)
+    top_selective: frozenset[ASN] = field(default_factory=frozenset)
+
+    @classmethod
+    def build(
+        cls,
+        world: OffloadWorld,
+        exclude_transit_providers: bool = True,
+        exclude_home_ixp_members: bool = True,
+        exclude_geant_club: bool = True,
+    ) -> "PeerGroups":
+        """Apply the exclusion rules and rank the selective candidates.
+
+        The three rule switches exist for ablation: the paper argues each
+        exclusion removes networks "highly unlikely to peer" — disabling
+        one shows how much potential that rule conservatively forgoes.
+        """
+        union: set[ASN] = set()
+        for members in world.memberships.values():
+            union |= members
+        excluded: set[ASN] = {world.rediris}
+        if exclude_transit_providers:  # rule 1
+            excluded |= set(world.transit_providers)
+        if exclude_home_ixp_members:  # rule 2
+            excluded |= set(world.memberships.get("CATNIX", frozenset()))
+            excluded |= set(world.memberships.get("ESpanix", frozenset()))
+        if exclude_geant_club:  # rule 3
+            excluded |= {world.geant, *world.nrens}
+        candidates = frozenset(union - excluded)
+        groups = cls(world=world, candidates=candidates)
+        groups.top_selective = groups._rank_top_selective()
+        return groups
+
+    def _rank_top_selective(self) -> frozenset[ASN]:
+        """The 10 selective candidates with the largest offload potential.
+
+        A candidate's individual potential is the transit traffic of its
+        customer cone (itself included), combined inbound + outbound.
+        """
+        world = self.world
+        scored: list[tuple[float, ASN]] = []
+        for asn in self.candidates:
+            if world.policy_of(asn) is not PeeringPolicy.SELECTIVE:
+                continue
+            potential = 0.0
+            for member in world.cone(asn):
+                idx = world.contributing_index(member)
+                if idx is not None:
+                    potential += float(world.matrix.total_bps[idx])
+            scored.append((potential, asn))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return frozenset(asn for _, asn in scored[:TOP_SELECTIVE_COUNT])
+
+    # -- group membership ---------------------------------------------------------
+
+    def in_group(self, asn: ASN, group: int) -> bool:
+        """Whether candidate ``asn`` belongs to peer group ``group``."""
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {group}")
+        if asn not in self.candidates:
+            return False
+        policy = self.world.policy_of(asn)
+        if group == 4:
+            return True
+        if group == 3:
+            return policy in (PeeringPolicy.OPEN, PeeringPolicy.SELECTIVE)
+        if group == 2:
+            return policy is PeeringPolicy.OPEN or asn in self.top_selective
+        return policy is PeeringPolicy.OPEN
+
+    def group_members(self, group: int) -> frozenset[ASN]:
+        """All candidates in one peer group."""
+        return frozenset(a for a in self.candidates if self.in_group(a, group))
+
+    def ixp_group_members(self, ixp_acronym: str, group: int) -> frozenset[ASN]:
+        """Group members with a membership at one IXP."""
+        members = self.world.memberships.get(ixp_acronym)
+        if members is None:
+            raise ConfigurationError(f"unknown IXP {ixp_acronym!r}")
+        return frozenset(a for a in members if self.in_group(a, group))
+
+    def candidate_count(self) -> int:
+        """Total candidates after exclusions (paper: 2,192)."""
+        return len(self.candidates)

@@ -1,0 +1,216 @@
+"""The offload-potential estimator (Figures 5–7).
+
+The estimator answers: *if the studied network could peer at these IXPs
+with this peer group, how much transit traffic would move off its
+providers?*  Offloadability is customer-cone membership: a contributing
+network's traffic shifts when some reachable peer carries it in its cone
+(Section 4.2's "fully shifting to remote peering the traffic that the
+networks of this peer group and their customer cones contribute").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.offload.peergroups import ALL_GROUPS, PeerGroups
+from repro.errors import ConfigurationError
+from repro.sim.offload_world import OffloadWorld
+from repro.types import ASN, NetworkKind
+
+
+@dataclass(frozen=True, slots=True)
+class ContributorShare:
+    """Figure 6 row: one top contributor's traffic decomposition."""
+
+    asn: ASN
+    name: str
+    kind: NetworkKind
+    origin_bps: float       # inbound traffic the network itself originates
+    destination_bps: float  # outbound traffic it itself terminates
+    transient_in_bps: float   # inbound traffic it carries for its cone
+    transient_out_bps: float  # outbound traffic it carries for its cone
+
+    @property
+    def total_bps(self) -> float:
+        """Combined contribution to the offload potential."""
+        return (
+            self.origin_bps
+            + self.destination_bps
+            + self.transient_in_bps
+            + self.transient_out_bps
+        )
+
+    @property
+    def endpoint_dominant(self) -> bool:
+        """Whether own origin/destination traffic exceeds transient."""
+        own = self.origin_bps + self.destination_bps
+        transient = self.transient_in_bps + self.transient_out_bps
+        return own >= transient
+
+
+class OffloadEstimator:
+    """Offload arithmetic over a built world and its peer groups."""
+
+    def __init__(self, world: OffloadWorld, groups: PeerGroups | None = None):
+        self.world = world
+        self.groups = groups or PeerGroups.build(world)
+        self._member_cone_idx: dict[ASN, np.ndarray] = {}
+        self._mask_cache: dict[tuple[str, int], np.ndarray] = {}
+        self._transient: dict[str, np.ndarray] | None = None
+
+    # -- masks -------------------------------------------------------------------
+
+    def _cone_indices(self, member: ASN) -> np.ndarray:
+        """Contributing-array indices covered by one member's cone."""
+        cached = self._member_cone_idx.get(member)
+        if cached is not None:
+            return cached
+        indices = [
+            idx
+            for asn in self.world.cone(member)
+            if (idx := self.world.contributing_index(asn)) is not None
+        ]
+        array = np.array(sorted(indices), dtype=np.int32)
+        self._member_cone_idx[member] = array
+        return array
+
+    def ixp_mask(self, ixp_acronym: str, group: int) -> np.ndarray:
+        """Offloadable-contributor mask for one IXP and peer group."""
+        key = (ixp_acronym, group)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = np.zeros(len(self.world.contributing), dtype=bool)
+        for member in self.groups.ixp_group_members(ixp_acronym, group):
+            mask[self._cone_indices(member)] = True
+        self._mask_cache[key] = mask
+        return mask
+
+    def mask_for(self, ixps: Iterable[str], group: int) -> np.ndarray:
+        """Offloadable mask for a set of reached IXPs."""
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {group}")
+        mask = np.zeros(len(self.world.contributing), dtype=bool)
+        for acronym in ixps:
+            mask |= self.ixp_mask(acronym, group)
+        return mask
+
+    def reachable_ixps(self) -> list[str]:
+        """All IXPs in the study's reachable set, sorted."""
+        return sorted(self.world.memberships)
+
+    # -- traffic -------------------------------------------------------------------
+
+    def offload_bps(
+        self, ixps: Iterable[str], group: int
+    ) -> tuple[float, float]:
+        """(inbound, outbound) offloadable traffic for reached IXPs."""
+        mask = self.mask_for(ixps, group)
+        matrix = self.world.matrix
+        return (
+            float(matrix.inbound_bps[mask].sum()),
+            float(matrix.outbound_bps[mask].sum()),
+        )
+
+    def offload_fractions(
+        self, ixps: Iterable[str], group: int
+    ) -> tuple[float, float]:
+        """(inbound, outbound) offload as fractions of the transit traffic."""
+        inbound, outbound = self.offload_bps(ixps, group)
+        matrix = self.world.matrix
+        return (
+            inbound / float(matrix.inbound_bps.sum()),
+            outbound / float(matrix.outbound_bps.sum()),
+        )
+
+    def offloadable_network_count(self, ixps: Iterable[str], group: int) -> int:
+        """Networks whose traffic shifts (paper: 12,238 at 65 IXPs/group 4)."""
+        return int(self.mask_for(ixps, group).sum())
+
+    def single_ixp_ranking(self, group: int, top: int = 10) -> list[tuple[str, float]]:
+        """IXPs ranked by single-IXP offload potential (Figure 7's x-axis)."""
+        scored = []
+        for acronym in self.reachable_ixps():
+            inbound, outbound = self.offload_bps([acronym], group)
+            scored.append((acronym, inbound + outbound))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top]
+
+    def ranked_offload_rates(
+        self, ixps: Iterable[str], group: int, direction: str
+    ) -> np.ndarray:
+        """Figure 5a's overlay: offloadable per-network rates, rank-sorted."""
+        mask = self.mask_for(ixps, group)
+        matrix = self.world.matrix
+        if direction == "inbound":
+            rates = matrix.inbound_bps[mask]
+        elif direction == "outbound":
+            rates = matrix.outbound_bps[mask]
+        else:
+            raise ConfigurationError(f"unknown direction {direction!r}")
+        return np.sort(rates)[::-1]
+
+    # -- figure 6: contributor decomposition -------------------------------------------
+
+    def _transient_arrays(self) -> dict[str, np.ndarray]:
+        """Per-AS transient traffic, from the AS paths of every flow."""
+        if self._transient is not None:
+            return self._transient
+        world = self.world
+        size = len(world.graph)
+        index = {asn: i for i, asn in enumerate(world.graph.asns())}
+        transient_in = np.zeros(size)
+        transient_out = np.zeros(size)
+        for contrib_idx, asn in enumerate(world.contributing):
+            path = world.inbound_paths.get(asn)
+            if path is None:
+                continue
+            inbound = float(world.matrix.inbound_bps[contrib_idx])
+            outbound = float(world.matrix.outbound_bps[contrib_idx])
+            for hop in path.intermediaries():
+                hop_idx = index[hop]
+                transient_in[hop_idx] += inbound
+                transient_out[hop_idx] += outbound
+        self._transient = {
+            "in": transient_in,
+            "out": transient_out,
+            "_index": index,  # type: ignore[dict-item]
+        }
+        return self._transient
+
+    def contributor_share(self, asn: ASN) -> ContributorShare:
+        """Traffic decomposition of one candidate peer (Figure 6 row)."""
+        world = self.world
+        arrays = self._transient_arrays()
+        index: dict[ASN, int] = arrays["_index"]  # type: ignore[assignment]
+        contrib_idx = world.contributing_index(asn)
+        origin = destination = 0.0
+        if contrib_idx is not None:
+            origin = float(world.matrix.inbound_bps[contrib_idx])
+            destination = float(world.matrix.outbound_bps[contrib_idx])
+        hop_idx = index[asn]
+        asys = world.graph.get(asn)
+        return ContributorShare(
+            asn=asn,
+            name=asys.name,
+            kind=asys.kind,
+            origin_bps=origin,
+            destination_bps=destination,
+            transient_in_bps=float(arrays["in"][hop_idx]),
+            transient_out_bps=float(arrays["out"][hop_idx]),
+        )
+
+    def top_contributors(
+        self, group: int = 4, top: int = 30, ixps: Iterable[str] | None = None
+    ) -> list[ContributorShare]:
+        """The top contributors to the offload potential (Figure 6)."""
+        reached = list(ixps) if ixps is not None else self.reachable_ixps()
+        members: set[ASN] = set()
+        for acronym in reached:
+            members |= self.groups.ixp_group_members(acronym, group)
+        shares = [self.contributor_share(asn) for asn in members]
+        shares.sort(key=lambda s: (-s.total_bps, s.asn))
+        return shares[:top]

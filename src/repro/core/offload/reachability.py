@@ -1,0 +1,133 @@
+"""The generalized reachability metric of Figure 10.
+
+To show diminishing marginal IXP utility independently of RedIRIS's
+traffic, the paper switches the metric to *the number of IP interfaces
+reachable only through transit providers*: ~2.6 billion addresses sit
+behind the transit hierarchy, and reaching IXPs moves the cones of their
+members (per peer group) into peering reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.offload.peergroups import PeerGroups
+from repro.errors import ConfigurationError
+from repro.sim.offload_world import OffloadWorld
+from repro.types import ASN
+
+
+@dataclass(frozen=True, slots=True)
+class ReachabilityStep:
+    """One greedy step of the Figure 10 expansion."""
+
+    rank: int
+    ixp: str
+    remaining_addresses: float
+
+    @property
+    def remaining_billions(self) -> float:
+        """Remaining transit-only addresses, in billions (Figure 10 y-axis)."""
+        return self.remaining_addresses / 1e9
+
+
+class _AddressMasks:
+    """Per-(IXP, group) address-space masks over *all* ASes."""
+
+    def __init__(self, world: OffloadWorld, groups: PeerGroups) -> None:
+        self.world = world
+        self.groups = groups
+        self.asns = world.graph.asns()
+        self.index = {asn: i for i, asn in enumerate(self.asns)}
+        self.space = np.array(
+            [world.graph.get(a).address_space for a in self.asns], dtype=float
+        )
+        self._cone_idx: dict[ASN, np.ndarray] = {}
+        self._masks: dict[tuple[str, int], np.ndarray] = {}
+
+    def cone_indices(self, member: ASN) -> np.ndarray:
+        cached = self._cone_idx.get(member)
+        if cached is None:
+            cached = np.array(
+                sorted(self.index[a] for a in self.world.cone(member)),
+                dtype=np.int32,
+            )
+            self._cone_idx[member] = cached
+        return cached
+
+    def mask(self, ixp_acronym: str, group: int) -> np.ndarray:
+        key = (ixp_acronym, group)
+        cached = self._masks.get(key)
+        if cached is None:
+            cached = np.zeros(len(self.asns), dtype=bool)
+            for member in self.groups.ixp_group_members(ixp_acronym, group):
+                cached[self.cone_indices(member)] = True
+            self._masks[key] = cached
+        return cached
+
+
+def total_address_space(world: OffloadWorld) -> float:
+    """All announced addresses: the zero-IXP baseline (~2.6 B)."""
+    return world.total_address_space()
+
+
+def reachable_via_peering(
+    world: OffloadWorld,
+    groups: PeerGroups,
+    ixps: Iterable[str],
+    group: int,
+) -> float:
+    """Addresses covered by the cones of reachable group members."""
+    masks = _AddressMasks(world, groups)
+    combined = np.zeros(len(masks.asns), dtype=bool)
+    for acronym in ixps:
+        combined |= masks.mask(acronym, group)
+    return float(masks.space[combined].sum())
+
+
+def greedy_reachability(
+    world: OffloadWorld,
+    groups: PeerGroups,
+    group: int,
+    max_ixps: int | None = None,
+) -> list[ReachabilityStep]:
+    """Greedy expansion minimising transit-only reachable addresses.
+
+    Mirrors Figure 10: at each step add the IXP whose members' cones cover
+    the most not-yet-covered address space.
+    """
+    masks = _AddressMasks(world, groups)
+    candidates = sorted(world.memberships)
+    limit = len(candidates) if max_ixps is None else min(max_ixps, len(candidates))
+    if limit <= 0:
+        raise ConfigurationError("max_ixps must be positive")
+    total = float(masks.space.sum())
+    covered = np.zeros(len(masks.asns), dtype=bool)
+    steps: list[ReachabilityStep] = []
+    remaining_candidates = list(candidates)
+    for rank in range(1, limit + 1):
+        best_ixp = None
+        best_gain = -1.0
+        for acronym in remaining_candidates:
+            fresh = masks.mask(acronym, group) & ~covered
+            gain = float(masks.space[fresh].sum())
+            if gain > best_gain:
+                best_gain = gain
+                best_ixp = acronym
+        if best_ixp is None:
+            break
+        covered |= masks.mask(best_ixp, group)
+        remaining_candidates.remove(best_ixp)
+        steps.append(
+            ReachabilityStep(
+                rank=rank,
+                ixp=best_ixp,
+                remaining_addresses=total - float(masks.space[covered].sum()),
+            )
+        )
+        if best_gain <= 0:
+            break
+    return steps

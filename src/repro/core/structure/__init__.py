@@ -1,0 +1,44 @@
+"""Structural analysis: the paper's titular claim, quantified.
+
+Section 1/6 argue that remote peering separates two trends that layer-3
+models conflate: peering relationships increase, yet the number of
+*organizations* on paths does not necessarily decrease, because the
+remote-peering provider is an invisible layer-2 middleman.  This package
+builds both views of a measured world — the traditional AS-only layer-3
+topology and the layer-2-aware economic-entity topology — and computes
+the flattening and reliability metrics the paper discusses.
+"""
+
+from repro.core.structure.entities import (
+    EconomicEntity,
+    EntityKind,
+    EntityPath,
+)
+from repro.core.structure.views import (
+    InterconnectionInventory,
+    Layer2AwareView,
+    Layer3View,
+    build_inventory,
+)
+from repro.core.structure.flattening import (
+    FlatteningReport,
+    flattening_report,
+)
+from repro.core.structure.reliability import (
+    FalseRedundancyReport,
+    false_redundancy_report,
+)
+
+__all__ = [
+    "EconomicEntity",
+    "EntityKind",
+    "EntityPath",
+    "InterconnectionInventory",
+    "Layer2AwareView",
+    "Layer3View",
+    "build_inventory",
+    "FlatteningReport",
+    "flattening_report",
+    "FalseRedundancyReport",
+    "false_redundancy_report",
+]

@@ -1,0 +1,110 @@
+"""Quantifying "more peering without Internet flattening".
+
+For every remote attachment in the measured world, three representations
+of the same reachability exist:
+
+* the **displaced transit path** through the network's carrier(s);
+* the **layer-3 view** of the new peering path (two ASes, no middlemen —
+  this is what makes the Internet look flatter);
+* the **layer-2-aware path**, where the remote-peering provider and the
+  IXP reappear as intermediary organizations.
+
+The report aggregates intermediary counts across all peering pairs a
+remote attachment enables, yielding the paper's headline: peering
+relationships grow while the organization count on paths does not shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.structure.views import (
+    InterconnectionInventory,
+    Layer2AwareView,
+    Layer3View,
+)
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class FlatteningReport:
+    """Aggregated structural comparison over one world."""
+
+    peering_pairs_total: int          # all member pairs across IXPs
+    peering_pairs_remote: int         # pairs with >= 1 remote side
+    mean_intermediaries_transit: float
+    mean_intermediaries_l3_view: float
+    mean_intermediaries_l2_aware: float
+    invisible_intermediary_fraction: float  # orgs layer 3 cannot see
+
+    @property
+    def peering_increased(self) -> bool:
+        """Remote peering enables relationships that need no new buildout."""
+        return self.peering_pairs_remote > 0
+
+    @property
+    def flattened_on_layer3(self) -> bool:
+        """The layer-3 illusion: paths look shorter than transit."""
+        return self.mean_intermediaries_l3_view < self.mean_intermediaries_transit
+
+    @property
+    def flattened_in_reality(self) -> bool:
+        """The layer-2-aware truth (the paper: not necessarily flatter)."""
+        return self.mean_intermediaries_l2_aware < self.mean_intermediaries_transit
+
+
+def flattening_report(
+    inventory: InterconnectionInventory,
+    max_pairs_per_ixp: int = 2_000,
+) -> FlatteningReport:
+    """Build the structural comparison from an inventory.
+
+    For each IXP, every (remote member, other member) pair is one enabled
+    peering relationship; ``max_pairs_per_ixp`` caps the enumeration at
+    large IXPs (the metric is a mean, so capping adds no bias beyond
+    truncating identical terms).
+    """
+    l3 = Layer3View(inventory)
+    l2 = Layer2AwareView(inventory)
+
+    pairs_total = sum(
+        inventory.peering_pairs_at(acronym) for acronym in inventory.ixps()
+    )
+    remote_pairs = 0
+    transit_sum = l3_sum = l2_sum = 0.0
+    invisible = 0
+    organizations = 0
+
+    for acronym in inventory.ixps():
+        members = inventory.members_at(acronym)
+        remote_members = [m for m in members if m.remote]
+        counted = 0
+        for a in remote_members:
+            for b in members:
+                if b.asn == a.asn:
+                    continue
+                if counted >= max_pairs_per_ixp:
+                    break
+                counted += 1
+                remote_pairs += 1
+                transit_sum += l3.transit_path(a, b).intermediary_count()
+                l3_sum += l3.peering_path(a, b).intermediary_count()
+                l2_path = l2.peering_path(a, b)
+                l2_sum += l2_path.intermediary_count()
+                invisible += len(l2_path.invisible_intermediaries())
+                organizations += l2_path.intermediary_count()
+            if counted >= max_pairs_per_ixp:
+                break
+
+    if remote_pairs == 0:
+        raise AnalysisError("world contains no remote peering to analyze")
+    return FlatteningReport(
+        peering_pairs_total=pairs_total,
+        peering_pairs_remote=remote_pairs,
+        mean_intermediaries_transit=transit_sum / remote_pairs,
+        mean_intermediaries_l3_view=l3_sum / remote_pairs,
+        mean_intermediaries_l2_aware=l2_sum / remote_pairs,
+        invisible_intermediary_fraction=(
+            invisible / organizations if organizations else 0.0
+        ),
+    )

@@ -1,0 +1,74 @@
+"""Section 6's reliability warning: false multihoming redundancy.
+
+"When a provider offers transit and remote peering, buying both might not
+yield reliable multihoming" — the two services can share physical
+infrastructure while looking independent on layer 3.  The report finds the
+networks in exactly that position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.structure.views import InterconnectionInventory
+from repro.types import ASN
+
+
+@dataclass(frozen=True, slots=True)
+class ExposedNetwork:
+    """One network whose transit and remote peering share an owner."""
+
+    asn: ASN
+    name: str
+    carrier: str
+    provider_name: str
+    ixp_acronym: str
+
+
+@dataclass(frozen=True, slots=True)
+class FalseRedundancyReport:
+    """How widespread the shared-fate multihoming pattern is."""
+
+    remotely_peering_networks: int
+    exposed: tuple[ExposedNetwork, ...]
+
+    @property
+    def exposed_count(self) -> int:
+        """Networks with at least one shared-fate pairing."""
+        return len({e.asn for e in self.exposed})
+
+    @property
+    def exposed_fraction(self) -> float:
+        """Share of remotely peering networks that are exposed."""
+        if self.remotely_peering_networks == 0:
+            return 0.0
+        return self.exposed_count / self.remotely_peering_networks
+
+
+def false_redundancy_report(
+    inventory: InterconnectionInventory,
+) -> FalseRedundancyReport:
+    """Find networks whose remote-peering provider is owned by a carrier
+    they also buy transit from."""
+    exposed: list[ExposedNetwork] = []
+    remote_networks: set[ASN] = set()
+    for attachment in inventory.remote_attachments():
+        remote_networks.add(attachment.asn)
+        assert attachment.provider_name is not None
+        owner = inventory.provider_owner.get(attachment.provider_name)
+        if owner is None:
+            continue  # independent provider: genuinely redundant
+        if owner in inventory.transit_of.get(attachment.asn, ()):
+            exposed.append(
+                ExposedNetwork(
+                    asn=attachment.asn,
+                    name=attachment.network_name,
+                    carrier=owner,
+                    provider_name=attachment.provider_name,
+                    ixp_acronym=attachment.ixp_acronym,
+                )
+            )
+    return FalseRedundancyReport(
+        remotely_peering_networks=len(remote_networks),
+        exposed=tuple(exposed),
+    )

@@ -1,0 +1,23 @@
+"""Stochastic delay components layered on top of baseline propagation.
+
+The paper's filters exist because real RTT samples are noisy: transient
+congestion inflates some probes, persistent congestion inflates most probes
+of an unlucky interface, and queueing adds jitter everywhere.  These
+processes generate that noise deterministically from seeds.
+"""
+
+from repro.delaymodel.jitter import JitterModel
+from repro.delaymodel.congestion import (
+    CongestionProcess,
+    NoCongestion,
+    PersistentCongestion,
+    TransientCongestion,
+)
+
+__all__ = [
+    "JitterModel",
+    "CongestionProcess",
+    "NoCongestion",
+    "PersistentCongestion",
+    "TransientCongestion",
+]

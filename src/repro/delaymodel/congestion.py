@@ -1,0 +1,95 @@
+"""Congestion processes that inflate probe RTTs.
+
+Two regimes matter to the paper's methodology (Section 3.1):
+
+* *Transient* congestion — busy-hour queueing that repeats daily.  The
+  method defeats it by probing at different times of day and keeping the
+  minimum, so the simulator must make single-time-of-day probing visibly
+  wrong while leaving the across-day minimum clean.
+* *Persistent* congestion — an interface whose path is congested during
+  essentially every probe.  The minimum never stabilises; the
+  RTT-consistent filter discards such interfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import DAY
+
+
+class CongestionProcess:
+    """Interface for additive congestion delay at a given simulated time."""
+
+    def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
+        """Extra round-trip delay (ms) for a probe sent at ``time_s``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class NoCongestion(CongestionProcess):
+    """The common case: no congestion beyond ordinary jitter."""
+
+    def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class TransientCongestion(CongestionProcess):
+    """Diurnal busy-hour congestion.
+
+    The intensity follows a raised cosine over the day, peaking at
+    ``peak_hour_utc``; probes during the peak draw exponential extra delay
+    with mean ``peak_amplitude_ms``, probes at the trough draw (almost)
+    none.
+    """
+
+    peak_amplitude_ms: float = 3.0
+    peak_hour_utc: float = 20.0
+    sharpness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.peak_amplitude_ms < 0:
+            raise ConfigurationError("amplitude cannot be negative")
+        if not 0 <= self.peak_hour_utc < 24:
+            raise ConfigurationError("peak hour must be in [0, 24)")
+        if self.sharpness <= 0:
+            raise ConfigurationError("sharpness must be positive")
+
+    def intensity(self, time_s: float) -> float:
+        """Congestion intensity in [0, 1] at ``time_s``."""
+        hour = (time_s % DAY) / 3600.0
+        phase = (hour - self.peak_hour_utc) / 24.0 * 2.0 * math.pi
+        base = (1.0 + math.cos(phase)) / 2.0
+        return base ** self.sharpness
+
+    def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
+        mean = self.peak_amplitude_ms * self.intensity(time_s)
+        if mean <= 0:
+            return 0.0
+        return float(rng.exponential(mean))
+
+
+@dataclass(frozen=True, slots=True)
+class PersistentCongestion(CongestionProcess):
+    """A chronically congested path.
+
+    Every probe sees at least ``floor_ms`` of standing-queue delay plus a
+    broad uniform component, so the observed minimum RTT never settles: the
+    spread between the minimum and typical samples exceeds the paper's
+    max(5 ms, 10%) consistency envelope and the interface gets discarded.
+    """
+
+    floor_ms: float = 4.0
+    spread_ms: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.floor_ms < 0 or self.spread_ms <= 0:
+            raise ConfigurationError("invalid persistent congestion parameters")
+
+    def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
+        return self.floor_ms + float(rng.uniform(0.0, self.spread_ms))

@@ -1,0 +1,33 @@
+"""Per-probe queueing jitter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class JitterModel:
+    """Additive per-probe queueing delay.
+
+    Queueing delay in lightly loaded switched networks is well approximated
+    by an exponential with a small mean: most probes see almost none, a few
+    see a burst.  ``scale_ms`` is the mean of that exponential; ``floor_ms``
+    is serialization delay present on every probe.
+    """
+
+    scale_ms: float = 0.08
+    floor_ms: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.scale_ms < 0 or self.floor_ms < 0:
+            raise ConfigurationError("jitter parameters cannot be negative")
+
+    def sample_ms(self, rng: np.random.Generator) -> float:
+        """One round trip's worth of queueing jitter in milliseconds."""
+        if self.scale_ms == 0:
+            return self.floor_ms
+        return self.floor_ms + float(rng.exponential(self.scale_ms))

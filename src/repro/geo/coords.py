@@ -1,0 +1,47 @@
+"""Geographic coordinates and great-circle distance."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth surface, in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigurationError(f"latitude {self.lat} out of range [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigurationError(f"longitude {self.lon} out of range [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points using the haversine formula.
+
+    Accurate to ~0.5% (Earth flattening is ignored), which is far below the
+    dispersion of real fiber-route circuity.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    sin_dlat = math.sin(dlat / 2.0)
+    sin_dlon = math.sin(dlon / 2.0)
+    h = sin_dlat * sin_dlat + math.cos(lat1) * math.cos(lat2) * sin_dlon * sin_dlon
+    # Clamp against floating error before asin.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))

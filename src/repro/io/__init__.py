@@ -1,0 +1,21 @@
+"""Dataset import/export.
+
+The paper published its measurement data (Section 3.1's final note); this
+package reproduces that artifact: campaign results and analyzed-interface
+datasets serialize to JSON-lines files that round-trip losslessly, so
+downstream analyses can run without re-simulating.
+"""
+
+from repro.io.datasets import (
+    load_result,
+    save_result,
+    load_analyzed_interfaces,
+    save_analyzed_interfaces,
+)
+
+__all__ = [
+    "load_result",
+    "save_result",
+    "load_analyzed_interfaces",
+    "save_analyzed_interfaces",
+]

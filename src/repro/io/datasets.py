@@ -1,0 +1,112 @@
+"""JSON-lines serialization of campaign results.
+
+Format: one header line (kind, version, campaign metadata), then one line
+per analyzed interface.  Versioned so later releases can evolve the schema
+without breaking stored datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.detection.results import AnalyzedInterface, CampaignResult
+from repro.errors import AnalysisError
+from repro.net.addr import IPv4Address
+from repro.types import ASN
+
+_FORMAT_VERSION = 1
+
+
+def _interface_to_record(iface: AnalyzedInterface) -> dict:
+    return {
+        "ixp": iface.ixp_acronym,
+        "address": str(iface.address),
+        "min_rtt_ms": iface.min_rtt_ms,
+        "per_operator_min_ms": list(map(list, iface.per_operator_min_ms)),
+        "asn": iface.asn,
+        "source": iface.identification_source,
+        "replies": iface.reply_count,
+    }
+
+
+def _interface_from_record(record: dict) -> AnalyzedInterface:
+    try:
+        return AnalyzedInterface(
+            ixp_acronym=record["ixp"],
+            address=IPv4Address.parse(record["address"]),
+            min_rtt_ms=float(record["min_rtt_ms"]),
+            per_operator_min_ms=tuple(
+                (op, float(v)) for op, v in record["per_operator_min_ms"]
+            ),
+            asn=ASN(record["asn"]) if record["asn"] is not None else None,
+            identification_source=record["source"],
+            reply_count=int(record["replies"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(f"malformed interface record: {exc}") from exc
+
+
+def save_analyzed_interfaces(
+    interfaces: list[AnalyzedInterface], path: str | Path
+) -> None:
+    """Write analyzed interfaces to a JSON-lines file."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        for iface in interfaces:
+            handle.write(json.dumps(_interface_to_record(iface)) + "\n")
+
+
+def load_analyzed_interfaces(path: str | Path) -> list[AnalyzedInterface]:
+    """Read analyzed interfaces from a JSON-lines file."""
+    path = Path(path)
+    interfaces: list[AnalyzedInterface] = []
+    with path.open("r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                interfaces.append(_interface_from_record(json.loads(line)))
+    return interfaces
+
+
+def save_result(result: CampaignResult, path: str | Path) -> None:
+    """Persist a full campaign result (header + interface lines)."""
+    path = Path(path)
+    header = {
+        "kind": "repro-campaign-result",
+        "version": _FORMAT_VERSION,
+        "threshold_ms": result.threshold_ms,
+        "candidate_count": result.candidate_count,
+        "discard_counts": result.discard_counts,
+    }
+    with path.open("w", encoding="ascii") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for iface in result.analyzed:
+            handle.write(json.dumps(_interface_to_record(iface)) + "\n")
+
+
+def load_result(path: str | Path) -> CampaignResult:
+    """Load a campaign result saved by :func:`save_result`."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header_line = handle.readline().strip()
+        if not header_line:
+            raise AnalysisError(f"{path}: empty dataset")
+        header = json.loads(header_line)
+        if header.get("kind") != "repro-campaign-result":
+            raise AnalysisError(f"{path}: not a campaign-result dataset")
+        if header.get("version") != _FORMAT_VERSION:
+            raise AnalysisError(
+                f"{path}: unsupported format version {header.get('version')}"
+            )
+        interfaces = [
+            _interface_from_record(json.loads(line))
+            for line in handle
+            if line.strip()
+        ]
+    return CampaignResult(
+        analyzed=interfaces,
+        discard_counts=dict(header["discard_counts"]),
+        threshold_ms=float(header["threshold_ms"]),
+        candidate_count=int(header["candidate_count"]),
+    )

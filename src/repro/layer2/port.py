@@ -1,0 +1,61 @@
+"""Attachment points on an IXP peering LAN."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.delaymodel.congestion import CongestionProcess, NoCongestion
+from repro.errors import ConfigurationError
+from repro.layer2.pseudowire import Pseudowire
+from repro.net.device import Interface
+from repro.types import PortKind
+
+_port_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class PortProfile:
+    """Delay characteristics of one port's tail circuit.
+
+    ``tail_rtt_ms`` is the deterministic round-trip delay between the port's
+    device and the IXP switch: for a direct member this is the metro
+    cross-connect (a fraction of a millisecond up to ~2 ms); for a remote
+    member it is the pseudowire's base RTT.
+    """
+
+    tail_rtt_ms: float
+    congestion: CongestionProcess = field(default_factory=NoCongestion)
+
+    def __post_init__(self) -> None:
+        if self.tail_rtt_ms < 0:
+            raise ConfigurationError("tail RTT cannot be negative")
+
+
+@dataclass(slots=True)
+class Port:
+    """A member (or looking-glass) attachment to the peering fabric.
+
+    ``operator_bias`` models LAG/ECMP path diversity: flows from one LG
+    operator's vantage can hash onto a longer parallel circuit, adding a
+    constant RTT seen by that operator only.  The paper's LG-consistent
+    filter discards interfaces showing this signature.
+    """
+
+    interface: Interface
+    kind: PortKind
+    profile: PortProfile
+    pseudowire: Pseudowire | None = None
+    operator_bias: dict[str, float] = field(default_factory=dict)
+    port_id: int = field(default_factory=lambda: next(_port_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind is PortKind.REMOTE and self.pseudowire is None:
+            raise ConfigurationError("remote port requires a pseudowire")
+        if self.kind is PortKind.DIRECT and self.pseudowire is not None:
+            raise ConfigurationError("direct port cannot carry a pseudowire")
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the port reaches the fabric over a remote-peering circuit."""
+        return self.kind is PortKind.REMOTE

@@ -1,0 +1,54 @@
+"""Remote-peering providers: the layer-2 middlemen the paper studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import City
+from repro.geo.latency import LatencyModel
+from repro.layer2.pseudowire import Pseudowire
+
+
+@dataclass(slots=True)
+class RemotePeeringProvider:
+    """A company selling layer-2 reach into IXPs (IX Reach / Atrato style).
+
+    The provider keeps equipment at the IXPs it serves and provisions
+    pseudowires from customer cities into those IXPs.  ``overhead_ms`` is
+    the provider-specific round-trip switching overhead inherited by every
+    circuit it sells.
+    """
+
+    name: str
+    served_ixp_cities: set[str] = field(default_factory=set)
+    overhead_ms: float = 0.5
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    circuits: list[Pseudowire] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.overhead_ms < 0:
+            raise ConfigurationError("provider overhead cannot be negative")
+
+    def serves(self, ixp_city: City) -> bool:
+        """Whether the provider has a presence at ``ixp_city``."""
+        return ixp_city.name in self.served_ixp_cities
+
+    def add_presence(self, ixp_city: City) -> None:
+        """Install provider equipment at an IXP city."""
+        self.served_ixp_cities.add(ixp_city.name)
+
+    def provision(self, customer_city: City, ixp_city: City) -> Pseudowire:
+        """Sell a circuit from ``customer_city`` into the IXP at ``ixp_city``."""
+        if not self.serves(ixp_city):
+            raise ConfigurationError(
+                f"{self.name} has no presence at {ixp_city.name}"
+            )
+        wire = Pseudowire(
+            customer_city=customer_city,
+            ixp_city=ixp_city,
+            overhead_ms=self.overhead_ms,
+            latency_model=self.latency_model,
+        )
+        self.circuits.append(wire)
+        return wire

@@ -1,0 +1,40 @@
+"""Point-to-point layer-2 circuits (MPLS-VPN-style pseudowires)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import City
+from repro.geo.latency import LatencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class Pseudowire:
+    """A layer-2 circuit between a remote customer site and an IXP site.
+
+    ``overhead_ms`` captures the provider's own switching/encapsulation
+    delay (round trip) on top of pure fiber propagation; real providers add
+    anywhere from a fraction of a millisecond to a few milliseconds
+    depending on how many of their PoPs the circuit traverses.
+    """
+
+    customer_city: City
+    ixp_city: City
+    overhead_ms: float = 0.5
+    latency_model: LatencyModel = LatencyModel()
+
+    def __post_init__(self) -> None:
+        if self.overhead_ms < 0:
+            raise ConfigurationError("pseudowire overhead cannot be negative")
+
+    def distance_km(self) -> float:
+        """Great-circle length of the circuit."""
+        return self.customer_city.distance_km(self.ixp_city)
+
+    def base_rtt_ms(self) -> float:
+        """Round-trip delay contributed by the circuit, excluding jitter."""
+        return (
+            self.latency_model.baseline_rtt_ms(self.distance_km())
+            + self.overhead_ms
+        )

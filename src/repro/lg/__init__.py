@@ -1,0 +1,18 @@
+"""Looking-glass servers and the rate-limited client that drives them.
+
+The campaign's vantage points: PCH and RIPE NCC operate LG servers at IXP
+locations; an HTML query triggers 5 (PCH) or 3 (RIPE) pings from inside
+the IXP subnet (Section 3.1).
+"""
+
+from repro.lg.server import LookingGlassServer, OffLanTarget, PCH_PINGS, RIPE_PINGS
+from repro.lg.client import LookingGlassClient, QueryResult
+
+__all__ = [
+    "LookingGlassServer",
+    "OffLanTarget",
+    "PCH_PINGS",
+    "RIPE_PINGS",
+    "LookingGlassClient",
+    "QueryResult",
+]

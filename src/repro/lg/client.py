@@ -1,0 +1,76 @@
+"""The measurement client that drives LG servers politely.
+
+Section 3.1 ("Measurement overhead"): at most one HTML query per minute per
+LG server, measurements spread over four months.  The client enforces the
+rate limit against *simulated* time, so a mis-scheduled campaign fails
+loudly instead of silently hammering a server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RateLimitError
+from repro.lg.server import LookingGlassServer
+from repro.net.addr import IPv4Address
+from repro.net.icmp import EchoReply
+from repro.units import MINUTE
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The outcome of one HTML query to one LG server."""
+
+    server_name: str
+    operator: str
+    target: IPv4Address
+    sent_at_s: float
+    replies: tuple[EchoReply, ...]
+
+    @property
+    def reply_count(self) -> int:
+        """How many pings were answered."""
+        return len(self.replies)
+
+
+@dataclass
+class LookingGlassClient:
+    """Rate-limited front end to a set of LG servers."""
+
+    min_interval_s: float = MINUTE
+    _last_query_at: dict[str, float] = field(default_factory=dict)
+    _query_counts: dict[str, int] = field(default_factory=dict)
+
+    def submit(
+        self,
+        server: LookingGlassServer,
+        target: IPv4Address,
+        time_s: float,
+        rng: np.random.Generator,
+    ) -> QueryResult:
+        """Submit one HTML query, enforcing the per-server rate limit."""
+        last = self._last_query_at.get(server.name)
+        # The 1 ms tolerance absorbs float rounding of minute-spaced
+        # schedules at large simulated timestamps.
+        if last is not None and time_s - last < self.min_interval_s - 1e-3:
+            raise RateLimitError(
+                f"{server.name}: query at t={time_s:.0f}s violates the "
+                f"{self.min_interval_s:.0f}s per-server interval "
+                f"(previous at t={last:.0f}s)"
+            )
+        self._last_query_at[server.name] = time_s
+        self._query_counts[server.name] = self._query_counts.get(server.name, 0) + 1
+        replies = server.query(target, time_s, rng)
+        return QueryResult(
+            server_name=server.name,
+            operator=server.operator,
+            target=target,
+            sent_at_s=time_s,
+            replies=tuple(replies),
+        )
+
+    def queries_sent(self, server_name: str) -> int:
+        """Number of queries submitted to one server so far."""
+        return self._query_counts.get(server_name, 0)

@@ -1,0 +1,83 @@
+"""A traceroute model over economic-entity paths.
+
+Section 3.1 opens with the reason the detector exists: "traceroute and BGP
+data do not reveal IP addresses or ASNs of remote-peering providers".
+This module makes that limitation executable: a traceroute across a
+layer-2-aware :class:`~repro.core.structure.entities.EntityPath` shows a
+hop for every *router* on the path — and the remote-peering provider's
+pseudowire contributes delay but no hop, because layer-2 devices do not
+decrement TTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.structure.entities import EntityKind, EntityPath
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One hop as a traceroute would report it."""
+
+    index: int            # 1-based hop number
+    organization: str     # whose router answered
+    rtt_ms: float         # cumulative RTT at this hop
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteResult:
+    """The hops plus what the measurement *missed*."""
+
+    hops: tuple[TracerouteHop, ...]
+    hidden_organizations: tuple[str, ...]
+
+    def visible_organizations(self) -> tuple[str, ...]:
+        """Organizations a layer-3 analyst would infer from the output."""
+        seen: list[str] = []
+        for hop in self.hops:
+            if not seen or seen[-1] != hop.organization:
+                seen.append(hop.organization)
+        return tuple(seen)
+
+
+#: Per-hop forwarding delay of a router, round trip.
+_ROUTER_HOP_MS = 0.1
+
+
+def traceroute(
+    path: EntityPath,
+    l2_segment_rtts_ms: dict[str, float] | None = None,
+) -> TracerouteResult:
+    """Simulate traceroute along an entity path.
+
+    ``l2_segment_rtts_ms`` maps a layer-2 entity's key (e.g.
+    ``l2:reachix``) to the round-trip delay its segment adds.  Those
+    segments inflate the RTT of the *next* layer-3 hop but never produce a
+    hop of their own — the signature that makes remote peering invisible
+    and RTT-based detection possible.
+    """
+    l2_segment_rtts_ms = l2_segment_rtts_ms or {}
+    hops: list[TracerouteHop] = []
+    hidden: list[str] = []
+    cumulative = 0.0
+    index = 0
+    for entity in path.entities[1:]:  # the source does not answer itself
+        if entity.kind is EntityKind.NETWORK:
+            cumulative += _ROUTER_HOP_MS
+            index += 1
+            hops.append(
+                TracerouteHop(
+                    index=index,
+                    organization=entity.name,
+                    rtt_ms=round(cumulative, 3),
+                )
+            )
+        else:
+            segment = l2_segment_rtts_ms.get(entity.key, 0.0)
+            if segment < 0:
+                raise ConfigurationError("segment RTT cannot be negative")
+            cumulative += segment
+            hidden.append(entity.name)
+    return TracerouteResult(hops=tuple(hops), hidden_organizations=tuple(hidden))

@@ -1,0 +1,31 @@
+"""Flow records as exported by border routers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.types import ASN, TrafficDirection
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One aggregated 5-minute flow record at an ASBR.
+
+    ``counterparty`` is the far-end network (origin of inbound traffic or
+    destination of outbound traffic); ``border_next_hop`` is the neighbour
+    AS the traffic crossed the border through (a transit provider, peer, or
+    GÉANT-like club).
+    """
+
+    bin_index: int
+    counterparty: ASN
+    direction: TrafficDirection
+    rate_bps: float
+    border_next_hop: ASN
+
+    def __post_init__(self) -> None:
+        if self.bin_index < 0:
+            raise ConfigurationError("bin index cannot be negative")
+        if self.rate_bps < 0:
+            raise ConfigurationError("flow rate cannot be negative")

@@ -1,0 +1,151 @@
+"""Per-network transit-traffic rates calibrated to Figure 5a.
+
+The RedIRIS dataset ranks 29,570 networks by their average contribution to
+the transit-provider traffic; contributions span ~1 Gbps down to a few bps
+with a visible bend toward faster decline near rank 20,000.  The
+generator reproduces exactly that rank profile (double-Pareto with a bend)
+and splits each network's traffic into inbound and outbound by business
+type: content networks are origin-heavy (traffic flows *into* RedIRIS),
+access networks are destination-heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rand import double_pareto_rates, make_rng
+from repro.types import NetworkKind
+from repro.units import GBPS
+
+#: Fraction of a network's RedIRIS traffic that is inbound (origin side),
+#: by business type.
+_INBOUND_SHARE = {
+    NetworkKind.CONTENT: 0.85,
+    NetworkKind.CDN: 0.85,
+    NetworkKind.HOSTING: 0.70,
+    NetworkKind.TRANSIT: 0.60,
+    NetworkKind.NREN: 0.55,
+    NetworkKind.ENTERPRISE: 0.55,
+    NetworkKind.ACCESS: 0.30,
+    NetworkKind.TIER1: 0.60,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficMatrixConfig:
+    """Calibration for the per-network rate generator."""
+
+    seed: int = 0
+    inbound_total_bps: float = 5.6 * GBPS
+    outbound_total_bps: float = 2.7 * GBPS
+    bend_rank: int = 20_000
+    head_exponent: float = 1.08
+    tail_exponent: float = 2.8
+    noise_sigma: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.inbound_total_bps <= 0 or self.outbound_total_bps <= 0:
+            raise ConfigurationError("traffic totals must be positive")
+        if self.bend_rank <= 0:
+            raise ConfigurationError("bend rank must be positive")
+
+
+@dataclass(slots=True)
+class TrafficMatrix:
+    """Average inbound/outbound rates for every contributing network.
+
+    Arrays are aligned: index ``i`` is the ``i``-th contributing network in
+    the owner world's contributing list.
+    """
+
+    inbound_bps: np.ndarray
+    outbound_bps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.inbound_bps.shape != self.outbound_bps.shape:
+            raise ConfigurationError("inbound/outbound arrays must align")
+        if np.any(self.inbound_bps < 0) or np.any(self.outbound_bps < 0):
+            raise ConfigurationError("rates cannot be negative")
+
+    @property
+    def count(self) -> int:
+        """Number of contributing networks."""
+        return int(self.inbound_bps.shape[0])
+
+    @property
+    def total_bps(self) -> np.ndarray:
+        """Combined per-network rate (inbound + outbound)."""
+        return self.inbound_bps + self.outbound_bps
+
+    def ranked(self, direction: str) -> np.ndarray:
+        """Rates sorted descending — Figure 5a's rank-ordered series."""
+        if direction == "inbound":
+            values = self.inbound_bps
+        elif direction == "outbound":
+            values = self.outbound_bps
+        else:
+            raise ConfigurationError(f"unknown direction {direction!r}")
+        return np.sort(values)[::-1]
+
+
+def rank_profile_totals(
+    count: int, config: TrafficMatrixConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Rank-ordered per-network totals (largest first), unnormalised."""
+    if count <= 0:
+        raise ConfigurationError("need at least one contributing network")
+    return double_pareto_rates(
+        count=count,
+        rng=rng,
+        top_rate=1.0,
+        bend_rank=min(config.bend_rank, count),
+        head_exponent=config.head_exponent,
+        tail_exponent=config.tail_exponent,
+        noise_sigma=config.noise_sigma,
+    )
+
+
+def split_totals_by_kind(
+    totals: np.ndarray,
+    kinds: list[NetworkKind],
+    config: TrafficMatrixConfig,
+    rng: np.random.Generator,
+) -> TrafficMatrix:
+    """Split per-network totals into in/out by business type and normalise.
+
+    Content networks originate (inbound to the studied NREN), access
+    networks sink (outbound); totals are scaled so each direction matches
+    the configured aggregate exactly.
+    """
+    count = len(kinds)
+    if totals.shape != (count,):
+        raise ConfigurationError("totals must align with kinds")
+    share = np.array([_INBOUND_SHARE[kind] for kind in kinds], dtype=float)
+    share = np.clip(share + rng.normal(0.0, 0.08, size=count), 0.05, 0.95)
+    inbound = totals * share
+    outbound = totals * (1.0 - share)
+    inbound *= config.inbound_total_bps / inbound.sum()
+    outbound *= config.outbound_total_bps / outbound.sum()
+    return TrafficMatrix(inbound_bps=inbound, outbound_bps=outbound)
+
+
+def generate_traffic(
+    kinds: list[NetworkKind], config: TrafficMatrixConfig | None = None
+) -> TrafficMatrix:
+    """Generate the traffic matrix for networks of the given kinds.
+
+    ``kinds[i]`` is the business type of contributing network ``i``; it
+    decides the in/out split.  Totals are normalised exactly to the
+    configured aggregates, so campaign-level percentages are stable across
+    seeds.
+    """
+    config = config or TrafficMatrixConfig()
+    rng = make_rng(config.seed)
+    totals = rank_profile_totals(len(kinds), config, rng)
+    # Rates are generated by rank; shuffle assignment so network index
+    # carries no rank information.
+    totals = totals[rng.permutation(len(kinds))]
+    return split_totals_by_kind(totals, kinds, config, rng)

@@ -1,0 +1,24 @@
+"""Registries: where the detector learns *what* to probe and *who* owns it.
+
+The paper finds target interfaces on the websites of PeeringDB, PCH and the
+IXPs themselves, and maps interfaces to ASNs "through a combination of
+looking up PeeringDB, using the IXPs' websites and LG servers, and issuing
+reverse DNS queries" (Section 3.1).  All of those sources are imperfect —
+stale addresses, missing entries, mid-campaign reassignments — and the
+filters exist precisely to survive that.  This package models the sources
+*with* their imperfections.
+"""
+
+from repro.registry.records import InterfaceRecord, IXPDirectory
+from repro.registry.sources import PeeringDBSource, IXPWebsiteSource, ReverseDNSSource
+from repro.registry.identify import IdentificationPipeline, IdentificationResult
+
+__all__ = [
+    "InterfaceRecord",
+    "IXPDirectory",
+    "PeeringDBSource",
+    "IXPWebsiteSource",
+    "ReverseDNSSource",
+    "IdentificationPipeline",
+    "IdentificationResult",
+]

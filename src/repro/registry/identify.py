@@ -1,0 +1,79 @@
+"""The IP → ASN identification pipeline (Section 3.1, "Identification of
+networks").
+
+The paper combines PeeringDB, IXP websites, LG servers and reverse DNS; we
+chain the sources in that order and report which one answered.  The
+pipeline is also queried at the start *and* end of the campaign so the
+ASN-change filter can compare the two answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Address
+from repro.registry.sources import (
+    IXPWebsiteSource,
+    PeeringDBSource,
+    ReverseDNSSource,
+)
+from repro.types import ASN
+
+
+@dataclass(frozen=True, slots=True)
+class IdentificationResult:
+    """Outcome of identifying one address at one point in time."""
+
+    address: IPv4Address
+    asn: ASN | None
+    source: str | None  # "peeringdb" | "website" | "rdns" | None
+
+    @property
+    def identified(self) -> bool:
+        """Whether any source produced an ASN."""
+        return self.asn is not None
+
+
+class IdentificationPipeline:
+    """Chains the identification sources in the paper's order."""
+
+    def __init__(
+        self,
+        peeringdb: PeeringDBSource,
+        website: IXPWebsiteSource,
+        rdns: ReverseDNSSource,
+    ) -> None:
+        self._sources: list[tuple[str, object]] = [
+            ("peeringdb", peeringdb),
+            ("website", website),
+            ("rdns", rdns),
+        ]
+
+    def identify(
+        self, ixp: str, address: IPv4Address, time_s: float
+    ) -> IdentificationResult:
+        """Try each source in order; first answer wins."""
+        for name, source in self._sources:
+            asn = source.lookup(ixp, address, time_s)  # type: ignore[attr-defined]
+            if asn is not None:
+                return IdentificationResult(address=address, asn=asn, source=name)
+        return IdentificationResult(address=address, asn=None, source=None)
+
+    def asn_changed(
+        self,
+        ixp: str,
+        address: IPv4Address,
+        start_s: float,
+        end_s: float,
+    ) -> bool:
+        """Whether the identified ASN differs between campaign start and end.
+
+        Only a change between two *identified* answers counts; an address
+        that is identifiable at one end only is not flagged (the paper's
+        filter needs a observed change, not missing data).
+        """
+        first = self.identify(ixp, address, start_s)
+        last = self.identify(ixp, address, end_s)
+        if first.asn is None or last.asn is None:
+            return False
+        return first.asn != last.asn

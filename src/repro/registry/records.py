@@ -1,0 +1,84 @@
+"""Ground-truth-adjacent registry records for IXP member interfaces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError
+from repro.net.addr import IPv4Address
+from repro.types import ASN, PeeringPolicy
+
+
+@dataclass(slots=True)
+class InterfaceRecord:
+    """What the registries collectively know about one target address.
+
+    ``asn`` / ``asn_after_change`` encode mid-campaign reassignment of the
+    address to a different member (the ASN-change filter's reason to
+    exist).  ``stale`` marks addresses published for the IXP but no longer
+    (or never) on its peering LAN.
+    """
+
+    ixp_acronym: str
+    address: IPv4Address
+    asn: ASN | None
+    policy: PeeringPolicy | None = None
+    stale: bool = False
+    asn_after_change: ASN | None = None
+    asn_change_time: float | None = None
+    #: Well-known networks (the paper's E4A/Invitel anecdotes) are listed
+    #: in every registry; coverage sampling never hides them.
+    well_known: bool = False
+
+    def asn_at(self, time_s: float) -> ASN | None:
+        """The ASN the registries would report at simulated time ``time_s``."""
+        changed = (
+            self.asn_after_change is not None
+            and self.asn_change_time is not None
+            and time_s >= self.asn_change_time
+        )
+        return self.asn_after_change if changed else self.asn
+
+
+@dataclass
+class IXPDirectory:
+    """All published target addresses, grouped by IXP.
+
+    This is the union of what PeeringDB, PCH and IXP websites list — the
+    probing campaign's input.  Individual *sources* (see
+    :mod:`repro.registry.sources`) expose partial, noisy views of it.
+    """
+
+    _records: dict[str, dict[int, InterfaceRecord]] = field(default_factory=dict)
+
+    def add(self, record: InterfaceRecord) -> None:
+        """Publish a record; duplicate (IXP, address) pairs are errors."""
+        per_ixp = self._records.setdefault(record.ixp_acronym, {})
+        key = record.address.value
+        if key in per_ixp:
+            raise RegistryError(
+                f"{record.ixp_acronym}: duplicate record for {record.address}"
+            )
+        per_ixp[key] = record
+
+    def targets_for(self, ixp_acronym: str) -> list[InterfaceRecord]:
+        """Published target records for one IXP, in address order."""
+        per_ixp = self._records.get(ixp_acronym, {})
+        return [per_ixp[k] for k in sorted(per_ixp)]
+
+    def record_for(self, ixp_acronym: str, address: IPv4Address) -> InterfaceRecord:
+        """The record for one (IXP, address) pair."""
+        per_ixp = self._records.get(ixp_acronym, {})
+        try:
+            return per_ixp[address.value]
+        except KeyError:
+            raise RegistryError(
+                f"{ixp_acronym}: no record for {address}"
+            ) from None
+
+    def ixps(self) -> list[str]:
+        """Acronyms of all IXPs with published records, sorted."""
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._records.values())

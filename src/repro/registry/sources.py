@@ -1,0 +1,116 @@
+"""Individual identification sources with per-source coverage.
+
+Each source answers "which ASN owns this address?" for a deterministic
+subset of the directory.  Coverage membership is decided by seeded hashing,
+so a given (source, address) pair always answers the same way — exactly how
+a real registry's gaps behave across a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.addr import IPv4Address
+from repro.rand import derive_seed
+from repro.registry.records import IXPDirectory
+from repro.types import ASN
+
+
+def _covered(seed: int, label: str, address: IPv4Address, coverage: float) -> bool:
+    """Deterministic membership test: is ``address`` in this source's view?"""
+    draw = derive_seed(seed, label, address.value) % 10_000
+    return draw < coverage * 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringDBSource:
+    """PeeringDB-style lookup: good ASN data, partial coverage."""
+
+    directory: IXPDirectory
+    coverage: float = 0.58
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError("coverage must be in [0, 1]")
+
+    def lookup(self, ixp: str, address: IPv4Address, time_s: float) -> ASN | None:
+        """ASN for (ixp, address) at ``time_s``, or None if not covered."""
+        record = self.directory.record_for(ixp, address)
+        if not record.well_known and not _covered(
+            self.seed, "peeringdb", address, self.coverage
+        ):
+            return None
+        return record.asn_at(time_s)
+
+
+@dataclass(frozen=True, slots=True)
+class IXPWebsiteSource:
+    """IXP member-list pages: different coverage, same underlying truth."""
+
+    directory: IXPDirectory
+    coverage: float = 0.42
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError("coverage must be in [0, 1]")
+
+    def lookup(self, ixp: str, address: IPv4Address, time_s: float) -> ASN | None:
+        """ASN for (ixp, address) at ``time_s``, or None if not covered."""
+        record = self.directory.record_for(ixp, address)
+        if not record.well_known and not _covered(
+            self.seed, "website", address, self.coverage
+        ):
+            return None
+        return record.asn_at(time_s)
+
+
+@dataclass(frozen=True, slots=True)
+class ReverseDNSSource:
+    """Reverse DNS: PTR names like ``as8903.ams-ix.example.net``.
+
+    Coverage is the lowest of the three sources; when a PTR record exists
+    we parse the ASN out of the hostname.
+    """
+
+    directory: IXPDirectory
+    coverage: float = 0.30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError("coverage must be in [0, 1]")
+
+    def hostname(self, ixp: str, address: IPv4Address, time_s: float) -> str | None:
+        """The PTR record for ``address``, or None when uncovered."""
+        record = self.directory.record_for(ixp, address)
+        if not record.well_known and not _covered(
+            self.seed, "rdns", address, self.coverage
+        ):
+            return None
+        asn = record.asn_at(time_s)
+        if asn is None:
+            return None
+        label = ixp.lower().replace(" ", "").replace("_", "-")
+        return f"as{asn}.{label}.example.net"
+
+    def lookup(self, ixp: str, address: IPv4Address, time_s: float) -> ASN | None:
+        """ASN parsed from the PTR record, or None."""
+        name = self.hostname(ixp, address, time_s)
+        if name is None:
+            return None
+        return parse_asn_from_hostname(name)
+
+
+def parse_asn_from_hostname(hostname: str) -> ASN | None:
+    """Extract an ASN from hostnames of the form ``as<digits>.<rest>``."""
+    head = hostname.split(".", 1)[0].lower()
+    if not head.startswith("as"):
+        return None
+    digits = head[2:]
+    if not digits.isdigit():
+        return None
+    value = int(digits)
+    return ASN(value) if value > 0 else None

@@ -1,0 +1,13 @@
+"""Full-study report generation.
+
+Turns the three studies' outputs into the plain-text reports a release
+user wants: one call, every headline number.  Backed by the same result
+objects the benches use, so the reports always agree with
+`benchmarks/out/`.
+"""
+
+from repro.reporting.detection import detection_report
+from repro.reporting.offload import offload_report
+from repro.reporting.economics import economics_report
+
+__all__ = ["detection_report", "offload_report", "economics_report"]

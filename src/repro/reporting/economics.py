@@ -1,0 +1,62 @@
+"""The Section 5 analysis as one rendered report."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.economics import (
+    CostModel,
+    CostParameters,
+    african_scenario,
+    fit_exponential_decay,
+    fit_power_decay,
+    viability_condition,
+)
+from repro.core.offload import OffloadEstimator, remaining_traffic_series
+
+
+def economics_report(
+    estimator: OffloadEstimator,
+    base: CostParameters | None = None,
+    max_ixps: int = 20,
+) -> str:
+    """Render the economics report, parameterized by the measured curve."""
+    series = np.array(remaining_traffic_series(estimator, 4, max_ixps=max_ixps))
+    exp_fit = fit_exponential_decay(series)
+    pow_fit = fit_power_decay(series)
+    base = base or CostParameters(p=5.0, g=1.0, u=0.5, h=0.25, v=1.5,
+                                  b=max(exp_fit.rate, 0.05))
+    model = CostModel(base)
+    verdict = viability_condition(base)
+    africa = african_scenario()
+
+    fit_section = (
+        "ECONOMIC VIABILITY (Section 5)\n"
+        f"decay fit (eq. 3): exponential b = {exp_fit.rate:.3f} "
+        f"(floor {exp_fit.floor:.0%}, SSE {exp_fit.sse:.4f}); "
+        f"power-law a = {pow_fit.rate:.3f} (SSE {pow_fit.sse:.4f})"
+    )
+
+    rows = [
+        ["transit price p", base.p],
+        ["direct fixed g / unit u", f"{base.g} / {base.u}"],
+        ["remote fixed h / unit v", f"{base.h} / {base.v}"],
+        ["decay rate b", round(base.b, 3)],
+        ["optimal direct IXPs ñ (eq. 11)", round(model.optimal_direct(), 2)],
+        ["direct traffic share d̃", round(model.optimal_direct_fraction(), 2)],
+        ["optimal remote IXPs m̃ (eq. 13)",
+         round(model.optimal_remote_extra(), 2)],
+        ["viability ratio g(p-v)/(h(p-u))", round(verdict.ratio, 2)],
+        ["viability threshold e^b", round(verdict.threshold, 2)],
+        ["remote peering viable (eq. 14)", "YES" if verdict.viable else "no"],
+    ]
+    model_section = render_table(["quantity", "value"], rows,
+                                 title="Cost model at the measured decay")
+
+    africa_section = (
+        "African scenario (h << g): "
+        f"ratio {africa.ratio:.1f} vs e^b {africa.threshold:.2f} -> "
+        f"viable={africa.viable}, m̃ = {africa.optimal_remote_ixps:.1f}"
+    )
+    return "\n\n".join([fit_section, model_section, africa_section])

@@ -1,0 +1,118 @@
+"""The Section 4 study as one rendered report."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.offload import (
+    GROUP_LABELS,
+    OffloadEstimator,
+    greedy_expansion,
+    greedy_reachability,
+)
+from repro.units import format_rate
+
+
+def offload_report(
+    estimator: OffloadEstimator,
+    greedy_depth: int = 10,
+    contributors: int = 10,
+) -> str:
+    """Render the full offload-study report as plain text."""
+    sections = [
+        _header(estimator),
+        _group_section(estimator),
+        _single_ixp_section(estimator),
+        _greedy_section(estimator, greedy_depth),
+        _reachability_section(estimator),
+        _contributors_section(estimator, contributors),
+    ]
+    return "\n\n".join(sections)
+
+
+def _header(estimator: OffloadEstimator) -> str:
+    world = estimator.world
+    total_in = world.matrix.inbound_bps.sum()
+    total_out = world.matrix.outbound_bps.sum()
+    return (
+        "TRAFFIC OFFLOAD STUDY\n"
+        f"contributing networks : {len(world.contributing)}\n"
+        f"reachable IXPs        : {len(world.memberships)}\n"
+        f"candidates (excluded) : {estimator.groups.candidate_count()}\n"
+        f"transit traffic       : {format_rate(float(total_in))} in, "
+        f"{format_rate(float(total_out))} out"
+    )
+
+
+def _group_section(estimator: OffloadEstimator) -> str:
+    all_ixps = estimator.reachable_ixps()
+    rows = []
+    for group in (1, 2, 3, 4):
+        fi, fo = estimator.offload_fractions(all_ixps, group)
+        rows.append([
+            f"{group} ({GROUP_LABELS[group]})",
+            f"{fi:.1%}",
+            f"{fo:.1%}",
+            estimator.offloadable_network_count(all_ixps, group),
+        ])
+    return render_table(
+        ["peer group", "inbound", "outbound", "networks"],
+        rows,
+        title="Maximal offload potential at all IXPs",
+    )
+
+
+def _single_ixp_section(estimator: OffloadEstimator) -> str:
+    rows = []
+    for acronym, value in estimator.single_ixp_ranking(4, top=10):
+        rows.append([acronym, format_rate(value)])
+    return render_table(["IXP", "potential (group 4)"], rows,
+                        title="Single-IXP offload potential (Figure 7)")
+
+
+def _greedy_section(estimator: OffloadEstimator, depth: int) -> str:
+    rows = []
+    for step in greedy_expansion(estimator, 4, max_ixps=depth):
+        rows.append([
+            step.rank,
+            step.ixp,
+            format_rate(step.gained_total_bps),
+            format_rate(step.remaining_total_bps),
+        ])
+    return render_table(
+        ["#", "IXP", "gained", "remaining transit"],
+        rows,
+        title="Greedy expansion, group 4 (Figure 9)",
+    )
+
+
+def _reachability_section(estimator: OffloadEstimator) -> str:
+    world = estimator.world
+    steps = greedy_reachability(world, estimator.groups, 4, max_ixps=5)
+    rows = [
+        [s.rank, s.ixp, round(s.remaining_billions, 2)] for s in steps
+    ]
+    table = render_table(
+        ["#", "IXP", "transit-only addresses (B)"],
+        rows,
+        title="Reachability expansion, group 4 (Figure 10)",
+    )
+    return (
+        table
+        + f"\nbaseline: {world.total_address_space() / 1e9:.2f} B addresses"
+    )
+
+
+def _contributors_section(estimator: OffloadEstimator, top: int) -> str:
+    rows = []
+    for share in estimator.top_contributors(group=4, top=top):
+        rows.append([
+            share.name,
+            str(share.kind),
+            format_rate(share.origin_bps + share.destination_bps),
+            format_rate(share.transient_in_bps + share.transient_out_bps),
+        ])
+    return render_table(
+        ["network", "kind", "origin+destination", "transient"],
+        rows,
+        title=f"Top {top} offload contributors (Figure 6)",
+    )

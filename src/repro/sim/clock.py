@@ -1,0 +1,67 @@
+"""Campaign time: the four-month probing window and its round schedule.
+
+The paper probes "at different times of the day and different days of the
+week" over four months (October 2013 – January 2014).  A *round* is one
+sweep over an LG server's target list; rounds are placed at varied
+(day, hour) combinations so transient diurnal congestion cannot bias every
+sample of an interface the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignWindow:
+    """A measurement window of ``duration_days`` starting at sim time 0."""
+
+    duration_days: float = 123.0  # Oct 1 2013 .. Jan 31 2014
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ConfigurationError("campaign duration must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        """Window length in seconds."""
+        return self.duration_days * DAY
+
+    def round_start_times(
+        self, rounds: int, rng: np.random.Generator, round_span_s: float
+    ) -> list[float]:
+        """Start times for ``rounds`` sweeps, spread across the window.
+
+        Rounds are placed in equal slices of the window (so they land on
+        different days) at rotating hours of day (so they land at different
+        local times).  ``round_span_s`` is how long one sweep takes; the
+        slice must fit it.
+        """
+        if rounds <= 0:
+            raise ConfigurationError("need at least one round")
+        slice_s = self.duration_s / rounds
+        if round_span_s > slice_s:
+            raise ConfigurationError(
+                f"a {round_span_s / DAY:.1f}-day round does not fit in a "
+                f"{slice_s / DAY:.1f}-day slice; lower rounds or targets"
+            )
+        hours = [2.0, 6.0, 10.0, 14.0, 18.0, 22.0]
+        times: list[float] = []
+        for r in range(rounds):
+            slice_start = r * slice_s
+            # Random whole day within the slice, rotating hour of day.
+            max_day = max(0, int((slice_s - round_span_s) / DAY))
+            day = int(rng.integers(0, max_day + 1))
+            hour = hours[r % len(hours)]
+            start = slice_start + day * DAY + hour * HOUR
+            start += float(rng.integers(0, 30)) * MINUTE  # de-align minutes
+            # Never spill into the next round's slice (rounds must not
+            # overlap: one query per minute per LG server).
+            start = min(start, slice_start + slice_s - round_span_s)
+            times.append(min(start, self.duration_s - round_span_s))
+        return times

@@ -1,0 +1,786 @@
+"""Builder for the detection world: the 22 studied IXPs, fully wired.
+
+The output of :func:`build_detection_world` contains everything the
+Section 3 campaign needs — IXPs with peering LANs and member devices,
+PCH/RIPE looking glasses, registries (with their imperfections), and
+remote-peering providers — plus the ground-truth labels the paper could
+only obtain for TorIX, E4A and Invitel, which here exist for *every*
+interface and power validation and ablation.
+
+Behaviour classes are drawn per interface, mutually exclusively, at rates
+calibrated so the six-filter pipeline discards roughly the paper's
+20 / 82 / 20 / 100 / 28 / 5 interfaces out of ~4.7k candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.asys import AutonomousSystem
+from repro.delaymodel.congestion import (
+    NoCongestion,
+    PersistentCongestion,
+    TransientCongestion,
+)
+from repro.errors import ConfigurationError
+from repro.geo.cities import City, CityDB, default_city_db
+from repro.ixp.catalog import IXPSpec, paper_catalog
+from repro.ixp.ixp import IXP, MemberInterface
+from repro.layer2.provider import RemotePeeringProvider
+from repro.lg.server import LookingGlassServer, OffLanTarget
+from repro.net.addr import IPv4Address, IPv4Prefix, SubnetAllocator
+from repro.net.device import Device, TTL_LINUX, TTL_NETWORK_OS, TTL_RARE
+from repro.rand import child_rng, make_rng
+from repro.registry.identify import IdentificationPipeline
+from repro.registry.records import InterfaceRecord, IXPDirectory
+from repro.registry.sources import (
+    IXPWebsiteSource,
+    PeeringDBSource,
+    ReverseDNSSource,
+)
+from repro.sim.clock import CampaignWindow
+from repro.sim.netpool import (
+    NetworkPool,
+    NetworkPoolConfig,
+    PooledNetwork,
+    generate_network_pool,
+)
+from repro.types import ASN, NetworkKind, PeeringPolicy, PortKind
+
+#: Behaviour class labels (ground truth annotations).
+NORMAL = "normal"
+BLACKHOLE = "blackhole"
+OS_CHANGE = "os_change"
+STALE = "stale"
+RARE_TTL = "rare_ttl"
+CONGESTED = "congested"
+LG_BIASED = "lg_biased"
+ASN_CHANGED = "asn_changed"
+
+#: Great-circle distance windows (km) per remote band, chosen so the fiber
+#: RTT lands in the paper's 10-20 / 20-50 / 50+ ms ranges.
+_BAND_DISTANCES = {
+    "short": (150.0, 560.0),  # deliberately sub-threshold: false negatives
+    "intercity": (700.0, 1250.0),
+    "intercountry": (1400.0, 3100.0),
+    "intercontinental": (3500.0, 12000.0),
+}
+
+#: Inter-IXP partnership programs the paper names (Section 2.3/3.2):
+#: TOP-IX interconnects with VSIX (Padua) and LyonIX (Lyon); AMS-IX Hong
+#: Kong reaches AMS-IX over third-party layer 2.  The builder seats some
+#: remote members of these IXPs at the partner city, so the partner-driven
+#: remote peering the paper observed at TOP-IX emerges in the data.
+_PARTNERSHIPS: dict[str, tuple[tuple[str, str], ...]] = {
+    "TOP-IX": (("VSIX", "Padua"), ("LyonIX", "Lyon")),
+    "AMS-IX": (("AMS-IX-HK", "Hong Kong"),),
+}
+
+#: Remote members per partnership seat.
+_PARTNER_SEATS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class BehaviorRates:
+    """Per-interface probabilities of each pathological behaviour.
+
+    Defaults are calibrated against the paper's discard counts (Section
+    3.1): 20 sample-size, 82 TTL-switch, 20 TTL-match, 100 RTT-consistent,
+    28 LG-consistent and 5 ASN-change discards out of ~4,706 candidates.
+    """
+
+    blackhole: float = 0.0030
+    os_change: float = 0.0174
+    stale: float = 0.0025
+    rare_ttl: float = 0.0025
+    persistent_congestion: float = 0.0235
+    lg_bias: float = 0.0110  # only drawn at dual-LG IXPs
+    asn_change: float = 0.0018
+    transient_congestion: float = 0.15  # benign; minimum stays clean
+
+    def __post_init__(self) -> None:
+        total = (
+            self.blackhole + self.os_change + self.stale + self.rare_ttl
+            + self.persistent_congestion + self.lg_bias + self.asn_change
+        )
+        if total >= 1.0:
+            raise ConfigurationError("behaviour rates sum to >= 1")
+        for value in (
+            self.blackhole, self.os_change, self.stale, self.rare_ttl,
+            self.persistent_congestion, self.lg_bias, self.asn_change,
+            self.transient_congestion,
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError("rates must be probabilities")
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionWorldConfig:
+    """Knobs for detection-world generation."""
+
+    seed: int = 42
+    specs: tuple[IXPSpec, ...] = ()
+    pool: NetworkPoolConfig | None = None
+    rates: BehaviorRates = BehaviorRates()
+    window: CampaignWindow = CampaignWindow()
+    #: Candidate interfaces generated per analyzed interface in Table 1;
+    #: 4,706/4,451 reproduces the paper's pre-filter population.
+    target_scale: float = 4706.0 / 4451.0
+    #: Fraction of members with a second LAN interface.
+    second_interface_fraction: float = 0.05
+    #: Direct members whose metro tail is long (2-9 ms).
+    far_metro_fraction: float = 0.08
+    #: Remote slots with deliberately sub-threshold circuits (<10 ms).
+    short_remote_fraction: float = 0.08
+    #: Whether to add the named validation anchors (E4A/Invitel analogues).
+    with_anchors: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class InterfaceTruth:
+    """Ground truth for one candidate interface."""
+
+    ixp_acronym: str
+    address: IPv4Address
+    asn: ASN
+    is_remote: bool
+    behavior: str
+    base_rtt_ms: float
+    circuit_km: float  # 0 for direct ports
+    on_lan: bool  # False for stale registry entries
+
+
+@dataclass
+class DetectionWorld:
+    """Everything the Section 3 campaign consumes, plus ground truth."""
+
+    city_db: CityDB
+    pool: NetworkPool
+    window: CampaignWindow
+    ixps: dict[str, IXP]
+    lg_servers: dict[str, list[LookingGlassServer]]
+    directory: IXPDirectory
+    identification: IdentificationPipeline
+    providers: list[RemotePeeringProvider]
+    truth: dict[tuple[str, int], InterfaceTruth]
+    config: DetectionWorldConfig
+    partnerships: list = field(default_factory=list)
+
+    def truth_for(self, ixp_acronym: str, address: IPv4Address) -> InterfaceTruth:
+        """Ground-truth record for one (IXP, address) pair."""
+        try:
+            return self.truth[(ixp_acronym, address.value)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no ground truth for {ixp_acronym}/{address}"
+            ) from None
+
+    def candidate_count(self) -> int:
+        """Total candidate interfaces across all IXPs."""
+        return len(self.truth)
+
+    def remote_truth_count(self, ixp_acronym: str | None = None) -> int:
+        """Ground-truth remote interfaces (optionally for one IXP)."""
+        return sum(
+            1
+            for t in self.truth.values()
+            if t.is_remote and (ixp_acronym is None or t.ixp_acronym == ixp_acronym)
+        )
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+
+def build_detection_world(
+    config: DetectionWorldConfig | None = None,
+) -> DetectionWorld:
+    """Generate the detection world for ``config`` (fully deterministic)."""
+    config = config or DetectionWorldConfig()
+    specs = config.specs or paper_catalog()
+    city_db = default_city_db()
+    pool = generate_network_pool(
+        city_db, config.pool or NetworkPoolConfig(seed=config.seed)
+    )
+    directory = IXPDirectory()
+    providers = _make_providers(config.seed, specs, city_db)
+    builder = _WorldBuilder(
+        config=config,
+        specs=specs,
+        city_db=city_db,
+        pool=pool,
+        directory=directory,
+        providers=providers,
+    )
+    builder.build()
+    identification = IdentificationPipeline(
+        peeringdb=PeeringDBSource(directory, coverage=0.54, seed=config.seed),
+        website=IXPWebsiteSource(directory, coverage=0.30, seed=config.seed),
+        rdns=ReverseDNSSource(directory, coverage=0.16, seed=config.seed),
+    )
+    return DetectionWorld(
+        city_db=city_db,
+        pool=pool,
+        window=config.window,
+        ixps=builder.ixps,
+        lg_servers=builder.lg_servers,
+        directory=directory,
+        identification=identification,
+        providers=providers,
+        truth=builder.truth,
+        config=config,
+        partnerships=builder.partnerships,
+    )
+
+
+def _make_providers(
+    seed: int, specs: tuple[IXPSpec, ...], city_db: CityDB
+) -> list[RemotePeeringProvider]:
+    """Remote-peering providers present at every studied IXP."""
+    rng = make_rng(seed)
+    names_and_overheads = [
+        ("reachix", float(rng.uniform(0.3, 1.0))),
+        ("atrato-like", 4.0),  # the anchor provider: visible detour
+        ("l2carrier", float(rng.uniform(0.5, 1.8))),
+        ("metrowave", float(rng.uniform(0.3, 2.5))),
+    ]
+    providers = []
+    for name, overhead in names_and_overheads:
+        provider = RemotePeeringProvider(name=name, overhead_ms=overhead)
+        for spec in specs:
+            provider.add_presence(city_db.get(spec.city_name))
+        providers.append(provider)
+    return providers
+
+
+class _WorldBuilder:
+    """Stateful helper that wires one world together."""
+
+    def __init__(
+        self,
+        config: DetectionWorldConfig,
+        specs: tuple[IXPSpec, ...],
+        city_db: CityDB,
+        pool: NetworkPool,
+        directory: IXPDirectory,
+        providers: list[RemotePeeringProvider],
+    ) -> None:
+        self.config = config
+        self.specs = specs
+        self.city_db = city_db
+        self.pool = pool
+        self.directory = directory
+        self.providers = providers
+        self.ixps: dict[str, IXP] = {}
+        self.lg_servers: dict[str, list[LookingGlassServer]] = {}
+        self.truth: dict[tuple[str, int], InterfaceTruth] = {}
+        self.partnerships: list = []
+        self._lans = SubnetAllocator(IPv4Prefix.parse("193.128.0.0/10"), 22)
+        self._anchor_asn = ASN(64_600)
+        self._anchor_plan: dict[str, list[tuple[AutonomousSystem, str, str]]] = {}
+        self._distance_cache: dict[str, list[tuple[float, City]]] = {}
+
+    # -- top level ------------------------------------------------------------
+
+    def build(self) -> None:
+        if self.config.with_anchors:
+            self._plan_anchors()
+        for spec in self.specs:
+            self._build_ixp(spec)
+
+    # -- anchors ---------------------------------------------------------------
+
+    def _plan_anchors(self) -> None:
+        """Named validation networks mirroring the paper's Section 3.3.
+
+        * ``e4a-like``: Italian access network, remote at 6 IXPs and direct
+          at 3 — the paper's example of many remote interfaces.
+        * ``invitel-like``: Hungarian access network, remote at AMS-IX and
+          DE-CIX via the high-overhead provider (the Atrato anecdote).
+        * ``turktelecom-like``: transit network peering remotely.
+        * ``trunk-like``: hosting company peering remotely.
+        """
+        def anchor(name: str, kind: NetworkKind, city: str) -> AutonomousSystem:
+            asys = AutonomousSystem(
+                asn=self._anchor_asn,
+                name=name,
+                kind=kind,
+                home_city=self.city_db.get(city),
+                policy=PeeringPolicy.OPEN,
+                address_space=2 ** 14,
+            )
+            self._anchor_asn = ASN(self._anchor_asn + 1)
+            return asys
+
+        e4a = anchor("e4a-like", NetworkKind.ACCESS, "Rome")
+        invitel = anchor("invitel-like", NetworkKind.ACCESS, "Budapest")
+        turk = anchor("turktelecom-like", NetworkKind.TRANSIT, "Istanbul")
+        trunk = anchor("trunk-like", NetworkKind.HOSTING, "London")
+
+        plan: list[tuple[str, AutonomousSystem, str, str]] = [
+            ("AMS-IX", e4a, "remote", "reachix"),
+            ("DE-CIX", e4a, "remote", "reachix"),
+            ("France-IX", e4a, "remote", "reachix"),
+            ("LoNAP", e4a, "remote", "reachix"),
+            ("TorIX", e4a, "remote", "reachix"),
+            ("TIE", e4a, "remote", "reachix"),
+            ("MIX", e4a, "direct", ""),
+            ("TOP-IX", e4a, "direct", ""),
+            ("VIX", e4a, "direct", ""),
+            ("AMS-IX", invitel, "remote", "atrato-like"),
+            ("DE-CIX", invitel, "remote", "atrato-like"),
+            ("AMS-IX", turk, "remote", "l2carrier"),
+            ("LINX", turk, "remote", "l2carrier"),
+            ("AMS-IX", trunk, "remote", "metrowave"),
+        ]
+        for ixp_acr, asys, kind, provider in plan:
+            self._anchor_plan.setdefault(ixp_acr, []).append((asys, kind, provider))
+
+    # -- one IXP -----------------------------------------------------------------
+
+    def _build_ixp(self, spec: IXPSpec) -> None:
+        rng = child_rng(self.config.seed, "ixp", spec.acronym)
+        city = self.city_db.get(spec.city_name)
+        ixp = IXP(
+            acronym=spec.acronym,
+            full_name=spec.full_name,
+            city=city,
+            country=spec.country,
+            lan=self._lans.allocate(),
+            peak_traffic_tbps=spec.peak_traffic_tbps,
+        )
+        if spec.sites > 1:
+            ixp.fabric.set_intersite_rtt("main", "b", float(rng.uniform(0.15, 0.5)))
+        self.ixps[spec.acronym] = ixp
+        servers = self._attach_lgs(spec, ixp)
+        self.lg_servers[spec.acronym] = servers
+
+        anchors = self._anchor_plan.get(spec.acronym, [])
+        target_count = round(spec.analyzed_interfaces * self.config.target_scale)
+        target_count = max(1, target_count - len(anchors))
+        membership_count = max(
+            1, round(target_count / (1.0 + self.config.second_interface_fraction))
+        )
+        remote_members = round(spec.remote_fraction * membership_count)
+        direct_members = membership_count - remote_members
+
+        members = self._draw_members(spec, rng, city, remote_members, direct_members)
+
+        dual_lg = spec.has_pch_lg and spec.has_ripe_lg
+        produced = 0
+        for network, wanted_kind in members:
+            iface_count = 1
+            if produced + 1 < target_count and rng.random() < self.config.second_interface_fraction:
+                iface_count = 2
+            for i in range(iface_count):
+                if produced >= target_count:
+                    break
+                self._add_member_interface(
+                    spec, ixp, servers, rng, network, wanted_kind, dual_lg, i
+                )
+                produced += 1
+        for asys, kind, provider_name in anchors:
+            self._add_anchor_interface(spec, ixp, servers, rng, asys, kind, provider_name)
+
+    def _attach_lgs(self, spec: IXPSpec, ixp: IXP) -> list[LookingGlassServer]:
+        servers = []
+        if spec.has_pch_lg:
+            servers.append(
+                LookingGlassServer.create(
+                    "PCH", spec.acronym, ixp.fabric, ixp.allocate_address()
+                )
+            )
+        if spec.has_ripe_lg:
+            servers.append(
+                LookingGlassServer.create(
+                    "RIPE", spec.acronym, ixp.fabric, ixp.allocate_address()
+                )
+            )
+        return servers
+
+    def _draw_members(
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        city: City,
+        remote_members: int,
+        direct_members: int,
+    ) -> list[tuple[PooledNetwork, str]]:
+        """Pick (network, direct|remote-band) pairs for one IXP."""
+        continent = city.continent
+        chosen: list[tuple[PooledNetwork, str]] = []
+        used: set[ASN] = set()
+
+        directs = self.pool.sample_members(rng, continent, direct_members, exclude=used)
+        for network in directs:
+            used.add(network.asn)
+            chosen.append((network, "direct"))
+
+        bands = ["intercity", "intercountry", "intercontinental"]
+        weights = np.array(spec.band_weights, dtype=float)
+        if weights.sum() > 0:
+            weights = weights / weights.sum()
+        partner_slots = self._partner_slots(spec, city)
+        for index in range(remote_members):
+            if index < len(partner_slots):
+                partner_city = partner_slots[index]
+                network = self._draw_partner_network(rng, partner_city, used)
+                if network is not None:
+                    used.add(network.asn)
+                    chosen.append((network, f"partner:{partner_city.name}"))
+                continue
+            if rng.random() < self.config.short_remote_fraction:
+                band = "short"
+            else:
+                band = bands[int(rng.choice(3, p=weights))]
+            network = self._draw_remote_network(spec, rng, city, band, used)
+            if network is None:
+                continue
+            used.add(network.asn)
+            chosen.append((network, band))
+        # Shuffle so remote/direct interleave in address space.
+        order = rng.permutation(len(chosen))
+        return [chosen[i] for i in order]
+
+    def _distance_sorted_cities(self, city: City) -> list[tuple[float, City]]:
+        cached = self._distance_cache.get(city.name)
+        if cached is not None:
+            return cached
+        ranked = sorted(
+            ((city.distance_km(c), c) for c in self.city_db.cities.values()),
+            key=lambda pair: pair[0],
+        )
+        self._distance_cache[city.name] = ranked
+        return ranked
+
+    def _partner_slots(self, spec: IXPSpec, city: City) -> list[City]:
+        """Partner-IXP cities whose members remote-peer here."""
+        partners = _PARTNERSHIPS.get(spec.acronym)
+        if not partners:
+            return []
+        from repro.ixp.partnerships import Partnership
+
+        slots: list[City] = []
+        for partner_name, partner_city_name in partners:
+            partner_city = self.city_db.get(partner_city_name)
+            self.partnerships.append(
+                Partnership(
+                    ixp_a=spec.acronym,
+                    ixp_b=partner_name,
+                    city_a=city,
+                    city_b=partner_city,
+                    carrier="l2carrier",
+                )
+            )
+            slots.extend([partner_city] * _PARTNER_SEATS)
+        return slots
+
+    def _draw_partner_network(
+        self, rng: np.random.Generator, partner_city: City, used: set[ASN]
+    ) -> PooledNetwork | None:
+        """A member of the partner IXP: a network homed near its city."""
+        nearby = {
+            c.name
+            for d, c in self._distance_sorted_cities(partner_city)
+            if d <= 400.0
+        }
+        candidates = [
+            n
+            for n in self.pool.networks
+            if n.asn not in used and n.home_city.name in nearby
+        ]
+        if not candidates:
+            candidates = [
+                n
+                for n in self.pool.networks
+                if n.asn not in used
+                and n.home_city.continent == partner_city.continent
+            ]
+        if not candidates:
+            return None
+        weights = np.array([n.propensity for n in candidates])
+        weights = weights / weights.sum()
+        return candidates[int(rng.choice(len(candidates), p=weights))]
+
+    def _draw_remote_network(
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        ixp_city: City,
+        band: str,
+        used: set[ASN],
+    ) -> PooledNetwork | None:
+        """A network whose home city sits in the wanted distance band."""
+        low, high = _BAND_DISTANCES[band]
+        eligible_cities = {
+            c.name
+            for d, c in self._distance_sorted_cities(ixp_city)
+            if low <= d <= high
+        }
+        candidates = [
+            n
+            for n in self.pool.networks
+            if n.asn not in used and n.home_city.name in eligible_cities
+        ]
+        if not candidates:
+            return None
+        weights = np.array([n.propensity for n in candidates])
+        weights = weights / weights.sum()
+        return candidates[int(rng.choice(len(candidates), p=weights))]
+
+    # -- interfaces -------------------------------------------------------------------
+
+    def _draw_behavior(self, rng: np.random.Generator, dual_lg: bool) -> str:
+        rates = self.config.rates
+        draw = rng.random()
+        thresholds = [
+            (rates.blackhole, BLACKHOLE),
+            (rates.os_change, OS_CHANGE),
+            (rates.stale, STALE),
+            (rates.rare_ttl, RARE_TTL),
+            (rates.persistent_congestion, CONGESTED),
+            (rates.lg_bias if dual_lg else 0.0, LG_BIASED),
+            (rates.asn_change, ASN_CHANGED),
+        ]
+        cursor = 0.0
+        for rate, label in thresholds:
+            cursor += rate
+            if draw < cursor:
+                return label
+        return NORMAL
+
+    def _make_device(
+        self,
+        rng: np.random.Generator,
+        network: AutonomousSystem,
+        spec: IXPSpec,
+        behavior: str,
+        index: int,
+    ) -> Device:
+        ttl = TTL_LINUX if rng.random() < 0.5 else TTL_NETWORK_OS
+        kwargs: dict = {
+            "name": f"rtr-as{network.asn}-{spec.acronym.lower()}-{index}",
+            "ttl_init": ttl,
+            "processing_ms": float(rng.uniform(0.03, 0.25)),
+        }
+        if behavior == RARE_TTL:
+            kwargs["ttl_init"] = int(rng.choice(TTL_RARE))
+        elif behavior == OS_CHANGE:
+            kwargs["ttl_after_change"] = (
+                TTL_NETWORK_OS if ttl == TTL_LINUX else TTL_LINUX
+            )
+            span = self.config.window.duration_s
+            kwargs["os_change_time"] = float(rng.uniform(0.15, 0.85)) * span
+        elif behavior == BLACKHOLE:
+            kwargs["respond_probability"] = float(rng.uniform(0.0, 0.10))
+        else:
+            kwargs["respond_probability"] = float(rng.uniform(0.965, 1.0))
+        return Device(**kwargs)
+
+    def _port_congestion(self, rng: np.random.Generator, behavior: str):
+        if behavior == CONGESTED:
+            return PersistentCongestion(
+                floor_ms=float(rng.uniform(2.0, 5.0)),
+                spread_ms=float(rng.uniform(350.0, 650.0)),
+            )
+        if rng.random() < self.config.rates.transient_congestion:
+            return TransientCongestion(
+                peak_amplitude_ms=float(rng.uniform(0.5, 3.0)),
+                peak_hour_utc=float(rng.uniform(0.0, 24.0)),
+            )
+        return NoCongestion()
+
+    def _add_member_interface(
+        self,
+        spec: IXPSpec,
+        ixp: IXP,
+        servers: list[LookingGlassServer],
+        rng: np.random.Generator,
+        network: PooledNetwork,
+        wanted_kind: str,
+        dual_lg: bool,
+        index: int,
+    ) -> None:
+        behavior = self._draw_behavior(rng, dual_lg)
+        device = self._make_device(rng, network.asys, spec, behavior, index)
+        member = ixp.register(network.asys)
+
+        if behavior == STALE:
+            self._add_stale_target(spec, ixp, servers, rng, network.asys, device)
+            return
+
+        if wanted_kind == "direct":
+            iface, base_rtt, km = self._attach_direct(spec, ixp, rng, member, device, behavior)
+            is_remote = False
+        else:
+            iface, base_rtt, km = self._attach_remote(
+                spec, ixp, rng, member, device, behavior, wanted_kind, network.home_city
+            )
+            is_remote = True
+
+        if behavior == LG_BIASED:
+            operator = "RIPE" if rng.random() < 0.5 else "PCH"
+            bias = max(6.0, 0.12 * base_rtt) + float(rng.uniform(3.0, 25.0))
+            iface.port.operator_bias[operator] = bias
+
+        self._publish(spec, ixp, rng, network.asys, iface.address, behavior)
+        self.truth[(spec.acronym, iface.address.value)] = InterfaceTruth(
+            ixp_acronym=spec.acronym,
+            address=iface.address,
+            asn=network.asn,
+            is_remote=is_remote,
+            behavior=behavior,
+            base_rtt_ms=base_rtt,
+            circuit_km=km,
+            on_lan=True,
+        )
+
+    def _attach_direct(self, spec, ixp, rng, member, device, behavior):
+        if rng.random() < self.config.far_metro_fraction:
+            tail = float(rng.uniform(2.0, 9.0))
+        else:
+            tail = float(rng.uniform(0.22, 1.9))
+        site = "b" if spec.sites > 1 and rng.random() < 0.4 else "main"
+        iface = ixp.add_interface(
+            member,
+            device,
+            PortKind.DIRECT,
+            tail_rtt_ms=tail,
+            congestion=self._port_congestion(rng, behavior),
+            site=site,
+        )
+        return iface, tail, 0.0
+
+    def _attach_remote(self, spec, ixp, rng, member, device, behavior, band, home_city):
+        provider = self._pick_provider(rng)
+        if band.startswith("partner:"):
+            # Partner-IXP interconnect: the circuit enters from the partner
+            # IXP's city.  Inter-IXP interconnects chain several provider
+            # segments and detour through carrier hubs, so their overhead is
+            # well above a point-to-point circuit's — which is why the paper
+            # sees TOP-IX's partner members in the 10-20 ms band despite
+            # Padua/Lyon being only a few hundred kilometres away.
+            home_city = self.city_db.get(band.split(":", 1)[1])
+            km = home_city.distance_km(ixp.city)
+            from repro.layer2.pseudowire import Pseudowire
+
+            wire = Pseudowire(
+                customer_city=home_city,
+                ixp_city=ixp.city,
+                overhead_ms=float(rng.uniform(6.5, 11.0)),
+                latency_model=provider.latency_model,
+            )
+            provider.circuits.append(wire)
+            iface = ixp.add_interface(
+                member,
+                device,
+                PortKind.REMOTE,
+                pseudowire=wire,
+                congestion=self._port_congestion(rng, behavior),
+            )
+            return iface, wire.base_rtt_ms(), km
+        else:
+            low, high = _BAND_DISTANCES[band]
+            km = home_city.distance_km(ixp.city)
+            if not low <= km <= high:
+                # The member's circuit enters from a provider PoP in the band.
+                candidates = [
+                    c
+                    for d, c in self._distance_sorted_cities(ixp.city)
+                    if low <= d <= high
+                ]
+                if candidates:
+                    home_city = candidates[int(rng.integers(0, len(candidates)))]
+                    km = home_city.distance_km(ixp.city)
+        wire = provider.provision(home_city, ixp.city)
+        iface = ixp.add_interface(
+            member,
+            device,
+            PortKind.REMOTE,
+            pseudowire=wire,
+            congestion=self._port_congestion(rng, behavior),
+        )
+        return iface, wire.base_rtt_ms(), km
+
+    def _pick_provider(self, rng: np.random.Generator) -> RemotePeeringProvider:
+        # The anchor provider (index 1) is reserved for anchors.
+        choices = [0, 2, 3]
+        return self.providers[choices[int(rng.integers(0, len(choices)))]]
+
+    def _add_stale_target(self, spec, ixp, servers, rng, asys, device) -> None:
+        """Publish an address that is not on the LAN (website rot)."""
+        address = ixp.allocate_address()
+        offlan = OffLanTarget(
+            device=device,
+            base_rtt_ms=float(rng.uniform(1.0, 18.0)),
+            extra_hops=int(rng.integers(1, 4)),
+        )
+        for server in servers:
+            server.register_offlan_target(address, offlan)
+        self._publish(spec, ixp, rng, asys, address, STALE)
+        self.truth[(spec.acronym, address.value)] = InterfaceTruth(
+            ixp_acronym=spec.acronym,
+            address=address,
+            asn=asys.asn,
+            is_remote=False,
+            behavior=STALE,
+            base_rtt_ms=offlan.base_rtt_ms,
+            circuit_km=0.0,
+            on_lan=False,
+        )
+
+    def _publish(self, spec, ixp, rng, asys, address, behavior, well_known=False) -> None:
+        record = InterfaceRecord(
+            ixp_acronym=spec.acronym,
+            address=address,
+            asn=asys.asn,
+            policy=asys.policy,
+            stale=behavior == STALE,
+            well_known=well_known,
+        )
+        if behavior == ASN_CHANGED:
+            other = self.pool.networks[int(rng.integers(0, len(self.pool.networks)))]
+            record.asn_after_change = other.asn
+            record.asn_change_time = (
+                float(rng.uniform(0.3, 0.7)) * self.config.window.duration_s
+            )
+        self.directory.add(record)
+
+    def _add_anchor_interface(
+        self, spec, ixp, servers, rng, asys: AutonomousSystem, kind: str, provider_name: str
+    ) -> None:
+        member = ixp.register(asys)
+        device = Device(
+            name=f"rtr-as{asys.asn}-{spec.acronym.lower()}-anchor",
+            ttl_init=TTL_NETWORK_OS,
+            processing_ms=0.08,
+            respond_probability=0.99,
+        )
+        if kind == "direct":
+            tail = float(rng.uniform(0.3, 1.2))
+            iface = ixp.add_interface(member, device, PortKind.DIRECT, tail_rtt_ms=tail)
+            base_rtt, km, is_remote = tail, 0.0, False
+        else:
+            provider = next(p for p in self.providers if p.name == provider_name)
+            assert asys.home_city is not None
+            wire = provider.provision(asys.home_city, ixp.city)
+            iface = ixp.add_interface(member, device, PortKind.REMOTE, pseudowire=wire)
+            base_rtt, km, is_remote = (
+                wire.base_rtt_ms(),
+                asys.home_city.distance_km(ixp.city),
+                True,
+            )
+        self._publish(spec, ixp, rng, asys, iface.address, NORMAL, well_known=True)
+        self.truth[(spec.acronym, iface.address.value)] = InterfaceTruth(
+            ixp_acronym=spec.acronym,
+            address=iface.address,
+            asn=asys.asn,
+            is_remote=is_remote,
+            behavior=NORMAL,
+            base_rtt_ms=base_rtt,
+            circuit_km=km,
+            on_lan=True,
+        )

@@ -1,0 +1,222 @@
+"""The global pool of networks that populate IXP memberships.
+
+Networks differ in how many IXPs they join (Figure 4a shows IXP counts
+from 1 to 18 with a heavy skew toward 1), what business they run
+(Section 3.2: the remote peers include transit, access and hosting
+networks), their advertised peering policy, and where they live.  The pool
+generator encodes those distributions once so that the detection and
+offload worlds draw from consistent populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.asys import AutonomousSystem
+from repro.errors import ConfigurationError
+from repro.geo.cities import City, CityDB
+from repro.rand import make_rng
+from repro.types import ASN, NetworkKind, PeeringPolicy
+
+#: Continent mix of IXP-going networks: the studied IXPs are mostly
+#: European, so the pool leans EU.
+_CONTINENT_WEIGHTS = {
+    "EU": 0.46,
+    "NA": 0.18,
+    "SA": 0.12,
+    "AS": 0.18,
+    "AF": 0.03,
+    "OC": 0.03,
+}
+
+#: Business mix, loosely following PeeringDB's composition.
+_KIND_WEIGHTS = {
+    NetworkKind.ACCESS: 0.34,
+    NetworkKind.TRANSIT: 0.16,
+    NetworkKind.CONTENT: 0.14,
+    NetworkKind.HOSTING: 0.16,
+    NetworkKind.CDN: 0.05,
+    NetworkKind.ENTERPRISE: 0.12,
+    NetworkKind.NREN: 0.03,
+}
+
+#: Peering-policy mix (Lodhi et al., "Using PeeringDB...", CCR 2014 report
+#: open policies dominating).
+_POLICY_WEIGHTS = {
+    PeeringPolicy.OPEN: 0.62,
+    PeeringPolicy.SELECTIVE: 0.28,
+    PeeringPolicy.RESTRICTIVE: 0.10,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkPoolConfig:
+    """Knobs for pool generation."""
+
+    size: int = 5600
+    seed: int = 0
+    first_asn: int = 10_000
+    #: Zipf exponent of the "joins many IXPs" propensity.
+    propensity_exponent: float = 0.66
+    #: Fraction of networks whose scope spans every continent.
+    global_scope_fraction: float = 0.04
+    #: Fraction with a two-continent scope.
+    bicontinental_fraction: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError("pool size must be positive")
+        if self.first_asn <= 0:
+            raise ConfigurationError("first ASN must be positive")
+        if not 0 <= self.global_scope_fraction <= 1:
+            raise ConfigurationError("fractions must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class PooledNetwork:
+    """One pool entry: the AS plus its IXP-joining characteristics."""
+
+    asys: AutonomousSystem
+    propensity: float
+    scope: frozenset[str]  # continent codes the network will peer in
+
+    @property
+    def asn(self) -> ASN:
+        """ASN shortcut."""
+        return self.asys.asn
+
+    @property
+    def home_city(self) -> City:
+        """Home city shortcut (pool networks always have one)."""
+        assert self.asys.home_city is not None
+        return self.asys.home_city
+
+
+@dataclass
+class NetworkPool:
+    """The generated pool, with sampling helpers for world builders."""
+
+    networks: list[PooledNetwork]
+    _by_asn: dict[ASN, PooledNetwork] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_asn:
+            self._by_asn = {n.asn: n for n in self.networks}
+
+    def __len__(self) -> int:
+        return len(self.networks)
+
+    def get(self, asn: ASN) -> PooledNetwork:
+        """Pool entry for ``asn``."""
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise ConfigurationError(f"AS{asn} not in pool") from None
+
+    def eligible_for(self, continent: str) -> list[PooledNetwork]:
+        """Networks whose scope includes ``continent``, ASN-sorted."""
+        found = [n for n in self.networks if continent in n.scope]
+        return sorted(found, key=lambda n: n.asn)
+
+    def sample_members(
+        self,
+        rng: np.random.Generator,
+        continent: str,
+        count: int,
+        exclude: set[ASN] | None = None,
+        candidates: list[PooledNetwork] | None = None,
+    ) -> list[PooledNetwork]:
+        """Draw ``count`` distinct members for an IXP on ``continent``.
+
+        Draws are propensity-weighted without replacement, so high-
+        propensity networks recur across IXPs — that recurrence *is* the
+        IXP-count distribution of Figure 4a.
+        """
+        pool = candidates if candidates is not None else self.eligible_for(continent)
+        if exclude:
+            pool = [n for n in pool if n.asn not in exclude]
+        if count > len(pool):
+            raise ConfigurationError(
+                f"cannot draw {count} members from {len(pool)} eligible networks"
+            )
+        weights = np.array([n.propensity for n in pool], dtype=float)
+        weights /= weights.sum()
+        idx = rng.choice(len(pool), size=count, replace=False, p=weights)
+        return [pool[i] for i in idx]
+
+
+def _weighted_choice(rng: np.random.Generator, table: dict) -> object:
+    keys = list(table.keys())
+    weights = np.array([table[k] for k in keys], dtype=float)
+    weights /= weights.sum()
+    return keys[int(rng.choice(len(keys), p=weights))]
+
+
+def generate_network_pool(
+    city_db: CityDB, config: NetworkPoolConfig | None = None
+) -> NetworkPool:
+    """Generate the network pool deterministically from ``config.seed``."""
+    config = config or NetworkPoolConfig()
+    rng = make_rng(config.seed)
+    continents = list(_CONTINENT_WEIGHTS)
+    continent_w = np.array([_CONTINENT_WEIGHTS[c] for c in continents])
+    continent_w /= continent_w.sum()
+
+    # Propensity is assigned by rank: shuffle ranks so ASN order carries no
+    # information, then weight rank r as (r+1)^-exponent.
+    ranks = rng.permutation(config.size)
+    networks: list[PooledNetwork] = []
+    for i in range(config.size):
+        asn = ASN(config.first_asn + i)
+        continent = str(_weighted_choice(rng, _CONTINENT_WEIGHTS))
+        city = city_db.sample(rng, 1, continent=continent)[0]
+        kind = _weighted_choice(rng, _KIND_WEIGHTS)
+        policy = _weighted_choice(rng, _POLICY_WEIGHTS)
+        propensity = float((1 + ranks[i]) ** (-config.propensity_exponent))
+        scope = _draw_scope(rng, continent, ranks[i], config, continents, continent_w)
+        asys = AutonomousSystem(
+            asn=asn,
+            name=f"{kind}-{city.name.lower().replace(' ', '')}-{asn}",
+            kind=kind,  # type: ignore[arg-type]
+            home_city=city,
+            policy=policy,  # type: ignore[arg-type]
+            address_space=_draw_address_space(rng, kind),  # type: ignore[arg-type]
+        )
+        networks.append(PooledNetwork(asys=asys, propensity=propensity, scope=scope))
+    return NetworkPool(networks=networks)
+
+
+def _draw_scope(
+    rng: np.random.Generator,
+    home_continent: str,
+    rank: int,
+    config: NetworkPoolConfig,
+    continents: list[str],
+    continent_w: np.ndarray,
+) -> frozenset[str]:
+    """Continental scope: highest-propensity networks go global."""
+    top_global = int(config.global_scope_fraction * config.size)
+    if rank < top_global:
+        return frozenset(continents)
+    if rng.random() < config.bicontinental_fraction:
+        other = continents[int(rng.choice(len(continents), p=continent_w))]
+        return frozenset({home_continent, other})
+    return frozenset({home_continent})
+
+
+def _draw_address_space(rng: np.random.Generator, kind: NetworkKind) -> int:
+    """Announced IPv4 space by business type (log-normal within type)."""
+    means = {
+        NetworkKind.ACCESS: 15.0,      # ~ a /17
+        NetworkKind.TRANSIT: 16.0,
+        NetworkKind.CONTENT: 12.0,
+        NetworkKind.HOSTING: 13.0,
+        NetworkKind.CDN: 14.0,
+        NetworkKind.ENTERPRISE: 10.0,
+        NetworkKind.NREN: 16.0,
+    }
+    log2_size = rng.normal(loc=means[kind], scale=1.5)
+    log2_size = float(np.clip(log2_size, 8.0, 22.0))
+    return int(2 ** log2_size)

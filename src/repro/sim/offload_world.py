@@ -1,0 +1,735 @@
+"""Builder for the offload world: a RedIRIS-like NREN in a ~30k-AS Internet.
+
+Reproduces the Section 4 setting:
+
+* **RedIRIS** buys transit from two tier-1s, peers with GÉANT and a few
+  major CDNs, and holds memberships at CATNIX and ESpanix;
+* **29,570 contributing networks** exchange transit traffic with RedIRIS,
+  with the double-Pareto rank profile of Figure 5a;
+* **65 Euro-IX IXPs** have memberships drawn from regional pools so the
+  big-European-trio overlap is high while Terremark shares only a few
+  dozen (global) members with them;
+* customer cones, AS paths, peering policies and address space give the
+  offload estimator everything Figures 5–10 consume.
+
+Calibration levers and what they buy:
+
+* ``tier1_only_stub_fraction`` — stubs homed exclusively to tier-1s are
+  unreachable via peering (tier-1s sit at ESpanix and are excluded), which
+  caps the maximum offload fraction like the paper's ~25–33%;
+* ``member_tier2_fraction`` — how many transit networks show up at IXPs,
+  which controls both the 12,238-network offloadable set and Figure 10's
+  drop from 2.6 B to ~1 B addresses after the first IXP;
+* the CDN rank list — places the named content analogues among the top
+  transit contributors, making Figure 6's top-30 content-heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.asys import AutonomousSystem
+from repro.bgp.cone import customer_cone
+from repro.bgp.relationships import ASGraph
+from repro.bgp.routing import ASPath, RouteComputation
+from repro.bgp.table import ReversedPathTable
+from repro.errors import ConfigurationError
+from repro.ixp.euroix import EuroIXSpec, euroix_catalog
+from repro.netflow.collector import FlowCollector
+from repro.netflow.traffic import (
+    TrafficMatrix,
+    TrafficMatrixConfig,
+    rank_profile_totals,
+    split_totals_by_kind,
+)
+from repro.rand import child_rng, make_rng, zipf_weights
+from repro.types import ASN, NetworkKind, PeeringPolicy
+
+_REGIONS = ("europe", "north_america", "latin_america", "asia", "africa")
+_STUB_REGION_WEIGHTS = (0.40, 0.20, 0.15, 0.17, 0.08)
+
+#: Names for the content/CDN giants of Figure 6 (Microsoft/Yahoo/CDN
+#: analogues).  Policies make the peer-group story work: none are open, so
+#: peer group 1 misses them; the selective ones power group 2's jump.
+_GIANTS: tuple[tuple[str, PeeringPolicy], ...] = (
+    ("macrosoft", PeeringPolicy.SELECTIVE),
+    ("yahu", PeeringPolicy.SELECTIVE),
+    ("akamight", PeeringPolicy.SELECTIVE),
+    ("goggle", PeeringPolicy.RESTRICTIVE),
+    ("limeligth", PeeringPolicy.SELECTIVE),
+    ("cachefly-like", PeeringPolicy.SELECTIVE),
+    ("netfilm", PeeringPolicy.SELECTIVE),
+    ("fastlane-cdn", PeeringPolicy.SELECTIVE),
+    ("edgecastle", PeeringPolicy.SELECTIVE),
+    ("cloudfriend", PeeringPolicy.SELECTIVE),
+    ("bookface", PeeringPolicy.RESTRICTIVE),
+    ("tweeter", PeeringPolicy.SELECTIVE),
+    ("streamworks", PeeringPolicy.SELECTIVE),
+    ("photopile", PeeringPolicy.SELECTIVE),
+    ("gamegrid", PeeringPolicy.SELECTIVE),
+    ("adnexus", PeeringPolicy.SELECTIVE),
+    ("vidvault", PeeringPolicy.SELECTIVE),
+    ("newsriver", PeeringPolicy.SELECTIVE),
+    ("mapmaker", PeeringPolicy.RESTRICTIVE),
+    ("storagebarn", PeeringPolicy.SELECTIVE),
+    ("musicmesh", PeeringPolicy.SELECTIVE),
+    ("softmirror", PeeringPolicy.SELECTIVE),
+    ("pixelpark", PeeringPolicy.SELECTIVE),
+    ("webwharf", PeeringPolicy.SELECTIVE),
+    ("datadray", PeeringPolicy.SELECTIVE),
+    ("flixfarm", PeeringPolicy.SELECTIVE),
+)
+
+#: Transit-rank slots reserved for the giants (1-based ranks in the
+#: combined in+out distribution).  Concentrated in the top ~105 so that a
+#: majority of Figure 6's top-30 offload contributors are the
+#: endpoint-dominant content networks (as in the paper), while together
+#: they hold ~14% of the transit traffic — low enough to keep the maximum
+#: offload near the paper's 25–33% once the rest of the head is pinned to
+#: unreachable eyeballs.
+_GIANT_RANKS = (
+    4, 6, 8, 10, 12, 14, 16, 18, 21, 24, 27, 30, 33, 36, 39, 42,
+    45, 48, 51, 54, 60, 67, 75, 84, 94, 105,
+)
+
+#: Regional weight of RedIRIS traffic: a Spanish NREN exchanges most of its
+#: transit traffic with European and North American networks, a meaningful
+#: share with Latin America, and little with Asia/Africa.
+_REGION_TRAFFIC_MULTIPLIER = {
+    "europe": 1.35,
+    "north_america": 1.15,
+    "latin_america": 0.85,
+    "asia": 0.45,
+    "africa": 0.25,
+}
+
+#: IXPs whose membership pools span several regions.  Terremark (Miami)
+#: hosts the South/Central-American carriers the paper highlights;
+#: CoreSite (Los Angeles) fronts trans-Pacific traffic.
+_IXP_POOL_OVERRIDES: dict[str, tuple[str, ...]] = {
+    "Terremark": ("north_america", "latin_america"),
+    "CoreSite": ("north_america", "asia"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadWorldConfig:
+    """Size and calibration knobs for the offload world."""
+
+    seed: int = 42
+    contributing_count: int = 29_570
+    tier1_count: int = 10
+    tier2_count: int = 420
+    nren_count: int = 36
+    days: int = 28
+    traffic: TrafficMatrixConfig | None = None
+    #: Stubs homed only to tier-1 providers (never offloadable).
+    tier1_only_stub_fraction: float = 0.34
+    #: Transit (tier-2) networks that appear at IXPs at all.
+    member_tier2_fraction: float = 0.55
+    #: Stubs that are IXP-goers (hosting/content/access at exchanges).
+    ixpgoer_stub_fraction: float = 0.115
+    #: Top transit ranks (outside the giants' slots) pinned onto tier-1-only
+    #: eyeballs: the traffic head a peering strategy cannot touch.
+    head_pin_count: int = 280
+    #: Target total announced IPv4 space (Figure 10's 2.6 B).
+    total_address_space: float = 2.6e9
+    #: Global mega-carriers: the biggest tier-2s, present at every IXP,
+    #: whose worldwide cones drive Figure 10's steep first-IXP drop.
+    mega_carrier_count: int = 30
+    #: Large eyeball networks that hold most of the address space.
+    big_eyeball_count: int = 120
+    #: Share of all announced space held by the big eyeballs.
+    big_eyeball_space_share: float = 0.68
+    #: Probability a big eyeball buys from a mega-carrier (else tier-1-only).
+    big_eyeball_mega_homed: float = 0.75
+
+    def __post_init__(self) -> None:
+        giants = len(_GIANTS)
+        if self.contributing_count <= self.tier2_count + giants + 200:
+            raise ConfigurationError("contributing_count too small")
+        if self.tier1_count < 2:
+            raise ConfigurationError("need at least two tier-1s for RedIRIS")
+        for fraction in (
+            self.tier1_only_stub_fraction,
+            self.member_tier2_fraction,
+            self.ixpgoer_stub_fraction,
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError("fractions must be in [0, 1]")
+
+
+@dataclass
+class OffloadWorld:
+    """The generated world plus every precomputed view the study needs."""
+
+    config: OffloadWorldConfig
+    graph: ASGraph
+    rediris: ASN
+    transit_providers: tuple[ASN, ASN]
+    tier1s: tuple[ASN, ...]
+    geant: ASN
+    nrens: tuple[ASN, ...]
+    giants: tuple[ASN, ...]
+    direct_peer_cdns: tuple[ASN, ...]
+    euroix: tuple[EuroIXSpec, ...]
+    memberships: dict[str, frozenset[ASN]]
+    contributing: list[ASN]
+    matrix: TrafficMatrix
+    inbound_paths: dict[ASN, ASPath]
+    collector: FlowCollector
+    region_of: dict[ASN, str]
+    _contrib_index: dict[ASN, int] = field(default_factory=dict)
+    _cone_cache: dict[ASN, frozenset[ASN]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._contrib_index:
+            self._contrib_index = {a: i for i, a in enumerate(self.contributing)}
+
+    # -- lookups -----------------------------------------------------------------
+
+    def contributing_index(self, asn: ASN) -> int | None:
+        """Index of ``asn`` in the contributing arrays, or None."""
+        return self._contrib_index.get(asn)
+
+    def cone(self, asn: ASN) -> frozenset[ASN]:
+        """Customer cone of ``asn`` (cached)."""
+        cached = self._cone_cache.get(asn)
+        if cached is None:
+            cached = frozenset(customer_cone(self.graph, asn))
+            self._cone_cache[asn] = cached
+        return cached
+
+    def policy_of(self, asn: ASN) -> PeeringPolicy:
+        """Published peering policy of a network."""
+        return self.graph.get(asn).policy
+
+    def kind_of(self, asn: ASN) -> NetworkKind:
+        """Business type of a network."""
+        return self.graph.get(asn).kind
+
+    def contributing_mask_for_members(self, members: frozenset[ASN]) -> np.ndarray:
+        """Boolean mask over contributing networks offloadable via ``members``.
+
+        A contributing network is offloadable when it belongs to a member's
+        customer cone (members themselves included).
+        """
+        mask = np.zeros(len(self.contributing), dtype=bool)
+        for member in members:
+            for asn in self.cone(member):
+                idx = self._contrib_index.get(asn)
+                if idx is not None:
+                    mask[idx] = True
+        return mask
+
+    def all_asns(self) -> list[ASN]:
+        """Every ASN in the world, sorted."""
+        return self.graph.asns()
+
+    def address_space_of(self, asns) -> float:
+        """Total announced address space of a set of ASes."""
+        return float(sum(self.graph.get(a).address_space for a in asns))
+
+    def total_address_space(self) -> float:
+        """Announced space of the whole world (Figure 10's 2.6 B)."""
+        return self.address_space_of(self.graph.asns())
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_offload_world(config: OffloadWorldConfig | None = None) -> OffloadWorld:
+    """Generate the offload world deterministically from ``config.seed``."""
+    config = config or OffloadWorldConfig()
+    builder = _OffloadBuilder(config)
+    return builder.build()
+
+
+class _OffloadBuilder:
+    def __init__(self, config: OffloadWorldConfig) -> None:
+        self.config = config
+        self.graph = ASGraph()
+        self.rng = make_rng(config.seed)
+        self.region_of: dict[ASN, str] = {}
+        self.ixp_propensity: dict[ASN, float] = {}
+        self.tier1_only_stubs: list[ASN] = []
+        self.tier1_only_stubs_set: set[ASN] = set()
+        self.mega_carriers: list[ASN] = []
+        self.big_eyeballs: list[ASN] = []
+
+    # -- AS creation helpers ------------------------------------------------------
+
+    def _add(
+        self,
+        asn: int,
+        name: str,
+        kind: NetworkKind,
+        policy: PeeringPolicy,
+        region: str,
+        address_space: int = 256,
+    ) -> ASN:
+        value = ASN(asn)
+        self.graph.add_as(
+            AutonomousSystem(
+                asn=value,
+                name=name,
+                kind=kind,
+                policy=policy,
+                address_space=address_space,
+            )
+        )
+        self.region_of[value] = region
+        return value
+
+    # -- build ------------------------------------------------------------------------
+
+    def build(self) -> OffloadWorld:
+        cfg = self.config
+        rediris = self._add(
+            766, "rediris", NetworkKind.NREN, PeeringPolicy.SELECTIVE, "europe",
+            2 ** 20,
+        )
+        tier1s = self._build_tier1s()
+        t1a, t1b = tier1s[0], tier1s[1]
+        self.graph.add_customer_provider(rediris, t1a)
+        self.graph.add_customer_provider(rediris, t1b)
+
+        geant, nrens = self._build_geant(rediris, tier1s)
+        giants = self._build_giants(tier1s)
+        direct_cdns = self._build_direct_peer_cdns(rediris, tier1s)
+        tier2s = self._build_tier2s(tier1s)
+        stubs = self._build_stubs(tier1s, tier2s)
+
+        contributing = self._contributing_list(giants, tier2s, stubs)
+        matrix = self._build_traffic(contributing)
+        memberships = self._build_memberships(
+            rediris, tier1s, giants, tier2s, stubs
+        )
+        self._scale_address_space()
+
+        computation = RouteComputation(self.graph)
+        inbound_paths = computation.best_paths_to(rediris)
+        table = ReversedPathTable(self.graph, rediris, inbound_paths)
+        collector = FlowCollector(
+            table=table,
+            matrix=matrix,
+            counterparties=contributing,
+            days=cfg.days,
+        )
+        return OffloadWorld(
+            config=cfg,
+            graph=self.graph,
+            rediris=rediris,
+            transit_providers=(t1a, t1b),
+            tier1s=tuple(tier1s),
+            geant=geant,
+            nrens=tuple(nrens),
+            giants=tuple(giants),
+            direct_peer_cdns=tuple(direct_cdns),
+            euroix=euroix_catalog(),
+            memberships=memberships,
+            contributing=contributing,
+            matrix=matrix,
+            inbound_paths=inbound_paths,
+            collector=collector,
+            region_of=self.region_of,
+        )
+
+    # -- tiers ------------------------------------------------------------------------
+
+    def _build_tier1s(self) -> list[ASN]:
+        tier1s = [
+            self._add(
+                101 + i,
+                f"tier1-{i}",
+                NetworkKind.TIER1,
+                PeeringPolicy.RESTRICTIVE,
+                "north_america" if i % 2 else "europe",
+                2 ** 22,
+            )
+            for i in range(self.config.tier1_count)
+        ]
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1:]:
+                self.graph.add_peering(a, b)
+        return tier1s
+
+    def _build_geant(self, rediris: ASN, tier1s: list[ASN]):
+        geant = self._add(
+            900, "geant-like", NetworkKind.NREN, PeeringPolicy.SELECTIVE,
+            "europe", 2 ** 18,
+        )
+        self.graph.add_peering(rediris, geant)
+        self.graph.add_peering(geant, tier1s[2])
+        nrens = []
+        for i in range(self.config.nren_count):
+            nren = self._add(
+                901 + i, f"nren-{i}", NetworkKind.NREN,
+                PeeringPolicy.SELECTIVE, "europe", 2 ** 17,
+            )
+            self.graph.add_customer_provider(nren, geant)
+            nrens.append(nren)
+        return geant, nrens
+
+    def _build_giants(self, tier1s: list[ASN]) -> list[ASN]:
+        giants = []
+        for i, (name, policy) in enumerate(_GIANTS):
+            giant = self._add(
+                2001 + i, name, NetworkKind.CDN if i % 2 else NetworkKind.CONTENT,
+                policy, "north_america", 2 ** 19,
+            )
+            providers = self.rng.choice(len(tier1s), size=2, replace=False)
+            for p in providers:
+                self.graph.add_customer_provider(giant, tier1s[int(p)])
+            self.ixp_propensity[giant] = 50.0  # giants are at every big IXP
+            giants.append(giant)
+        return giants
+
+    def _build_direct_peer_cdns(self, rediris: ASN, tier1s: list[ASN]) -> list[ASN]:
+        """CDNs RedIRIS already peers with — their traffic is not transit."""
+        cdns = []
+        for i in range(6):
+            cdn = self._add(
+                2101 + i, f"peered-cdn-{i}", NetworkKind.CDN,
+                PeeringPolicy.OPEN, "europe", 2 ** 17,
+            )
+            self.graph.add_customer_provider(cdn, tier1s[i % len(tier1s)])
+            self.graph.add_peering(rediris, cdn)
+            cdns.append(cdn)
+        return cdns
+
+    def _build_tier2s(self, tier1s: list[ASN]) -> list[ASN]:
+        cfg = self.config
+        policies = (
+            [PeeringPolicy.OPEN] * 62 + [PeeringPolicy.SELECTIVE] * 26
+            + [PeeringPolicy.RESTRICTIVE] * 12
+        )
+        tier2s = []
+        member_cut = int(cfg.member_tier2_fraction * cfg.tier2_count)
+        for i in range(cfg.tier2_count):
+            region = _REGIONS[int(self.rng.choice(5, p=np.array(_STUB_REGION_WEIGHTS)))]
+            if i < cfg.mega_carrier_count:
+                # Large carriers peer selectively or restrictively; none of
+                # them shows up behind an open-policy route server.
+                policy = (
+                    PeeringPolicy.SELECTIVE
+                    if i % 3
+                    else PeeringPolicy.RESTRICTIVE
+                )
+            else:
+                policy = policies[int(self.rng.integers(0, len(policies)))]
+            tier2 = self._add(
+                3001 + i, f"transit-{region}-{i}", NetworkKind.TRANSIT,
+                policy, region, 2 ** 16,
+            )
+            count = 1 + int(self.rng.random() < 0.65) + int(self.rng.random() < 0.2)
+            uplinks = self.rng.choice(len(tier1s), size=count, replace=False)
+            for u in uplinks:
+                self.graph.add_customer_provider(tier2, tier1s[int(u)])
+            if i < cfg.mega_carrier_count:
+                # Global mega-carriers: everywhere, with worldwide cones.
+                self.ixp_propensity[tier2] = 45.0
+                self.mega_carriers.append(tier2)
+            elif i < member_cut:
+                # Transit networks reliably show up at their region's
+                # exchanges (floor), and the biggest ones dominate the draw.
+                self.ixp_propensity[tier2] = 8.0 + float((1 + i) ** -0.7) * 30.0
+            tier2s.append(tier2)
+        return tier2s
+
+    def _build_stubs(self, tier1s: list[ASN], tier2s: list[ASN]) -> list[ASN]:
+        cfg = self.config
+        stub_count = (
+            cfg.contributing_count - len(_GIANTS) - cfg.tier2_count
+        )
+        kinds = (
+            [NetworkKind.ACCESS] * 40 + [NetworkKind.HOSTING] * 18
+            + [NetworkKind.CONTENT] * 14 + [NetworkKind.ENTERPRISE] * 22
+            + [NetworkKind.CDN] * 2 + [NetworkKind.TRANSIT] * 4
+        )
+        region_weights = np.array(_STUB_REGION_WEIGHTS)
+        # Pre-draw arrays for speed: 29k python Device-free AS creations.
+        regions = self.rng.choice(5, size=stub_count, p=region_weights)
+        kind_idx = self.rng.integers(0, len(kinds), size=stub_count)
+        tier1_only = self.rng.random(stub_count) < cfg.tier1_only_stub_fraction
+        ixpgoer = self.rng.random(stub_count) < cfg.ixpgoer_stub_fraction
+        policy_draw = self.rng.random(stub_count)
+        big_eyeball_slots = set(
+            int(i)
+            for i in self.rng.choice(
+                stub_count, size=min(cfg.big_eyeball_count, stub_count),
+                replace=False,
+            )
+        )
+        # Group tier-2s by region for affine homing.
+        tier2_by_region: dict[str, list[ASN]] = {r: [] for r in _REGIONS}
+        for t in tier2s:
+            tier2_by_region[self.region_of[t]].append(t)
+        stubs = []
+        for i in range(stub_count):
+            region = _REGIONS[int(regions[i])]
+            big_eyeball = i in big_eyeball_slots
+            kind = NetworkKind.ACCESS if big_eyeball else kinds[int(kind_idx[i])]
+            if policy_draw[i] < 0.62:
+                policy = PeeringPolicy.OPEN
+            elif policy_draw[i] < 0.90:
+                policy = PeeringPolicy.SELECTIVE
+            else:
+                policy = PeeringPolicy.RESTRICTIVE
+            stub = self._add(
+                10_001 + i, f"stub-{region}-{i}", kind, policy, region,
+            )
+            if big_eyeball:
+                self._home_big_eyeball(stub, tier1s)
+                self.graph.get(stub).tags.add("big-eyeball")
+                self.big_eyeballs.append(stub)
+            else:
+                self._home_stub(
+                    stub, region, bool(tier1_only[i]), tier1s, tier2_by_region
+                )
+                if tier1_only[i]:
+                    self.tier1_only_stubs.append(stub)
+                elif ixpgoer[i]:
+                    self.ixp_propensity[stub] = float(self.rng.uniform(0.2, 3.0))
+            stubs.append(stub)
+        self.tier1_only_stubs_set = set(self.tier1_only_stubs)
+        return stubs
+
+    def _home_big_eyeball(self, stub, tier1s) -> None:
+        """Big eyeballs multihome to tier-1s, often plus one mega-carrier."""
+        picks = self.rng.choice(len(tier1s), size=2, replace=False)
+        for p in picks:
+            self.graph.add_customer_provider(stub, tier1s[int(p)])
+        homed_via_mega = (
+            self.mega_carriers
+            and self.rng.random() < self.config.big_eyeball_mega_homed
+        )
+        if homed_via_mega:
+            mega = self.mega_carriers[
+                int(self.rng.integers(0, len(self.mega_carriers)))
+            ]
+            self.graph.add_customer_provider(stub, mega)
+
+    def _home_stub(self, stub, region, tier1_only, tier1s, tier2_by_region) -> None:
+        provider_count = 1 + int(self.rng.random() < 0.45) + int(self.rng.random() < 0.12)
+        if tier1_only:
+            picks = self.rng.choice(len(tier1s), size=min(provider_count, 3), replace=False)
+            for p in picks:
+                self.graph.add_customer_provider(stub, tier1s[int(p)])
+            return
+        local = tier2_by_region[region]
+        draw = self.rng.random()
+        for _ in range(provider_count):
+            if draw < 0.15 and self.mega_carriers:
+                pool = self.mega_carriers
+            elif draw < 0.85 and local:
+                pool = local
+            else:
+                pool = [t for ts in tier2_by_region.values() for t in ts]
+            provider = pool[int(self.rng.integers(0, len(pool)))]
+            if self.graph.relationship(stub, provider) is None:
+                self.graph.add_customer_provider(stub, provider)
+
+    # -- traffic -----------------------------------------------------------------------
+
+    def _contributing_list(self, giants, tier2s, stubs) -> list[ASN]:
+        contributing = [*giants, *tier2s, *stubs]
+        if len(contributing) != self.config.contributing_count:
+            raise ConfigurationError(
+                f"contributing count {len(contributing)} != "
+                f"{self.config.contributing_count}"
+            )
+        return contributing
+
+    def _build_traffic(self, contributing: list[ASN]) -> TrafficMatrix:
+        """Traffic calibrated to Figures 5a/6.
+
+        Pipeline: double-Pareto totals → regional bias (Spanish NREN
+        traffic is EU/NA-heavy) → pin the content giants onto their
+        reserved top ranks → pin the rest of the head onto tier-1-only
+        eyeballs (the never-offloadable mass) → split in/out by business
+        type and normalise the direction totals.
+        """
+        cfg = self.config
+        traffic_cfg = cfg.traffic or TrafficMatrixConfig(seed=cfg.seed)
+        rng = child_rng(cfg.seed, "traffic")
+        count = len(contributing)
+        totals = rank_profile_totals(count, traffic_cfg, rng)
+        totals = totals[rng.permutation(count)]
+        multipliers = np.array(
+            [_REGION_TRAFFIC_MULTIPLIER[self.region_of[a]] for a in contributing]
+        )
+        totals = totals * multipliers
+
+        self._pin_giants(totals)
+        self._pin_head_to_tier1_only(totals, contributing, rng)
+
+        kinds = [self.graph.get(a).kind for a in contributing]
+        return split_totals_by_kind(totals, kinds, traffic_cfg, rng)
+
+    def _pin_giants(self, totals: np.ndarray) -> None:
+        """Swap the giants (head of `contributing`) onto reserved ranks."""
+        for giant_idx, rank in enumerate(_GIANT_RANKS[: len(_GIANTS)]):
+            order = np.argsort(totals)[::-1]
+            target_idx = int(order[rank - 1])
+            if target_idx == giant_idx:
+                continue
+            totals[giant_idx], totals[target_idx] = (
+                totals[target_idx],
+                totals[giant_idx],
+            )
+
+    def _pin_head_to_tier1_only(
+        self, totals: np.ndarray, contributing: list[ASN], rng
+    ) -> None:
+        """Seat tier-1-only eyeballs on the non-giant head ranks.
+
+        The paper's maximum offload sits near 25–33% because the largest
+        transit counterparties are broadband/content networks that peer
+        nowhere RedIRIS can reach; pinning them to tier-1-only stubs (whose
+        cones no candidate peer carries) reproduces that ceiling.
+        """
+        cfg = self.config
+        if not self.tier1_only_stubs:
+            return
+        index_of = {a: i for i, a in enumerate(contributing)}
+        giant_count = len(_GIANTS)
+        pool = [index_of[a] for a in self.tier1_only_stubs]
+        # Weight by region (EU/NA eyeballs carry the head) and by business
+        # type: content-ish kinds keep the unreachable head inbound-heavy,
+        # so the *offloadable* remainder is outbound-tilted as in the paper
+        # (27% inbound vs 33% outbound at 65 IXPs).
+        kind_weight = {
+            NetworkKind.CONTENT: 4.0,
+            NetworkKind.CDN: 4.0,
+            NetworkKind.HOSTING: 2.5,
+            NetworkKind.ENTERPRISE: 1.5,
+            NetworkKind.TRANSIT: 1.0,
+            NetworkKind.ACCESS: 0.35,
+            NetworkKind.NREN: 1.0,
+            NetworkKind.TIER1: 1.0,
+        }
+        weights = np.array(
+            [
+                _REGION_TRAFFIC_MULTIPLIER[self.region_of[contributing[i]]]
+                * kind_weight[self.graph.get(contributing[i]).kind]
+                for i in pool
+            ]
+        )
+        weights /= weights.sum()
+        picks = rng.choice(len(pool), size=min(cfg.head_pin_count, len(pool)),
+                           replace=False, p=weights)
+        chosen = iter(pool[int(i)] for i in picks)
+        order = np.argsort(totals)[::-1]
+        giant_rank_set = set(_GIANT_RANKS[:giant_count])
+        pinned: set[int] = set()
+        for rank in range(1, cfg.head_pin_count + 1):
+            if rank in giant_rank_set:
+                continue
+            holder = int(order[rank - 1])
+            if holder < giant_count or holder in pinned:
+                continue  # a giant or an already-pinned eyeball holds it
+            if contributing[holder] in self.tier1_only_stubs_set:
+                pinned.add(holder)
+                continue  # already a tier-1-only network
+            try:
+                eyeball = next(chosen)
+            except StopIteration:
+                break
+            while eyeball == holder or eyeball in pinned:
+                try:
+                    eyeball = next(chosen)
+                except StopIteration:
+                    return
+            totals[holder], totals[eyeball] = totals[eyeball], totals[holder]
+            pinned.add(eyeball)
+
+    # -- memberships ------------------------------------------------------------------------
+
+    def _build_memberships(
+        self, rediris, tier1s, giants, tier2s, stubs
+    ) -> dict[str, frozenset[ASN]]:
+        """Draw the 65 IXPs' member lists from regional pools."""
+        goers = sorted(self.ixp_propensity)
+        by_region: dict[str, list[ASN]] = {r: [] for r in _REGIONS}
+        for asn in goers:
+            by_region[self.region_of[asn]].append(asn)
+        globals_ = [*giants, *self.mega_carriers] + [
+            t
+            for t in tier2s
+            if t not in self.mega_carriers
+            and t in self.ixp_propensity
+            and self.rng.random() < 0.18
+        ]
+        memberships: dict[str, frozenset[ASN]] = {}
+        # RedIRIS's two home IXPs are small local exchanges: their members
+        # come from the regional pool only.  Were the global carriers seated
+        # there, the exclusion rules would sweep every mega-carrier out of
+        # the candidate set — which is neither realistic nor the paper's
+        # situation.
+        local_only = {"CATNIX", "ESpanix"}
+        for spec in euroix_catalog():
+            rng = child_rng(self.config.seed, "membership", spec.acronym)
+            regions = _IXP_POOL_OVERRIDES.get(spec.acronym, (spec.region,))
+            local_pool = [a for r in regions for a in by_region[r]]
+            if spec.acronym in local_only:
+                pool = sorted(set(local_pool))
+            else:
+                pool = sorted(set(local_pool) | set(globals_))
+            weights = np.array(
+                [self.ixp_propensity.get(a, 1.0) for a in pool], dtype=float
+            )
+            weights /= weights.sum()
+            size = min(spec.member_count, len(pool))
+            picks = rng.choice(len(pool), size=size, replace=False, p=weights)
+            members = {pool[int(i)] for i in picks}
+            memberships[spec.acronym] = frozenset(members)
+        # RedIRIS's own IXPs: ESpanix hosts every tier-1 (the paper's reason
+        # to exclude them), CATNIX is the small Catalan exchange.
+        memberships["ESpanix"] = frozenset(
+            set(memberships.get("ESpanix", frozenset())) | set(tier1s) | {rediris}
+        )
+        memberships["CATNIX"] = frozenset(
+            set(memberships.get("CATNIX", frozenset())) | {rediris}
+        )
+        return memberships
+
+    # -- address space -------------------------------------------------------------------------
+
+    def _scale_address_space(self) -> None:
+        """Scale announced space so the world totals ~2.6 B addresses.
+
+        Big eyeballs end up holding ``big_eyeball_space_share`` of all
+        space — the real IPv4 Internet concentrates its addresses in a few
+        hundred broadband networks, and Figure 10's steep first-IXP drop
+        depends on that concentration.
+        """
+        cfg = self.config
+        ases = self.graph.ases()
+        big = {asn for asn in self.big_eyeballs}
+        for asys in ases:
+            if asys.asn in big:
+                continue
+            if asys.kind is NetworkKind.ACCESS:
+                asys.address_space = int(asys.address_space * self.rng.uniform(10, 80))
+            elif asys.kind in (NetworkKind.TIER1, NetworkKind.TRANSIT):
+                asys.address_space = int(asys.address_space * self.rng.uniform(4, 40))
+        other_total = sum(a.address_space for a in ases if a.asn not in big)
+        big_total_target = (
+            cfg.big_eyeball_space_share
+            / (1.0 - cfg.big_eyeball_space_share)
+            * other_total
+        )
+        if big:
+            per_eyeball_weight = self.rng.lognormal(0.0, 0.8, size=len(big))
+            per_eyeball_weight /= per_eyeball_weight.sum()
+            for asys_asn, weight in zip(sorted(big), per_eyeball_weight):
+                self.graph.get(asys_asn).address_space = max(
+                    1, int(big_total_target * float(weight))
+                )
+        total = sum(a.address_space for a in ases)
+        scale = cfg.total_address_space / total
+        for asys in ases:
+            asys.address_space = max(1, int(asys.address_space * scale))

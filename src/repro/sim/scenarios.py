@@ -1,0 +1,72 @@
+"""Named, ready-made scenarios.
+
+Most users want one of a handful of standard setups; these constructors
+freeze their configurations (and document what each is for) so scripts,
+tests and benches share identical worlds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ixp.catalog import paper_catalog
+from repro.sim.detection_world import (
+    DetectionWorld,
+    DetectionWorldConfig,
+    build_detection_world,
+)
+from repro.sim.offload_world import (
+    OffloadWorld,
+    OffloadWorldConfig,
+    build_offload_world,
+)
+
+#: The three-IXP subset used by fast tests and demos: one dual-LG
+#: multi-site IXP (Netnod), the partner-heavy TOP-IX, and the
+#: anchor-bearing TorIX.
+MINI_IXPS = ("Netnod", "TOP-IX", "TorIX")
+
+
+def paper22(seed: int = 42) -> DetectionWorld:
+    """The full Section 3 world: all 22 studied IXPs, paper calibration."""
+    return build_detection_world(DetectionWorldConfig(seed=seed))
+
+
+def mini3(seed: int = 11) -> DetectionWorld:
+    """A three-IXP world (~350 interfaces) that builds in under a second."""
+    specs = tuple(s for s in paper_catalog() if s.acronym in MINI_IXPS)
+    return build_detection_world(DetectionWorldConfig(seed=seed, specs=specs))
+
+
+def single_ixp(acronym: str, seed: int = 11) -> DetectionWorld:
+    """A world with exactly one of the 22 studied IXPs."""
+    specs = tuple(s for s in paper_catalog() if s.acronym == acronym)
+    if not specs:
+        raise ConfigurationError(f"unknown studied IXP {acronym!r}")
+    return build_detection_world(DetectionWorldConfig(seed=seed, specs=specs))
+
+
+def rediris(seed: int = 42) -> OffloadWorld:
+    """The full Section 4 world: 29,570 contributing networks, 65 IXPs."""
+    return build_offload_world(OffloadWorldConfig(seed=seed))
+
+
+def rediris_small(seed: int = 5) -> OffloadWorld:
+    """A ~3k-AS offload world for fast experimentation.
+
+    All structural features of the full world are present (tier-1s, megas,
+    big eyeballs, giants, regional memberships); only the population is
+    scaled down, so percentages move by a few points relative to the full
+    scenario.
+    """
+    return build_offload_world(
+        OffloadWorldConfig(
+            seed=seed,
+            contributing_count=3000,
+            tier2_count=80,
+            nren_count=8,
+            tier1_count=6,
+            mega_carrier_count=8,
+            big_eyeball_count=30,
+            head_pin_count=40,
+        )
+    )

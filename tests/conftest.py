@@ -1,0 +1,69 @@
+"""Shared fixtures: small worlds reused across the test session.
+
+World construction and campaigns are deterministic, so session scope is
+safe: tests must treat these as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import CampaignConfig, ProbeCampaign
+from repro.core.offload import OffloadEstimator, PeerGroups
+from repro.ixp.catalog import paper_catalog
+from repro.sim import (
+    DetectionWorldConfig,
+    OffloadWorldConfig,
+    build_detection_world,
+    build_offload_world,
+)
+
+#: IXPs for the mini detection world: one dual-LG multi-site (Netnod), one
+#: with heavy remote peering (TOP-IX), one anchor-bearing (TorIX).
+MINI_IXPS = ("Netnod", "TOP-IX", "TorIX")
+
+
+@pytest.fixture(scope="session")
+def mini_specs():
+    return tuple(s for s in paper_catalog() if s.acronym in MINI_IXPS)
+
+
+@pytest.fixture(scope="session")
+def mini_world(mini_specs):
+    """A 3-IXP detection world (~350 candidate interfaces)."""
+    return build_detection_world(DetectionWorldConfig(seed=11, specs=mini_specs))
+
+
+@pytest.fixture(scope="session")
+def mini_result(mini_world):
+    """Campaign result over the mini world."""
+    return ProbeCampaign(mini_world, CampaignConfig(seed=13)).run()
+
+
+def small_offload_config(seed: int = 5) -> OffloadWorldConfig:
+    """A ~3k-AS offload world that builds in well under a second."""
+    return OffloadWorldConfig(
+        seed=seed,
+        contributing_count=3000,
+        tier2_count=80,
+        nren_count=8,
+        tier1_count=6,
+        mega_carrier_count=8,
+        big_eyeball_count=30,
+        head_pin_count=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_offload_world():
+    return build_offload_world(small_offload_config())
+
+
+@pytest.fixture(scope="session")
+def small_groups(small_offload_world):
+    return PeerGroups.build(small_offload_world)
+
+
+@pytest.fixture(scope="session")
+def small_estimator(small_offload_world, small_groups):
+    return OffloadEstimator(small_offload_world, small_groups)

@@ -1,0 +1,80 @@
+"""Statistics helpers and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import cdf_at, ecdf, quantiles, rank_series
+from repro.analysis.tables import render_table
+from repro.errors import AnalysisError
+
+
+class TestECDF:
+    def test_basic(self):
+        x, f = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ecdf(np.array([]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=200))
+    def test_monotone_and_ends_at_one(self, values):
+        x, f = ecdf(np.array(values))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) >= 0)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_cdf_at(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        at = cdf_at(values, np.array([0.5, 2.0, 10.0]))
+        assert list(at) == pytest.approx([0.0, 0.5, 1.0])
+
+
+class TestQuantilesAndRanks:
+    def test_quantiles(self):
+        values = np.arange(101, dtype=float)
+        assert quantiles(values, [50.0]) == [50.0]
+
+    def test_rank_series(self):
+        ranks, ordered = rank_series(np.array([5.0, 1.0, 3.0]))
+        assert list(ranks) == [1, 2, 3]
+        assert list(ordered) == [5.0, 3.0, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_series(np.array([]))
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["IXP", "count"],
+            [["AMS-IX", 665], ["TIE", 54]],
+            title="Analyzed",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Analyzed"
+        assert "IXP" in lines[1] and "count" in lines[1]
+        assert any("AMS-IX" in line and "665" in line for line in lines)
+
+    def test_numeric_right_aligned(self):
+        out = render_table(["n"], [[5], [123]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("123")
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.123456], [12345.6]])
+        assert "0.12" in out
+        assert "1.23e+04" in out
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

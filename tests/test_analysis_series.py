@@ -1,0 +1,82 @@
+"""Time-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import (
+    daily_peaks,
+    marginal_gains,
+    moving_average,
+    peak_coincidence,
+    relative_reduction,
+)
+from repro.errors import AnalysisError
+from repro.netflow.timeseries import DiurnalProfile
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        series = np.array([1.0, 3.0, 2.0])
+        assert np.array_equal(moving_average(series, 1), series)
+
+    def test_constant_series_unchanged(self):
+        series = np.full(50, 4.2)
+        assert np.allclose(moving_average(series, 7), 4.2)
+
+    def test_length_preserved(self):
+        series = np.random.default_rng(0).random(100)
+        assert moving_average(series, 12).shape == series.shape
+
+    def test_smooths_variance(self):
+        rng = np.random.default_rng(1)
+        series = rng.random(500)
+        smoothed = moving_average(series, 20)
+        assert smoothed.std() < series.std()
+
+    def test_invalid_window(self):
+        with pytest.raises(AnalysisError):
+            moving_average(np.ones(5), 0)
+
+
+class TestPeaks:
+    def test_daily_peaks_positions(self):
+        profile = DiurnalProfile(peak_hour=13.0, noise_sigma=0.0)
+        series = profile.series(days=7, seed=0)
+        peaks = daily_peaks(series)
+        assert peaks.shape == (7,)
+        hours = peaks * 5 / 60
+        assert np.all((hours > 10) & (hours < 16))
+
+    def test_peak_coincidence_same_profile(self):
+        profile = DiurnalProfile(peak_hour=13.0, noise_sigma=0.02)
+        a = 5.0 * profile.series(days=14, seed=1)
+        b = 2.0 * profile.series(days=14, seed=2)
+        # The cosine profile is flat near its top, so per-bin noise moves
+        # the argmax by an hour or two; 2.5 h tolerance captures "same
+        # daily peak" while opposite profiles (12 h apart) stay at zero.
+        assert peak_coincidence(a, b, tolerance_bins=30) > 0.9
+
+    def test_peak_coincidence_opposite_profiles(self):
+        day = DiurnalProfile(peak_hour=13.0, noise_sigma=0.0)
+        night = DiurnalProfile(peak_hour=1.0, noise_sigma=0.0)
+        a = day.series(days=14, seed=0)
+        b = night.series(days=14, seed=0)
+        assert peak_coincidence(a, b) < 0.2
+
+    def test_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            daily_peaks(np.ones(100))
+
+
+class TestReductions:
+    def test_relative_reduction(self):
+        out = relative_reduction(np.array([8.0, 6.0, 4.0]))
+        assert list(out) == [1.0, 0.75, 0.5]
+
+    def test_marginal_gains(self):
+        out = marginal_gains(np.array([8.0, 6.0, 5.5]))
+        assert list(out) == pytest.approx([2.0, 0.5])
+
+    def test_bad_baseline(self):
+        with pytest.raises(AnalysisError):
+            relative_reduction(np.array([0.0, 1.0]))

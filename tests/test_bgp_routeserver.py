@@ -1,0 +1,52 @@
+"""IXP route servers."""
+
+import pytest
+
+from repro.bgp.asys import AutonomousSystem
+from repro.bgp.routeserver import RouteServer, open_policy_route_server
+from repro.errors import TopologyError
+from repro.types import ASN, PeeringPolicy
+
+
+def member(asn: int, policy: PeeringPolicy) -> AutonomousSystem:
+    return AutonomousSystem(asn=ASN(asn), name=f"as{asn}", policy=policy)
+
+
+class TestRouteServer:
+    def test_connect_and_contains(self):
+        rs = RouteServer(ixp_name="X")
+        rs.connect(member(1, PeeringPolicy.OPEN))
+        assert ASN(1) in rs
+        assert ASN(2) not in rs
+
+    def test_duplicate_rejected(self):
+        rs = RouteServer(ixp_name="X")
+        rs.connect(member(1, PeeringPolicy.OPEN))
+        with pytest.raises(TopologyError):
+            rs.connect(member(1, PeeringPolicy.OPEN))
+
+    def test_multilateral_sessions_all_pairs(self):
+        rs = RouteServer(ixp_name="X")
+        for i in (3, 1, 2):
+            rs.connect(member(i, PeeringPolicy.OPEN))
+        assert rs.multilateral_sessions() == [(1, 2), (1, 3), (2, 3)]
+
+    def test_would_peer(self):
+        rs = RouteServer(ixp_name="X")
+        rs.connect(member(1, PeeringPolicy.OPEN))
+        rs.connect(member(2, PeeringPolicy.OPEN))
+        assert rs.would_peer(ASN(1), ASN(2))
+        assert not rs.would_peer(ASN(1), ASN(1))
+        assert not rs.would_peer(ASN(1), ASN(9))
+
+
+class TestOpenPolicyServer:
+    def test_filters_to_open(self):
+        members = [
+            member(1, PeeringPolicy.OPEN),
+            member(2, PeeringPolicy.SELECTIVE),
+            member(3, PeeringPolicy.RESTRICTIVE),
+            member(4, PeeringPolicy.OPEN),
+        ]
+        rs = open_policy_route_server("X", members)
+        assert [m.asn for m in rs.participants()] == [1, 4]

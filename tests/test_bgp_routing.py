@@ -1,0 +1,203 @@
+"""Gao–Rexford route computation: preferences, exports, valley-freeness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.asys import AutonomousSystem
+from repro.bgp.relationships import ASGraph, Relationship
+from repro.bgp.routing import ASPath, RouteComputation, RouteKind
+from repro.errors import RoutingError
+from repro.types import ASN
+
+
+def build_graph(n: int) -> ASGraph:
+    g = ASGraph()
+    for i in range(1, n + 1):
+        g.add_as(AutonomousSystem(asn=ASN(i), name=f"as{i}"))
+    return g
+
+
+@pytest.fixture
+def clique_world():
+    """Two tier-1s (1, 2) peering; 3, 4 customers of 1; 5, 6 customers of 2;
+    7 customer of 3 (deep stub)."""
+    g = build_graph(7)
+    g.add_peering(ASN(1), ASN(2))
+    g.add_customer_provider(ASN(3), ASN(1))
+    g.add_customer_provider(ASN(4), ASN(1))
+    g.add_customer_provider(ASN(5), ASN(2))
+    g.add_customer_provider(ASN(6), ASN(2))
+    g.add_customer_provider(ASN(7), ASN(3))
+    return g
+
+
+class TestASPath:
+    def test_properties(self):
+        p = ASPath((ASN(5), ASN(2), ASN(1)), RouteKind.PROVIDER)
+        assert p.source == 5
+        assert p.destination == 1
+        assert p.next_hop == 2
+        assert p.length == 2
+        assert p.intermediaries() == (2,)
+
+    def test_loop_rejected(self):
+        with pytest.raises(RoutingError):
+            ASPath((ASN(1), ASN(2), ASN(1)), RouteKind.PEER)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            ASPath((), RouteKind.ORIGIN)
+
+    def test_origin_next_hop_is_self(self):
+        p = ASPath((ASN(9),), RouteKind.ORIGIN)
+        assert p.next_hop == 9
+        assert p.length == 0
+
+
+class TestRouteComputation:
+    def test_origin_route(self, clique_world):
+        rc = RouteComputation(clique_world)
+        paths = rc.best_paths_to(ASN(1))
+        assert paths[ASN(1)].kind is RouteKind.ORIGIN
+
+    def test_customer_route_up_the_chain(self, clique_world):
+        rc = RouteComputation(clique_world)
+        # 7 -> 3 -> 1: AS1 learns the route to 7 from its customer 3.
+        paths = rc.best_paths_to(ASN(7))
+        assert paths[ASN(1)].asns == (1, 3, 7)
+        assert paths[ASN(1)].kind is RouteKind.CUSTOMER
+
+    def test_peer_route_single_hop(self, clique_world):
+        rc = RouteComputation(clique_world)
+        paths = rc.best_paths_to(ASN(7))
+        # Tier-1 2 learns 7 via its peer 1 (customer route of 1).
+        assert paths[ASN(2)].asns == (2, 1, 3, 7)
+        assert paths[ASN(2)].kind is RouteKind.PEER
+
+    def test_provider_route_cascades_down(self, clique_world):
+        rc = RouteComputation(clique_world)
+        paths = rc.best_paths_to(ASN(7))
+        # 5 reaches 7 through its provider 2, across the peering.
+        assert paths[ASN(5)].asns == (5, 2, 1, 3, 7)
+        assert paths[ASN(5)].kind is RouteKind.PROVIDER
+
+    def test_valley_free_export_blocks_peer_to_peer_transit(self):
+        """A route learned from one peer must not be exported to another."""
+        g = build_graph(3)
+        g.add_peering(ASN(1), ASN(2))
+        g.add_peering(ASN(2), ASN(3))
+        rc = RouteComputation(g)
+        paths = rc.best_paths_to(ASN(1))
+        assert ASN(2) in paths       # direct peer: reachable
+        assert ASN(3) not in paths   # would need peer->peer export
+
+    def test_customer_preferred_over_peer(self):
+        """An AS with both a customer and a peer route picks the customer one."""
+        g = build_graph(4)
+        # dest 4 is customer of 3; 3 is customer of 1; 1 peers with... build:
+        # 1 has customer 2; 2 has customer 4. 1 peers with 3; 3 has customer 4.
+        g.add_customer_provider(ASN(2), ASN(1))
+        g.add_customer_provider(ASN(4), ASN(2))
+        g.add_peering(ASN(1), ASN(3))
+        g.add_customer_provider(ASN(4), ASN(3))
+        rc = RouteComputation(g)
+        paths = rc.best_paths_to(ASN(4))
+        # 1 could go peer (1,3,4) — same length as customer (1,2,4).
+        # Customer route must win regardless.
+        assert paths[ASN(1)].kind is RouteKind.CUSTOMER
+        assert paths[ASN(1)].asns == (1, 2, 4)
+
+    def test_shortest_wins_within_class(self):
+        g = build_graph(5)
+        # Two customer chains from dest 5 up to 1: via 2 (short) and 3->4 (long).
+        g.add_customer_provider(ASN(5), ASN(2))
+        g.add_customer_provider(ASN(2), ASN(1))
+        g.add_customer_provider(ASN(5), ASN(3))
+        g.add_customer_provider(ASN(3), ASN(4))
+        g.add_customer_provider(ASN(4), ASN(1))
+        rc = RouteComputation(g)
+        assert rc.best_paths_to(ASN(5))[ASN(1)].asns == (1, 2, 5)
+
+    def test_lowest_next_hop_tie_break(self):
+        g = build_graph(4)
+        # dest 4 reachable from 1 via customers 2 and 3, equal length.
+        g.add_customer_provider(ASN(4), ASN(2))
+        g.add_customer_provider(ASN(4), ASN(3))
+        g.add_customer_provider(ASN(2), ASN(1))
+        g.add_customer_provider(ASN(3), ASN(1))
+        rc = RouteComputation(g)
+        assert rc.best_paths_to(ASN(4))[ASN(1)].next_hop == 2
+
+    def test_disconnected_absent(self):
+        g = build_graph(3)
+        g.add_customer_provider(ASN(2), ASN(1))
+        rc = RouteComputation(g)
+        assert ASN(3) not in rc.best_paths_to(ASN(1))
+
+    def test_cache_and_invalidate(self, clique_world):
+        rc = RouteComputation(clique_world)
+        first = rc.best_paths_to(ASN(7))
+        assert rc.best_paths_to(ASN(7)) is first
+        rc.invalidate()
+        assert rc.best_paths_to(ASN(7)) is not first
+
+
+def _random_hierarchy(seed: int) -> ASGraph:
+    """Random 3-tier topology for property tests."""
+    rng = np.random.default_rng(seed)
+    g = build_graph(30)
+    tier1 = [ASN(i) for i in range(1, 4)]
+    tier2 = [ASN(i) for i in range(4, 12)]
+    stubs = [ASN(i) for i in range(12, 31)]
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            g.add_peering(a, b)
+    for t in tier2:
+        for p in rng.choice(3, size=int(rng.integers(1, 3)), replace=False):
+            g.add_customer_provider(t, tier1[int(p)])
+    for s in stubs:
+        for p in rng.choice(8, size=int(rng.integers(1, 3)), replace=False):
+            g.add_customer_provider(s, tier2[int(p)])
+    return g
+
+
+def _is_valley_free(graph: ASGraph, path: ASPath) -> bool:
+    """Check up* peer? down* structure along the traffic direction."""
+    state = "up"
+    for a, b in zip(path.asns, path.asns[1:]):
+        rel = graph.relationship(a, b)
+        if rel is Relationship.PROVIDER:  # going uphill
+            if state != "up":
+                return False
+        elif rel is Relationship.PEER:
+            if state != "up":
+                return False
+            state = "peered"
+        elif rel is Relationship.CUSTOMER:  # downhill
+            state = "down"
+        else:
+            return False
+    return True
+
+
+class TestValleyFreeProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_all_paths_valley_free(self, seed):
+        g = _random_hierarchy(seed)
+        rc = RouteComputation(g)
+        rng = np.random.default_rng(seed)
+        for dest in rng.choice(30, size=5, replace=False):
+            dest_asn = ASN(int(dest) + 1)
+            for path in rc.best_paths_to(dest_asn).values():
+                assert _is_valley_free(g, path), str(path)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_tier1s_reach_everything(self, seed):
+        g = _random_hierarchy(seed)
+        rc = RouteComputation(g)
+        paths = rc.best_paths_to(ASN(20))
+        for t1 in (ASN(1), ASN(2), ASN(3)):
+            assert t1 in paths

@@ -1,0 +1,78 @@
+"""Routing tables and the reversed-path table used at scale."""
+
+import pytest
+
+from repro.bgp.asys import AutonomousSystem
+from repro.bgp.relationships import ASGraph
+from repro.bgp.routing import RouteComputation, RouteKind
+from repro.bgp.table import ReversedPathTable, RoutingTable
+from repro.errors import RoutingError
+from repro.types import ASN
+
+
+@pytest.fixture
+def world():
+    """1-2 tier-1 peers; RedIRIS-like 10 customer of 1; stub 20 customer of 2."""
+    g = ASGraph()
+    for i in (1, 2, 10, 20):
+        g.add_as(AutonomousSystem(asn=ASN(i), name=f"as{i}"))
+    g.add_peering(ASN(1), ASN(2))
+    g.add_customer_provider(ASN(10), ASN(1))
+    g.add_customer_provider(ASN(20), ASN(2))
+    return g
+
+
+class TestRoutingTable:
+    def test_lookup(self, world):
+        table = RoutingTable(world, ASN(10))
+        entry = table.lookup(ASN(20))
+        assert entry.path.asns == (10, 1, 2, 20)
+        assert entry.next_hop == 1
+        assert entry.kind is RouteKind.PROVIDER
+        assert entry.via_transit
+
+    def test_lookup_cached(self, world):
+        table = RoutingTable(world, ASN(10))
+        assert table.lookup(ASN(20)) is table.lookup(ASN(20))
+
+    def test_no_route(self, world):
+        world.add_as(AutonomousSystem(asn=ASN(99), name="island"))
+        table = RoutingTable(world, ASN(10))
+        with pytest.raises(RoutingError):
+            table.lookup(ASN(99))
+        assert not table.has_route(ASN(99))
+
+    def test_next_hop_relationship(self, world):
+        table = RoutingTable(world, ASN(10))
+        rel = table.next_hop_relationship(ASN(20))
+        assert rel is not None and rel.value == "provider"
+
+
+class TestReversedPathTable:
+    def test_reverses_inbound_paths(self, world):
+        inbound = RouteComputation(world).best_paths_to(ASN(10))
+        table = ReversedPathTable(world, ASN(10), inbound)
+        entry = table.lookup(ASN(20))
+        assert entry.path.asns == (10, 1, 2, 20)
+        assert entry.next_hop == 1
+        assert entry.kind is RouteKind.PROVIDER
+
+    def test_peer_kind(self, world):
+        world.add_as(AutonomousSystem(asn=ASN(30), name="peer"))
+        world.add_peering(ASN(10), ASN(30))
+        inbound = RouteComputation(world).best_paths_to(ASN(10))
+        table = ReversedPathTable(world, ASN(10), inbound)
+        assert table.lookup(ASN(30)).kind is RouteKind.PEER
+
+    def test_missing_destination(self, world):
+        inbound = RouteComputation(world).best_paths_to(ASN(10))
+        table = ReversedPathTable(world, ASN(10), inbound)
+        world.add_as(AutonomousSystem(asn=ASN(99), name="island"))
+        with pytest.raises(RoutingError):
+            table.lookup(ASN(99))
+
+    def test_wrong_viewpoint_rejected(self, world):
+        inbound = RouteComputation(world).best_paths_to(ASN(20))
+        table = ReversedPathTable(world, ASN(10), inbound)
+        with pytest.raises(RoutingError):
+            table.lookup(ASN(1))

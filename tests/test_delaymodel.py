@@ -1,0 +1,95 @@
+"""Jitter and congestion processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaymodel.congestion import (
+    NoCongestion,
+    PersistentCongestion,
+    TransientCongestion,
+)
+from repro.delaymodel.jitter import JitterModel
+from repro.errors import ConfigurationError
+from repro.units import DAY
+
+
+class TestJitter:
+    def test_floor_respected(self):
+        model = JitterModel(scale_ms=0.1, floor_ms=0.05)
+        rng = np.random.default_rng(0)
+        assert all(model.sample_ms(rng) >= 0.05 for _ in range(100))
+
+    def test_zero_scale_is_deterministic(self):
+        model = JitterModel(scale_ms=0.0, floor_ms=0.03)
+        rng = np.random.default_rng(0)
+        assert model.sample_ms(rng) == 0.03
+
+    def test_mean_near_scale(self):
+        model = JitterModel(scale_ms=0.2, floor_ms=0.0)
+        rng = np.random.default_rng(0)
+        mean = np.mean([model.sample_ms(rng) for _ in range(5000)])
+        assert mean == pytest.approx(0.2, rel=0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            JitterModel(scale_ms=-1)
+
+
+class TestNoCongestion:
+    @given(st.floats(min_value=0, max_value=1e7))
+    def test_always_zero(self, t):
+        assert NoCongestion().delay_ms(t, np.random.default_rng(0)) == 0.0
+
+
+class TestTransient:
+    def test_intensity_peaks_at_peak_hour(self):
+        c = TransientCongestion(peak_hour_utc=20.0)
+        peak = c.intensity(20 * 3600.0)
+        trough = c.intensity(8 * 3600.0)
+        assert peak == pytest.approx(1.0)
+        assert trough < 0.05
+
+    def test_intensity_periodic_daily(self):
+        c = TransientCongestion(peak_hour_utc=12.0)
+        assert c.intensity(5 * 3600.0) == pytest.approx(
+            c.intensity(5 * 3600.0 + DAY)
+        )
+
+    def test_delay_zero_at_trough(self):
+        c = TransientCongestion(peak_amplitude_ms=5.0, peak_hour_utc=0.0,
+                                sharpness=8.0)
+        rng = np.random.default_rng(0)
+        assert c.delay_ms(12 * 3600.0, rng) < 0.5
+
+    def test_delay_positive_at_peak(self):
+        c = TransientCongestion(peak_amplitude_ms=5.0, peak_hour_utc=10.0)
+        rng = np.random.default_rng(0)
+        samples = [c.delay_ms(10 * 3600.0, rng) for _ in range(200)]
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.3)
+
+    def test_rejects_bad_peak_hour(self):
+        with pytest.raises(ConfigurationError):
+            TransientCongestion(peak_hour_utc=24.0)
+
+
+class TestPersistent:
+    def test_floor_always_present(self):
+        c = PersistentCongestion(floor_ms=4.0, spread_ms=10.0)
+        rng = np.random.default_rng(0)
+        assert all(c.delay_ms(t, rng) >= 4.0 for t in range(100))
+
+    def test_spread_makes_min_unstable(self):
+        """The property the RTT-consistent filter detects: samples do not
+        cluster near the minimum."""
+        c = PersistentCongestion(floor_ms=3.0, spread_ms=400.0)
+        rng = np.random.default_rng(0)
+        samples = np.array([c.delay_ms(0.0, rng) for _ in range(70)])
+        floor = samples.min()
+        envelope = max(5.0, 0.1 * floor)
+        within = np.sum(samples <= floor + envelope)
+        assert within < 4
+
+    def test_rejects_zero_spread(self):
+        with pytest.raises(ConfigurationError):
+            PersistentCongestion(floor_ms=1.0, spread_ms=0.0)

@@ -1,0 +1,166 @@
+"""The six conservative filters, each exercised with crafted measurements."""
+
+import pytest
+
+from repro.core.detection.filters import FILTER_ORDER, FilterConfig, FilterPipeline
+from repro.core.detection.measurements import InterfaceMeasurement
+from repro.errors import ConfigurationError
+from repro.net.addr import IPv4Address
+from repro.net.icmp import EchoReply
+from repro.types import ASN
+
+
+def replies(rtts, ttl=255, operator_offset=0.0):
+    return [
+        EchoReply(rtt_ms=r + operator_offset, ttl=ttl,
+                  target_address="10.0.0.1", sent_at_s=float(i))
+        for i, r in enumerate(rtts)
+    ]
+
+
+def measurement(pch_rtts=None, ripe_rtts=None, pch_ttl=255, ripe_ttl=255,
+                asn_start=None, asn_end=None):
+    m = InterfaceMeasurement(
+        ixp_acronym="X-IX", address=IPv4Address.parse("10.0.0.1")
+    )
+    if pch_rtts is not None:
+        m.replies_by_operator["PCH"] = replies(pch_rtts, ttl=pch_ttl)
+    if ripe_rtts is not None:
+        m.replies_by_operator["RIPE"] = replies(ripe_rtts, ttl=ripe_ttl)
+    m.asn_at_start = ASN(asn_start) if asn_start else None
+    m.asn_at_end = ASN(asn_end) if asn_end else None
+    return m
+
+
+@pytest.fixture
+def pipeline():
+    return FilterPipeline()
+
+
+GOOD = [1.0, 1.1, 1.05, 1.2, 1.0, 1.15, 1.08, 1.12, 1.03, 1.2]
+
+
+class TestSampleSize:
+    def test_enough_replies_pass(self, pipeline):
+        assert pipeline.sample_size(measurement(pch_rtts=GOOD)) is not None
+
+    def test_too_few_from_one_lg_discards(self, pipeline):
+        m = measurement(pch_rtts=GOOD, ripe_rtts=GOOD[:5])
+        assert pipeline.sample_size(m) is None
+
+    def test_no_replies_discards(self, pipeline):
+        assert pipeline.sample_size(measurement()) is None
+
+
+class TestTTLSwitch:
+    def test_stable_ttl_passes(self, pipeline):
+        assert pipeline.ttl_switch(measurement(pch_rtts=GOOD)) is not None
+
+    def test_changed_ttl_discards(self, pipeline):
+        m = measurement(pch_rtts=GOOD)
+        m.replies_by_operator["PCH"][4] = EchoReply(
+            rtt_ms=1.0, ttl=64, target_address="10.0.0.1", sent_at_s=4.0
+        )
+        assert pipeline.ttl_switch(m) is None
+
+    def test_cross_lg_ttl_difference_discards(self, pipeline):
+        m = measurement(pch_rtts=GOOD, ripe_rtts=GOOD, pch_ttl=255,
+                        ripe_ttl=64)
+        assert pipeline.ttl_switch(m) is None
+
+
+class TestTTLMatch:
+    def test_expected_ttls_pass(self, pipeline):
+        assert pipeline.ttl_match(measurement(pch_rtts=GOOD, pch_ttl=64)) is not None
+        assert pipeline.ttl_match(measurement(pch_rtts=GOOD, pch_ttl=255)) is not None
+
+    def test_rare_ttl_discards(self, pipeline):
+        assert pipeline.ttl_match(measurement(pch_rtts=GOOD, pch_ttl=128)) is None
+
+    def test_decremented_ttl_discards(self, pipeline):
+        """Stale off-LAN targets reply with TTL 254: one extra hop."""
+        assert pipeline.ttl_match(measurement(pch_rtts=GOOD, pch_ttl=254)) is None
+
+
+class TestRTTConsistent:
+    def test_clustered_minimum_passes(self, pipeline):
+        assert pipeline.rtt_consistent(measurement(pch_rtts=GOOD)) is not None
+
+    def test_scattered_samples_discard(self, pipeline):
+        scattered = [5.0, 80.0, 140.0, 60.0, 200.0, 170.0, 90.0, 120.0,
+                     220.0, 45.0]
+        assert pipeline.rtt_consistent(measurement(pch_rtts=scattered)) is None
+
+    def test_envelope_is_max_of_abs_and_fraction(self):
+        config = FilterConfig()
+        assert config.envelope_ms(1.0) == 5.0       # abs wins at low RTT
+        assert config.envelope_ms(100.0) == 10.0    # 10% wins at high RTT
+
+    def test_high_rtt_wide_envelope(self, pipeline):
+        """A remote interface at 100 ms keeps a 10 ms envelope."""
+        rtts = [100.0, 104.0, 108.0, 109.0, 130.0, 150.0, 170.0, 101.0,
+                140.0, 160.0]
+        assert pipeline.rtt_consistent(measurement(pch_rtts=rtts)) is not None
+
+
+class TestLGConsistent:
+    def test_single_lg_passes(self, pipeline):
+        assert pipeline.lg_consistent(measurement(pch_rtts=GOOD)) is not None
+
+    def test_agreeing_lgs_pass(self, pipeline):
+        m = measurement(pch_rtts=GOOD, ripe_rtts=[r + 0.5 for r in GOOD])
+        assert pipeline.lg_consistent(m) is not None
+
+    def test_disagreeing_lgs_discard(self, pipeline):
+        m = measurement(pch_rtts=GOOD, ripe_rtts=[r + 20.0 for r in GOOD])
+        assert pipeline.lg_consistent(m) is None
+
+    def test_proportional_tolerance_at_high_rtt(self, pipeline):
+        """At 100 ms minima, a 8 ms disagreement is within 10%."""
+        base = [100.0 + i * 0.3 for i in range(10)]
+        m = measurement(pch_rtts=base, ripe_rtts=[r + 8.0 for r in base])
+        assert pipeline.lg_consistent(m) is not None
+
+
+class TestASNChange:
+    def test_stable_asn_passes(self, pipeline):
+        m = measurement(pch_rtts=GOOD, asn_start=100, asn_end=100)
+        assert pipeline.asn_change(m) is not None
+
+    def test_changed_asn_discards(self, pipeline):
+        m = measurement(pch_rtts=GOOD, asn_start=100, asn_end=200)
+        assert pipeline.asn_change(m) is None
+
+    def test_unidentified_passes(self, pipeline):
+        m = measurement(pch_rtts=GOOD, asn_start=None, asn_end=200)
+        assert pipeline.asn_change(m) is not None
+
+
+class TestPipeline:
+    def test_order_matches_paper(self):
+        assert FILTER_ORDER == (
+            "sample-size", "ttl-switch", "ttl-match", "rtt-consistent",
+            "lg-consistent", "asn-change",
+        )
+
+    def test_single_discard_reason_per_interface(self, pipeline):
+        # Fails both sample-size (RIPE short) and TTL-match (rare TTL):
+        # only the first filter in order gets the credit.
+        m = measurement(pch_rtts=GOOD, ripe_rtts=GOOD[:3], pch_ttl=128,
+                        ripe_ttl=128)
+        report = pipeline.run([m])
+        assert report.discard_counts["sample-size"] == 1
+        assert report.discard_counts["ttl-match"] == 0
+        assert report.total_discarded() == 1
+
+    def test_survivors_trimmed_and_kept(self, pipeline):
+        good = measurement(pch_rtts=GOOD)
+        report = pipeline.run([good])
+        assert report.passed == [good]
+        assert report.total_discarded() == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FilterConfig(min_replies_per_lg=0)
+        with pytest.raises(ConfigurationError):
+            FilterConfig(accepted_ttls=frozenset())

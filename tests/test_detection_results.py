@@ -1,0 +1,102 @@
+"""Result aggregation: the views behind Figures 2-4 and Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection.classify import BAND_LABELS
+from repro.core.detection.results import AnalyzedInterface, CampaignResult
+from repro.net.addr import IPv4Address
+from repro.types import ASN
+
+
+def iface(ixp: str, addr: str, rtt: float, asn: int | None) -> AnalyzedInterface:
+    return AnalyzedInterface(
+        ixp_acronym=ixp,
+        address=IPv4Address.parse(addr),
+        min_rtt_ms=rtt,
+        per_operator_min_ms=(("PCH", rtt),),
+        asn=ASN(asn) if asn else None,
+        identification_source="peeringdb" if asn else None,
+        reply_count=50,
+    )
+
+
+@pytest.fixture
+def result():
+    """Hand-built result: 2 IXPs, 3 networks, one remote network at both."""
+    interfaces = [
+        iface("A-IX", "10.0.0.1", 0.8, 100),    # direct, net 100
+        iface("A-IX", "10.0.0.2", 15.0, 200),   # remote (intercity), net 200
+        iface("A-IX", "10.0.0.3", 1.2, None),   # direct, unidentified
+        iface("B-IX", "10.1.0.1", 75.0, 200),   # remote (intercont.), net 200
+        iface("B-IX", "10.1.0.2", 0.5, 300),    # direct, net 300
+        iface("B-IX", "10.1.0.3", 30.0, None),  # remote, unidentified
+    ]
+    return CampaignResult(
+        analyzed=interfaces,
+        discard_counts={"sample-size": 1},
+        threshold_ms=10.0,
+        candidate_count=7,
+    )
+
+
+class TestInterfaceViews:
+    def test_counts(self, result):
+        assert result.analyzed_count() == 6
+        assert result.analyzed_count_by_ixp() == {"A-IX": 3, "B-IX": 3}
+        assert result.identified_interface_count() == 4
+
+    def test_min_rtts(self, result):
+        assert sorted(result.min_rtts()) == [0.5, 0.8, 1.2, 15.0, 30.0, 75.0]
+
+    def test_band_counts(self, result):
+        bands = result.band_counts_by_ixp()
+        assert bands["A-IX"] == {"<10ms": 2, "10-20ms": 1, "20-50ms": 0,
+                                 ">=50ms": 0}
+        assert bands["B-IX"] == {"<10ms": 1, "10-20ms": 0, "20-50ms": 1,
+                                 ">=50ms": 1}
+
+    def test_remote_interfaces_and_spread(self, result):
+        assert len(result.remote_interfaces()) == 3
+        assert result.ixps_with_remote_peering() == ["A-IX", "B-IX"]
+        assert result.remote_spread_fraction() == 1.0
+
+
+class TestNetworkViews:
+    def test_identified_networks(self, result):
+        nets = result.identified_networks()
+        assert set(nets) == {100, 200, 300}
+        assert len(nets[ASN(200)]) == 2
+
+    def test_remote_networks(self, result):
+        remote = result.remotely_peering_networks()
+        assert set(remote) == {200}
+
+    def test_ixp_counts(self, result):
+        assert result.ixp_count_of(ASN(200)) == 2
+        assert result.ixp_count_of(ASN(100)) == 1
+        assert result.ixp_count_of(ASN(999)) == 0
+
+    def test_ixp_count_distribution(self, result):
+        assert result.ixp_count_distribution() == {1: 2, 2: 1}
+        assert result.ixp_count_distribution(remote_only=True) == {2: 1}
+
+    def test_band_fractions_by_ixp_count(self, result):
+        fractions = result.band_fractions_by_ixp_count()
+        # Net 200 (IXP count 2) has interfaces at 15 ms and 75 ms.
+        assert fractions[2]["10-20ms"] == pytest.approx(0.5)
+        assert fractions[2][">=50ms"] == pytest.approx(0.5)
+        assert sum(fractions[2][b] for b in BAND_LABELS) == pytest.approx(1.0)
+
+
+class TestPaperShapeOnMiniWorld:
+    def test_fig4b_property_count1_remote_networks(self, mini_result):
+        """Remote networks seen at a single IXP have no sub-10ms interfaces
+        (their one interface *is* the remote one) — Figure 4b's left bar."""
+        fractions = mini_result.band_fractions_by_ixp_count()
+        if 1 in fractions:
+            assert fractions[1]["<10ms"] <= 0.25
+
+    def test_fig2_cdf_majority_below_2ms(self, mini_result):
+        rtts = mini_result.min_rtts()
+        assert np.median(rtts) < 3.0

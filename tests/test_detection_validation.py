@@ -1,0 +1,68 @@
+"""Validation against ground truth (the Section 3.3 checks)."""
+
+import pytest
+
+from repro.core.detection.validation import (
+    GroundTruthReport,
+    route_server_cross_check,
+    validate_against_truth,
+)
+from repro.errors import AnalysisError
+
+
+class TestGroundTruthReport:
+    def test_metrics(self):
+        report = GroundTruthReport(
+            true_positives=8, false_positives=2,
+            true_negatives=85, false_negatives=5,
+        )
+        assert report.precision == pytest.approx(0.8)
+        assert report.recall == pytest.approx(8 / 13)
+        assert report.total == 100
+
+    def test_empty_calls_raise(self):
+        report = GroundTruthReport(0, 0, 10, 0)
+        with pytest.raises(AnalysisError):
+            _ = report.precision
+        with pytest.raises(AnalysisError):
+            _ = report.recall
+
+
+class TestValidateAgainstTruth:
+    def test_high_precision_on_mini_world(self, mini_world, mini_result):
+        """The 10 ms threshold is conservative: near-zero false positives."""
+        report = validate_against_truth(mini_world, mini_result)
+        assert report.precision > 0.97
+        assert report.recall > 0.8
+
+    def test_per_ixp_restriction(self, mini_world, mini_result):
+        torix = validate_against_truth(mini_world, mini_result, "TorIX")
+        full = validate_against_truth(mini_world, mini_result)
+        assert torix.total < full.total
+        assert torix.total == sum(
+            1 for i in mini_result.analyzed if i.ixp_acronym == "TorIX"
+        )
+
+    def test_lower_threshold_trades_precision_for_recall(
+        self, mini_world, mini_result
+    ):
+        strict = validate_against_truth(mini_world, mini_result,
+                                        threshold_ms=10.0)
+        loose = validate_against_truth(mini_world, mini_result,
+                                       threshold_ms=3.0)
+        assert loose.recall >= strict.recall
+        assert loose.false_positives >= strict.false_positives
+
+
+class TestCrossCheck:
+    def test_torix_cross_check_close_to_campaign(self, mini_world, mini_result):
+        report = route_server_cross_check(mini_world, mini_result, "TorIX")
+        # Independent local vantage agrees within ~1 ms on average
+        # (paper: mean 0.3 ms, variance 1.6 ms²).
+        assert report.mean_ms < 1.5
+        assert report.variance_ms2 < 8.0
+        assert len(report.differences_ms) > 50
+
+    def test_unknown_ixp_raises(self, mini_world, mini_result):
+        with pytest.raises(KeyError):
+            route_server_cross_check(mini_world, mini_result, "NOPE-IX")

@@ -1,0 +1,101 @@
+"""Full-scale release gates: the paper's headline numbers, as tests.
+
+These build the complete worlds (seconds each), so they are marked slow;
+they run in the default suite and keep the calibration honest — if a
+refactor drifts the headline numbers, these fail before the benches do.
+"""
+
+import pytest
+
+from repro.core.detection import CampaignConfig, ProbeCampaign
+from repro.core.detection.validation import validate_against_truth
+from repro.core.offload import (
+    OffloadEstimator,
+    PeerGroups,
+    greedy_expansion,
+    remaining_traffic_series,
+)
+from repro.sim import scenarios
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def full_world():
+    return scenarios.paper22(seed=42)
+
+
+@pytest.fixture(scope="module")
+def full_result(full_world):
+    return ProbeCampaign(full_world, CampaignConfig(seed=7)).run()
+
+
+@pytest.fixture(scope="module")
+def full_estimator():
+    world = scenarios.rediris(seed=42)
+    return OffloadEstimator(world, PeerGroups.build(world))
+
+
+class TestDetectionHeadlines:
+    def test_analyzed_interfaces_near_paper(self, full_result):
+        assert full_result.analyzed_count() == pytest.approx(4451, rel=0.05)
+
+    def test_remote_spread_91_percent(self, full_result):
+        assert full_result.remote_spread_fraction() == pytest.approx(
+            20 / 22, abs=0.05
+        )
+
+    def test_identified_interfaces_near_paper(self, full_result):
+        assert full_result.identified_interface_count() == pytest.approx(
+            3242, rel=0.05
+        )
+
+    def test_discard_counts_same_order(self, full_result):
+        paper = {
+            "sample-size": 20, "ttl-switch": 82, "ttl-match": 20,
+            "rtt-consistent": 100, "lg-consistent": 28, "asn-change": 5,
+        }
+        for name, expected in paper.items():
+            measured = full_result.discard_counts[name]
+            assert expected / 3 <= max(measured, 1) <= expected * 3, name
+
+    def test_precision_conservative(self, full_world, full_result):
+        report = validate_against_truth(full_world, full_result)
+        assert report.precision > 0.99
+
+    def test_e4a_anchor_headline(self, full_result):
+        nets = full_result.identified_networks()
+        e4a = nets.get(64_600)
+        assert e4a is not None
+        remote = [i for i in e4a if i.remote(10.0)]
+        assert len(e4a) == 9 and len(remote) == 6
+
+
+class TestOffloadHeadlines:
+    def test_group4_offload_near_paper(self, full_estimator):
+        all_ixps = full_estimator.reachable_ixps()
+        fi, fo = full_estimator.offload_fractions(all_ixps, 4)
+        assert 0.22 < fi < 0.36   # paper: 27% inbound
+        assert 0.22 < fo < 0.38   # paper: 33% outbound
+
+    def test_group1_offload_near_paper(self, full_estimator):
+        series = remaining_traffic_series(full_estimator, 1, max_ixps=30)
+        reduction = 1 - series[-1] / series[0]
+        assert 0.04 < reduction < 0.13  # paper: 8%
+
+    def test_ams_ix_first_terremark_second(self, full_estimator):
+        steps = greedy_expansion(full_estimator, 4, max_ixps=2)
+        assert steps[0].ixp == "AMS-IX"
+        assert steps[1].ixp == "Terremark"
+
+    def test_offloadable_networks_near_paper(self, full_estimator):
+        all_ixps = full_estimator.reachable_ixps()
+        count = full_estimator.offloadable_network_count(all_ixps, 4)
+        assert count == pytest.approx(12_238, rel=0.15)
+
+    def test_diminishing_marginal_utility(self, full_estimator):
+        steps = greedy_expansion(full_estimator, 4, max_ixps=8)
+        gains = [s.gained_total_bps for s in steps]
+        assert gains == sorted(gains, reverse=True)
+        # 5 IXPs realize most of the expansion's total potential.
+        assert sum(gains[:5]) > 0.8 * sum(gains)

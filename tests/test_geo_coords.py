@@ -1,0 +1,60 @@
+"""Great-circle geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint, haversine_km
+
+AMS = GeoPoint(52.37, 4.90)
+LON = GeoPoint(51.51, -0.13)
+SYD = GeoPoint(-33.87, 151.21)
+
+lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(91.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(0.0, -181.0)
+
+    def test_known_distance_amsterdam_london(self):
+        # ~360 km great circle.
+        assert AMS.distance_km(LON) == pytest.approx(360, abs=20)
+
+    def test_known_distance_amsterdam_sydney(self):
+        # ~16,650 km great circle.
+        assert AMS.distance_km(SYD) == pytest.approx(16_650, rel=0.02)
+
+
+class TestHaversine:
+    @given(lat, lon)
+    def test_self_distance_zero(self, la, lo):
+        p = GeoPoint(la, lo)
+        assert haversine_km(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    @given(lat, lon, lat, lon)
+    def test_symmetry(self, la1, lo1, la2, lo2):
+        a, b = GeoPoint(la1, lo1), GeoPoint(la2, lo2)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(lat, lon, lat, lon)
+    def test_bounded_by_half_circumference(self, la1, lo1, la2, lo2):
+        a, b = GeoPoint(la1, lo1), GeoPoint(la2, lo2)
+        half = 3.14159266 * EARTH_RADIUS_KM
+        assert 0.0 <= haversine_km(a, b) <= half
+
+    def test_antipodal_near_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(3.14159 * EARTH_RADIUS_KM, rel=1e-4)
+
+    @given(lat, lon, lat, lon, lat, lon)
+    def test_triangle_inequality(self, la1, lo1, la2, lo2, la3, lo3):
+        a, b, c = GeoPoint(la1, lo1), GeoPoint(la2, lo2), GeoPoint(la3, lo3)
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6

@@ -1,0 +1,75 @@
+"""Dataset round-tripping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.io import (
+    load_analyzed_interfaces,
+    load_result,
+    save_analyzed_interfaces,
+    save_result,
+)
+
+
+class TestRoundTrip:
+    def test_interfaces_round_trip(self, mini_result, tmp_path):
+        path = tmp_path / "interfaces.jsonl"
+        save_analyzed_interfaces(mini_result.analyzed, path)
+        loaded = load_analyzed_interfaces(path)
+        assert len(loaded) == len(mini_result.analyzed)
+        for original, restored in zip(mini_result.analyzed, loaded):
+            assert restored == original
+
+    def test_result_round_trip(self, mini_result, tmp_path):
+        path = tmp_path / "result.jsonl"
+        save_result(mini_result, path)
+        loaded = load_result(path)
+        assert loaded.analyzed_count() == mini_result.analyzed_count()
+        assert loaded.discard_counts == mini_result.discard_counts
+        assert loaded.threshold_ms == mini_result.threshold_ms
+        assert loaded.candidate_count == mini_result.candidate_count
+        assert np.array_equal(loaded.min_rtts(), mini_result.min_rtts())
+
+    def test_loaded_result_supports_analyses(self, mini_result, tmp_path):
+        """The persisted dataset drives the same figures."""
+        path = tmp_path / "result.jsonl"
+        save_result(mini_result, path)
+        loaded = load_result(path)
+        assert loaded.band_counts_by_ixp() == mini_result.band_counts_by_ixp()
+        assert (
+            loaded.ixp_count_distribution()
+            == mini_result.ixp_count_distribution()
+        )
+
+
+class TestFormatErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(AnalysisError):
+            load_result(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(AnalysisError):
+            load_result(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "version.jsonl"
+        header = {
+            "kind": "repro-campaign-result", "version": 99,
+            "threshold_ms": 10.0, "candidate_count": 0, "discard_counts": {},
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(AnalysisError):
+            load_result(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"ixp": "X"}) + "\n")
+        with pytest.raises(AnalysisError):
+            load_analyzed_interfaces(path)

@@ -1,0 +1,90 @@
+"""Greedy IXP expansion (Figures 8/9) and its invariants."""
+
+import pytest
+
+from repro.core.offload.greedy import (
+    greedy_expansion,
+    remaining_traffic_series,
+    second_ixp_matrix,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGreedy:
+    def test_remaining_traffic_monotone(self, small_estimator):
+        steps = greedy_expansion(small_estimator, 4, max_ixps=10)
+        remaining = [s.remaining_total_bps for s in steps]
+        assert remaining == sorted(remaining, reverse=True)
+
+    def test_gains_diminish(self, small_estimator):
+        """The paper's headline property: marginal utility declines."""
+        steps = greedy_expansion(small_estimator, 4, max_ixps=10)
+        gains = [s.gained_total_bps for s in steps]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_first_pick_is_single_ixp_max(self, small_estimator):
+        steps = greedy_expansion(small_estimator, 4, max_ixps=1)
+        best_ixp, best_value = small_estimator.single_ixp_ranking(4, top=1)[0]
+        assert steps[0].ixp == best_ixp
+        assert steps[0].gained_total_bps == pytest.approx(best_value)
+
+    def test_accounting_consistent(self, small_estimator):
+        world = small_estimator.world
+        total = float(
+            world.matrix.inbound_bps.sum() + world.matrix.outbound_bps.sum()
+        )
+        steps = greedy_expansion(small_estimator, 4, max_ixps=5)
+        gained = sum(s.gained_total_bps for s in steps)
+        assert steps[-1].remaining_total_bps == pytest.approx(total - gained)
+
+    def test_no_ixp_twice(self, small_estimator):
+        steps = greedy_expansion(small_estimator, 4, max_ixps=20)
+        picked = [s.ixp for s in steps]
+        assert len(picked) == len(set(picked))
+
+    def test_invalid_max(self, small_estimator):
+        with pytest.raises(ConfigurationError):
+            greedy_expansion(small_estimator, 4, max_ixps=0)
+
+    def test_series_starts_at_total(self, small_estimator):
+        world = small_estimator.world
+        series = remaining_traffic_series(small_estimator, 4, max_ixps=5)
+        total = float(
+            world.matrix.inbound_bps.sum() + world.matrix.outbound_bps.sum()
+        )
+        assert series[0] == pytest.approx(total)
+        assert len(series) == 6
+
+    def test_group1_weaker_than_group4(self, small_estimator):
+        s1 = remaining_traffic_series(small_estimator, 1, max_ixps=5)
+        s4 = remaining_traffic_series(small_estimator, 4, max_ixps=5)
+        assert s1[-1] >= s4[-1]
+
+
+class TestSecondIXPMatrix:
+    def test_diagonal_is_full_potential(self, small_estimator):
+        ixps = ["AMS-IX", "LINX", "Terremark"]
+        matrix = second_ixp_matrix(small_estimator, 4, ixps)
+        for ixp in ixps:
+            inbound, outbound = small_estimator.offload_bps([ixp], 4)
+            assert matrix[ixp][ixp] == pytest.approx(inbound + outbound)
+
+    def test_remaining_never_exceeds_full(self, small_estimator):
+        ixps = ["AMS-IX", "LINX", "DE-CIX", "Terremark"]
+        matrix = second_ixp_matrix(small_estimator, 4, ixps)
+        for second in ixps:
+            full = matrix[second][second]
+            for first in ixps:
+                assert matrix[second][first] <= full + 1e-6
+
+    def test_european_overlap_beats_terremark_overlap(self, small_estimator):
+        """Figure 8's story: LINX cannibalizes AMS-IX far more than AMS-IX
+        cannibalizes Terremark (distinct Americas membership)."""
+        matrix = second_ixp_matrix(
+            small_estimator, 4, ["AMS-IX", "LINX", "Terremark"]
+        )
+        ams_after_linx = matrix["AMS-IX"]["LINX"] / matrix["AMS-IX"]["AMS-IX"]
+        terremark_after_ams = (
+            matrix["Terremark"]["AMS-IX"] / matrix["Terremark"]["Terremark"]
+        )
+        assert ams_after_linx < terremark_after_ams

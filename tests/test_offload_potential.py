@@ -1,0 +1,125 @@
+"""The offload estimator: masks, traffic sums, contributor decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.offload.potential import OffloadEstimator
+from repro.errors import ConfigurationError
+
+
+class TestMasks:
+    def test_mask_monotone_in_group(self, small_estimator):
+        """Bigger peer groups can only offload more."""
+        ams1 = small_estimator.ixp_mask("AMS-IX", 1)
+        ams4 = small_estimator.ixp_mask("AMS-IX", 4)
+        assert not np.any(ams1 & ~ams4)
+
+    def test_mask_monotone_in_ixps(self, small_estimator):
+        one = small_estimator.mask_for(["AMS-IX"], 4)
+        two = small_estimator.mask_for(["AMS-IX", "LINX"], 4)
+        assert not np.any(one & ~two)
+
+    def test_mask_is_union(self, small_estimator):
+        a = small_estimator.ixp_mask("AMS-IX", 4)
+        b = small_estimator.ixp_mask("LINX", 4)
+        union = small_estimator.mask_for(["AMS-IX", "LINX"], 4)
+        assert np.array_equal(union, a | b)
+
+    def test_members_offloadable_themselves(self, small_estimator):
+        """Every group member at a reached IXP is in its own cone."""
+        world = small_estimator.world
+        mask = small_estimator.ixp_mask("AMS-IX", 4)
+        for member in small_estimator.groups.ixp_group_members("AMS-IX", 4):
+            idx = world.contributing_index(member)
+            if idx is not None:
+                assert mask[idx]
+
+    def test_unknown_group(self, small_estimator):
+        with pytest.raises(ConfigurationError):
+            small_estimator.mask_for(["AMS-IX"], 7)
+
+
+class TestTraffic:
+    def test_offload_bounded_by_totals(self, small_estimator):
+        world = small_estimator.world
+        inbound, outbound = small_estimator.offload_bps(
+            small_estimator.reachable_ixps(), 4
+        )
+        assert 0 < inbound < world.matrix.inbound_bps.sum()
+        assert 0 < outbound < world.matrix.outbound_bps.sum()
+
+    def test_fractions_match_bps(self, small_estimator):
+        world = small_estimator.world
+        ixps = ["AMS-IX", "LINX"]
+        fi, fo = small_estimator.offload_fractions(ixps, 4)
+        bi, bo = small_estimator.offload_bps(ixps, 4)
+        assert fi == pytest.approx(bi / world.matrix.inbound_bps.sum())
+        assert fo == pytest.approx(bo / world.matrix.outbound_bps.sum())
+
+    def test_group_monotonicity_in_traffic(self, small_estimator):
+        ixps = small_estimator.reachable_ixps()
+        totals = [sum(small_estimator.offload_bps(ixps, g)) for g in (1, 2, 3, 4)]
+        assert totals == sorted(totals)
+
+    def test_offloadable_network_count(self, small_estimator):
+        ixps = small_estimator.reachable_ixps()
+        count = small_estimator.offloadable_network_count(ixps, 4)
+        assert 0 < count < len(small_estimator.world.contributing)
+
+    def test_single_ixp_ranking_sorted(self, small_estimator):
+        ranking = small_estimator.single_ixp_ranking(4, top=10)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+        assert len(ranking) == 10
+
+    def test_ranked_offload_rates_descending(self, small_estimator):
+        rates = small_estimator.ranked_offload_rates(["AMS-IX"], 4, "inbound")
+        assert np.all(np.diff(rates) <= 0)
+        with pytest.raises(ConfigurationError):
+            small_estimator.ranked_offload_rates(["AMS-IX"], 4, "upward")
+
+
+class TestContributors:
+    def test_decomposition_consistency(self, small_estimator):
+        shares = small_estimator.top_contributors(group=4, top=10)
+        assert len(shares) == 10
+        totals = [s.total_bps for s in shares]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_giants_are_endpoint_dominant(self, small_offload_world,
+                                           small_estimator):
+        """Figure 6: content giants originate traffic, they do not carry it."""
+        giant_set = set(small_offload_world.giants)
+        shares = small_estimator.top_contributors(group=4, top=15)
+        giant_shares = [s for s in shares if s.asn in giant_set]
+        assert giant_shares, "giants must appear among top contributors"
+        assert all(s.endpoint_dominant for s in giant_shares)
+
+    def test_transit_contributors_carry_transient(self, small_offload_world,
+                                                   small_estimator):
+        """Transit members aggregate their cones: transient traffic > 0."""
+        shares = small_estimator.top_contributors(group=4, top=30)
+        transit_shares = [
+            s for s in shares
+            if s.asn in set(small_offload_world.mega_carriers_or_tier2())
+        ] if hasattr(small_offload_world, "mega_carriers_or_tier2") else [
+            s for s in shares if s.kind.value == "transit"
+        ]
+        if transit_shares:
+            assert any(
+                s.transient_in_bps + s.transient_out_bps > 0
+                for s in transit_shares
+            )
+
+    def test_contributor_share_matches_matrix(self, small_offload_world,
+                                              small_estimator):
+        world = small_offload_world
+        asn = world.giants[0]
+        share = small_estimator.contributor_share(asn)
+        idx = world.contributing_index(asn)
+        assert share.origin_bps == pytest.approx(
+            float(world.matrix.inbound_bps[idx])
+        )
+        assert share.destination_bps == pytest.approx(
+            float(world.matrix.outbound_bps[idx])
+        )

@@ -1,0 +1,71 @@
+"""Report generation: content checks over the mini/small worlds."""
+
+import pytest
+
+from repro.reporting import detection_report, economics_report, offload_report
+
+
+class TestDetectionReport:
+    def test_contains_all_sections(self, mini_world, mini_result):
+        report = detection_report(mini_world, mini_result)
+        for marker in (
+            "REMOTE PEERING DETECTION STUDY",
+            "Filter pipeline",
+            "Minimum-RTT distribution",
+            "Per-IXP classification",
+            "Network IXP counts",
+            "Validation",
+            "TorIX cross-check",
+        ):
+            assert marker in report, marker
+
+    def test_numbers_consistent_with_result(self, mini_world, mini_result):
+        report = detection_report(mini_world, mini_result)
+        assert f"analyzed interfaces  : {mini_result.analyzed_count()}" in report
+        assert str(len(mini_result.identified_networks())) in report
+
+    def test_validation_optional(self, mini_world, mini_result):
+        report = detection_report(mini_world, mini_result, validate=False)
+        assert "Validation" not in report
+
+
+class TestOffloadReport:
+    def test_contains_all_sections(self, small_estimator):
+        report = offload_report(small_estimator, greedy_depth=3,
+                                contributors=5)
+        for marker in (
+            "TRAFFIC OFFLOAD STUDY",
+            "Maximal offload potential",
+            "Single-IXP offload potential",
+            "Greedy expansion",
+            "Reachability expansion",
+            "offload contributors",
+        ):
+            assert marker in report, marker
+
+    def test_mentions_all_groups(self, small_estimator):
+        report = offload_report(small_estimator, greedy_depth=2,
+                                contributors=3)
+        for group in ("all policies", "all open policies"):
+            assert group in report
+
+
+class TestEconomicsReport:
+    def test_contains_model_quantities(self, small_estimator):
+        report = economics_report(small_estimator, max_ixps=10)
+        for marker in (
+            "ECONOMIC VIABILITY",
+            "decay fit",
+            "optimal direct IXPs",
+            "optimal remote IXPs",
+            "viability ratio",
+            "African scenario",
+        ):
+            assert marker in report, marker
+
+    def test_custom_parameters_respected(self, small_estimator):
+        from repro.core.economics import CostParameters
+
+        params = CostParameters(p=9.0, g=1.0, u=0.5, h=0.25, v=1.5, b=0.7)
+        report = economics_report(small_estimator, base=params, max_ixps=10)
+        assert "9.0" in report

@@ -1,0 +1,91 @@
+"""Named scenarios and the sensitivity-sweep API."""
+
+import pytest
+
+from repro.core.detection import CampaignConfig, ProbeCampaign
+from repro.core.detection.sweep import (
+    filter_drop_sweep,
+    threshold_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.sim import scenarios
+
+
+class TestScenarios:
+    def test_mini3(self):
+        world = scenarios.mini3(seed=11)
+        assert set(world.ixps) == set(scenarios.MINI_IXPS)
+
+    def test_single_ixp(self):
+        world = scenarios.single_ixp("VIX", seed=2)
+        assert set(world.ixps) == {"VIX"}
+
+    def test_single_ixp_unknown(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.single_ixp("NOPE-IX")
+
+    def test_rediris_small(self):
+        world = scenarios.rediris_small(seed=5)
+        assert len(world.contributing) == 3000
+        assert len(world.memberships) == 65
+
+    def test_scenarios_deterministic(self):
+        a = scenarios.mini3(seed=4)
+        b = scenarios.mini3(seed=4)
+        assert set(a.truth) == set(b.truth)
+
+
+class TestThresholdSweep:
+    def test_monotone_tradeoff(self, mini_world, mini_result):
+        points = threshold_sweep(mini_world, mini_result,
+                                 thresholds=(5.0, 10.0, 20.0))
+        assert [p.threshold_ms for p in points] == [5.0, 10.0, 20.0]
+        calls = [p.remote_calls for p in points]
+        assert calls == sorted(calls, reverse=True)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_paper_threshold_precision(self, mini_world, mini_result):
+        (point,) = threshold_sweep(mini_world, mini_result,
+                                   thresholds=(10.0,))
+        assert point.precision > 0.97
+
+    def test_invalid_thresholds(self, mini_world, mini_result):
+        with pytest.raises(ConfigurationError):
+            threshold_sweep(mini_world, mini_result, thresholds=())
+        with pytest.raises(ConfigurationError):
+            threshold_sweep(mini_world, mini_result, thresholds=(0.0,))
+
+
+class TestFilterDropSweep:
+    @pytest.fixture(scope="class")
+    def raw_measurements(self, mini_world):
+        campaign = ProbeCampaign(mini_world, CampaignConfig(seed=13))
+        return campaign.collect()
+
+    def test_full_pipeline_is_baseline(self, mini_world, raw_measurements):
+        points = filter_drop_sweep(mini_world, raw_measurements)
+        baseline = next(p for p in points if p.dropped is None)
+        for point in points:
+            # Removing a filter can only admit more interfaces.
+            assert point.analyzed_count >= baseline.analyzed_count
+
+    def test_every_filter_swept(self, mini_world, raw_measurements):
+        points = filter_drop_sweep(mini_world, raw_measurements)
+        dropped = {p.dropped for p in points}
+        assert None in dropped
+        assert len(dropped) == 7  # baseline + six filters
+
+    def test_rtt_consistent_guards_precision(self, mini_world,
+                                             raw_measurements):
+        points = {p.dropped: p for p in
+                  filter_drop_sweep(mini_world, raw_measurements)}
+        baseline_fp = points[None].report.false_positives
+        no_rtt_fp = points["rtt-consistent"].report.false_positives
+        assert no_rtt_fp >= baseline_fp
+
+    def test_unknown_filter_rejected(self, mini_world, raw_measurements):
+        from repro.core.detection.sweep import _PartialPipeline
+
+        with pytest.raises(ConfigurationError):
+            _PartialPipeline(None, "no-such-filter")

@@ -1,0 +1,55 @@
+"""Campaign window and round scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import CampaignWindow
+from repro.units import DAY, HOUR
+
+
+class TestCampaignWindow:
+    def test_duration(self):
+        assert CampaignWindow(duration_days=123).duration_s == 123 * DAY
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CampaignWindow(duration_days=0)
+
+    def test_round_count(self):
+        window = CampaignWindow(duration_days=100)
+        rng = np.random.default_rng(0)
+        starts = window.round_start_times(11, rng, round_span_s=4 * HOUR)
+        assert len(starts) == 11
+
+    def test_rounds_do_not_overlap(self):
+        """Non-overlap is what keeps the 1-query/min limit satisfiable."""
+        window = CampaignWindow(duration_days=123)
+        span = 12 * HOUR
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            starts = window.round_start_times(11, rng, round_span_s=span)
+            for a, b in zip(starts, starts[1:]):
+                assert b >= a + span
+
+    def test_rounds_fit_in_window(self):
+        window = CampaignWindow(duration_days=60)
+        rng = np.random.default_rng(3)
+        span = 6 * HOUR
+        starts = window.round_start_times(7, rng, round_span_s=span)
+        assert all(0 <= s <= window.duration_s - span for s in starts)
+
+    def test_time_of_day_diversity(self):
+        """Rounds must land at different hours so diurnal congestion cannot
+        bias every sample the same way (Section 3.1)."""
+        window = CampaignWindow(duration_days=123)
+        rng = np.random.default_rng(1)
+        starts = window.round_start_times(11, rng, round_span_s=HOUR)
+        hours = {int((s % DAY) // HOUR) for s in starts}
+        assert len(hours) >= 4
+
+    def test_round_too_long_rejected(self):
+        window = CampaignWindow(duration_days=10)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            window.round_start_times(10, rng, round_span_s=2 * DAY)

@@ -1,0 +1,127 @@
+"""Detection-world generation invariants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.detection_world import (
+    BehaviorRates,
+    DetectionWorldConfig,
+    build_detection_world,
+    CONGESTED,
+    NORMAL,
+    STALE,
+)
+from repro.types import PortKind
+
+
+class TestBehaviorRates:
+    def test_defaults_valid(self):
+        BehaviorRates()
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorRates(blackhole=-0.1)
+
+    def test_rates_must_sum_below_one(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorRates(blackhole=0.5, os_change=0.5, stale=0.3)
+
+
+class TestWorldStructure:
+    def test_ixps_built(self, mini_world, mini_specs):
+        assert set(mini_world.ixps) == {s.acronym for s in mini_specs}
+
+    def test_lg_servers_match_spec(self, mini_world, mini_specs):
+        for spec in mini_specs:
+            operators = {s.operator for s in mini_world.lg_servers[spec.acronym]}
+            expected = set()
+            if spec.has_pch_lg:
+                expected.add("PCH")
+            if spec.has_ripe_lg:
+                expected.add("RIPE")
+            assert operators == expected
+
+    def test_candidate_counts_near_spec(self, mini_world, mini_specs):
+        for spec in mini_specs:
+            count = sum(
+                1 for key in mini_world.truth if key[0] == spec.acronym
+            )
+            assert count == pytest.approx(spec.analyzed_interfaces, rel=0.12)
+
+    def test_remote_fraction_near_spec(self, mini_world, mini_specs):
+        for spec in mini_specs:
+            truths = [
+                t for t in mini_world.truth.values()
+                if t.ixp_acronym == spec.acronym
+            ]
+            remote = sum(1 for t in truths if t.is_remote)
+            anchor_remotes = 2 if spec.acronym == "TorIX" else 0
+            expected = spec.remote_fraction * len(truths)
+            # Loose band: small IXPs and anchors add noise.
+            assert remote <= expected + anchor_remotes + 8
+            if spec.remote_fraction > 0:
+                assert remote > 0
+
+    def test_all_published_targets_have_truth(self, mini_world):
+        for acr in mini_world.ixps:
+            for record in mini_world.directory.targets_for(acr):
+                truth = mini_world.truth_for(acr, record.address)
+                assert truth.ixp_acronym == acr
+
+    def test_stale_targets_not_on_lan(self, mini_world):
+        for truth in mini_world.truth.values():
+            ixp = mini_world.ixps[truth.ixp_acronym]
+            if truth.behavior == STALE:
+                assert not truth.on_lan
+                assert not ixp.fabric.has_address(truth.address)
+            else:
+                assert ixp.fabric.has_address(truth.address)
+
+    def test_ground_truth_direct_below_threshold(self, mini_world):
+        """The paper's manual checks: no direct peer has min RTT >= 10 ms.
+        Base RTTs of non-congested direct ports must sit below 10 ms."""
+        for truth in mini_world.truth.values():
+            if not truth.is_remote and truth.on_lan and truth.behavior == NORMAL:
+                assert truth.base_rtt_ms < 10.0
+
+    def test_remote_truth_matches_port_kind(self, mini_world):
+        for truth in mini_world.truth.values():
+            if not truth.on_lan:
+                continue
+            ixp = mini_world.ixps[truth.ixp_acronym]
+            port = ixp.fabric.port_for(truth.address)
+            assert port.is_remote == truth.is_remote
+
+    def test_deterministic_rebuild(self, mini_specs):
+        a = build_detection_world(DetectionWorldConfig(seed=11, specs=mini_specs))
+        b = build_detection_world(DetectionWorldConfig(seed=11, specs=mini_specs))
+        assert set(a.truth) == set(b.truth)
+        for key in a.truth:
+            assert a.truth[key].base_rtt_ms == b.truth[key].base_rtt_ms
+
+    def test_seed_changes_world(self, mini_world, mini_specs):
+        other = build_detection_world(
+            DetectionWorldConfig(seed=99, specs=mini_specs)
+        )
+        assert set(other.truth) != set(mini_world.truth) or any(
+            other.truth[k].base_rtt_ms != mini_world.truth[k].base_rtt_ms
+            for k in other.truth if k in mini_world.truth
+        )
+
+
+class TestAnchors:
+    def test_anchor_interfaces_present(self, mini_world):
+        """TorIX carries the e4a-like anchor's remote interface."""
+        anchors = [
+            t for t in mini_world.truth.values()
+            if t.ixp_acronym == "TorIX" and 64_600 <= t.asn < 64_650
+        ]
+        assert anchors
+        assert any(t.is_remote for t in anchors)
+
+    def test_anchors_can_be_disabled(self, mini_specs):
+        world = build_detection_world(
+            DetectionWorldConfig(seed=11, specs=mini_specs, with_anchors=False)
+        )
+        anchors = [t for t in world.truth.values() if 64_600 <= t.asn < 64_650]
+        assert not anchors

@@ -1,0 +1,95 @@
+"""The global network pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import default_city_db
+from repro.sim.netpool import NetworkPool, NetworkPoolConfig, generate_network_pool
+from repro.types import ASN
+
+
+@pytest.fixture(scope="module")
+def pool():
+    db = default_city_db()
+    return generate_network_pool(db, NetworkPoolConfig(size=800, seed=9))
+
+
+class TestGeneration:
+    def test_size_and_unique_asns(self, pool):
+        assert len(pool) == 800
+        asns = {n.asn for n in pool.networks}
+        assert len(asns) == 800
+
+    def test_deterministic(self):
+        db = default_city_db()
+        a = generate_network_pool(db, NetworkPoolConfig(size=100, seed=4))
+        b = generate_network_pool(db, NetworkPoolConfig(size=100, seed=4))
+        assert [n.asn for n in a.networks] == [n.asn for n in b.networks]
+        assert [n.home_city.name for n in a.networks] == [
+            n.home_city.name for n in b.networks
+        ]
+
+    def test_seed_changes_pool(self):
+        db = default_city_db()
+        a = generate_network_pool(db, NetworkPoolConfig(size=100, seed=4))
+        b = generate_network_pool(db, NetworkPoolConfig(size=100, seed=5))
+        assert [n.home_city.name for n in a.networks] != [
+            n.home_city.name for n in b.networks
+        ]
+
+    def test_scope_includes_home_continent(self, pool):
+        for n in pool.networks:
+            assert n.home_city.continent in n.scope
+
+    def test_some_global_networks(self, pool):
+        globals_ = [n for n in pool.networks if len(n.scope) == 6]
+        assert globals_
+        assert len(globals_) < len(pool) * 0.1
+
+    def test_europe_dominates(self, pool):
+        eu = sum(1 for n in pool.networks if n.home_city.continent == "EU")
+        assert eu > 0.3 * len(pool)
+
+    def test_address_space_positive(self, pool):
+        assert all(n.asys.address_space >= 256 for n in pool.networks)
+
+
+class TestSampling:
+    def test_eligibility(self, pool):
+        for n in pool.eligible_for("SA"):
+            assert "SA" in n.scope
+
+    def test_sample_members_distinct_and_eligible(self, pool):
+        rng = np.random.default_rng(0)
+        members = pool.sample_members(rng, "EU", 50)
+        assert len({m.asn for m in members}) == 50
+        assert all("EU" in m.scope for m in members)
+
+    def test_sample_respects_exclusion(self, pool):
+        rng = np.random.default_rng(0)
+        excluded = {pool.networks[0].asn}
+        members = pool.sample_members(rng, "EU", 20, exclude=excluded)
+        assert excluded.isdisjoint({m.asn for m in members})
+
+    def test_oversample_raises(self, pool):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            pool.sample_members(rng, "OC", 10_000)
+
+    def test_high_propensity_sampled_more(self, pool):
+        """The recurrence of high-propensity networks across draws is what
+        produces Figure 4a's IXP-count tail."""
+        rng = np.random.default_rng(1)
+        top = max(pool.eligible_for("EU"), key=lambda n: n.propensity)
+        hits = 0
+        for _ in range(20):
+            members = pool.sample_members(rng, "EU", 60)
+            hits += top.asn in {m.asn for m in members}
+        assert hits >= 15
+
+    def test_get(self, pool):
+        n = pool.networks[5]
+        assert pool.get(n.asn) is n
+        with pytest.raises(ConfigurationError):
+            pool.get(ASN(1))

@@ -1,0 +1,205 @@
+"""Structural views: entities, paths, flattening, false redundancy."""
+
+import pytest
+
+from repro.core.structure.entities import (
+    EntityKind,
+    EntityPath,
+    ixp_entity,
+    network_entity,
+    provider_entity,
+)
+from repro.core.structure.flattening import flattening_report
+from repro.core.structure.reliability import false_redundancy_report
+from repro.core.structure.views import (
+    Attachment,
+    InterconnectionInventory,
+    Layer2AwareView,
+    Layer3View,
+    build_inventory,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.types import ASN
+
+
+class TestEntities:
+    def test_kinds_and_visibility(self):
+        assert network_entity(1, "a").layer3_visible
+        assert not ixp_entity("AMS-IX").layer3_visible
+        assert not provider_entity("reachix").layer3_visible
+
+    def test_entity_keys_unique_by_kind(self):
+        assert ixp_entity("X").key != provider_entity("X").key
+
+
+class TestEntityPath:
+    def path(self):
+        return EntityPath(entities=(
+            network_entity(1, "a"),
+            provider_entity("reachix"),
+            ixp_entity("AMS-IX"),
+            network_entity(2, "b"),
+        ))
+
+    def test_intermediaries(self):
+        path = self.path()
+        assert path.intermediary_count() == 2
+        assert [e.kind for e in path.intermediaries()] == [
+            EntityKind.L2_PROVIDER, EntityKind.IXP,
+        ]
+
+    def test_layer3_projection_hides_middlemen(self):
+        projected = self.path().layer3_projection()
+        assert projected.intermediary_count() == 0
+        assert [e.key for e in projected.entities] == ["as1", "as2"]
+
+    def test_invisible_intermediaries(self):
+        assert len(self.path().invisible_intermediaries()) == 2
+
+    def test_endpoints_must_be_networks(self):
+        with pytest.raises(ConfigurationError):
+            EntityPath(entities=(ixp_entity("X"), network_entity(1, "a")))
+
+    def test_needs_two_endpoints(self):
+        with pytest.raises(ConfigurationError):
+            EntityPath(entities=(network_entity(1, "a"),))
+
+
+def mini_inventory() -> InterconnectionInventory:
+    """Two IXPs; net 1 remote via l2carrier (owned by carrier-2), which it
+    also buys transit from — the false-redundancy case."""
+    attachments = [
+        Attachment(ASN(1), "one", "X-IX", True, "l2carrier"),
+        Attachment(ASN(2), "two", "X-IX", False, None),
+        Attachment(ASN(3), "three", "X-IX", False, None),
+        Attachment(ASN(4), "four", "Y-IX", True, "reachix"),
+        Attachment(ASN(2), "two", "Y-IX", False, None),
+    ]
+    return InterconnectionInventory(
+        attachments=attachments,
+        transit_of={
+            ASN(1): ("carrier-2",),
+            ASN(2): ("carrier-0", "carrier-1"),
+            ASN(3): ("carrier-1",),
+            ASN(4): ("carrier-3",),
+        },
+        provider_owner={"l2carrier": "carrier-2", "reachix": None},
+        network_names={ASN(i): n for i, n in
+                       [(1, "one"), (2, "two"), (3, "three"), (4, "four")]},
+    )
+
+
+class TestViews:
+    def test_l3_peering_path_has_no_middlemen(self):
+        inv = mini_inventory()
+        a, b = inv.members_at("X-IX")[0], inv.members_at("X-IX")[1]
+        path = Layer3View(inv).peering_path(a, b)
+        assert path.intermediary_count() == 0
+
+    def test_l2_aware_path_shows_provider_and_ixp(self):
+        inv = mini_inventory()
+        a, b = inv.members_at("X-IX")[0], inv.members_at("X-IX")[1]
+        path = Layer2AwareView(inv).peering_path(a, b)
+        keys = [e.key for e in path.entities]
+        assert keys == ["as1", "l2:l2carrier", "ixp:X-IX", "as2"]
+
+    def test_direct_pair_still_crosses_ixp(self):
+        inv = mini_inventory()
+        b, c = inv.members_at("X-IX")[1], inv.members_at("X-IX")[2]
+        path = Layer2AwareView(inv).peering_path(b, c)
+        assert path.intermediary_count() == 1  # the IXP organization
+
+    def test_cross_ixp_peering_rejected(self):
+        inv = mini_inventory()
+        a = inv.members_at("X-IX")[0]
+        d = inv.members_at("Y-IX")[0]
+        with pytest.raises(ConfigurationError):
+            Layer2AwareView(inv).peering_path(a, d)
+
+    def test_transit_path_spans_carriers(self):
+        inv = mini_inventory()
+        a, c = inv.members_at("X-IX")[0], inv.members_at("X-IX")[2]
+        path = Layer3View(inv).transit_path(a, c)
+        # one: carrier-2; three: carrier-1 -> two intermediaries.
+        assert path.intermediary_count() == 2
+
+    def test_shared_carrier_transit_path(self):
+        inv = mini_inventory()
+        b, c = inv.members_at("X-IX")[1], inv.members_at("X-IX")[2]
+        # both primary carriers differ (carrier-0 vs carrier-1): 2 hops;
+        # swap to a same-carrier pair via ASN 3 vs 2 secondary? Use the
+        # property instead: intermediaries are 1 or 2.
+        path = Layer3View(inv).transit_path(b, c)
+        assert path.intermediary_count() in (1, 2)
+
+    def test_peering_pairs(self):
+        inv = mini_inventory()
+        assert inv.peering_pairs_at("X-IX") == 3
+        assert inv.peering_pairs_at("Y-IX") == 1
+
+
+class TestFlatteningReport:
+    def test_mini_world_numbers(self):
+        report = flattening_report(mini_inventory())
+        # Remote pairs: net1 with nets 2,3 at X-IX; net4 with net2 at Y-IX.
+        assert report.peering_pairs_remote == 3
+        assert report.mean_intermediaries_l3_view == 0.0
+        # Each remote pair crosses a provider + the IXP organization.
+        assert report.mean_intermediaries_l2_aware == 2.0
+        assert report.invisible_intermediary_fraction == 1.0
+
+    def test_titular_claim(self):
+        """More peering without flattening."""
+        report = flattening_report(mini_inventory())
+        assert report.peering_increased
+        assert report.flattened_on_layer3
+        assert not report.flattened_in_reality
+
+    def test_empty_world_rejected(self):
+        inv = InterconnectionInventory(
+            attachments=[Attachment(ASN(1), "one", "X", False, None)],
+            transit_of={ASN(1): ("carrier-0",)},
+            provider_owner={},
+            network_names={ASN(1): "one"},
+        )
+        with pytest.raises(AnalysisError):
+            flattening_report(inv)
+
+
+class TestFalseRedundancy:
+    def test_exposed_network_found(self):
+        report = false_redundancy_report(mini_inventory())
+        assert report.remotely_peering_networks == 2
+        assert report.exposed_count == 1
+        assert report.exposed[0].asn == 1
+        assert report.exposed[0].carrier == "carrier-2"
+        assert report.exposed_fraction == pytest.approx(0.5)
+
+    def test_independent_provider_not_exposed(self):
+        report = false_redundancy_report(mini_inventory())
+        assert all(e.asn != 4 for e in report.exposed)
+
+
+class TestOnDetectionWorld:
+    def test_inventory_extraction(self, mini_world):
+        inventory = build_inventory(mini_world, seed=3)
+        assert inventory.attachments
+        assert inventory.remote_attachments()
+        for attachment in inventory.attachments:
+            assert attachment.asn in inventory.transit_of
+
+    def test_flattening_on_measured_world(self, mini_world):
+        inventory = build_inventory(mini_world, seed=3)
+        report = flattening_report(inventory)
+        assert report.peering_increased
+        assert report.flattened_on_layer3
+        assert not report.flattened_in_reality
+        assert 0.5 < report.invisible_intermediary_fraction <= 1.0
+
+    def test_false_redundancy_on_measured_world(self, mini_world):
+        inventory = build_inventory(mini_world, seed=3)
+        report = false_redundancy_report(inventory)
+        assert report.remotely_peering_networks > 0
+        # Two of four providers are carrier-owned; some exposure expected
+        # but far from universal.
+        assert 0.0 <= report.exposed_fraction < 0.6

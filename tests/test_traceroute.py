@@ -1,0 +1,80 @@
+"""Traceroute over entity paths: layer-2 invisibility, made executable."""
+
+import pytest
+
+from repro.core.structure.entities import (
+    EntityPath,
+    ixp_entity,
+    network_entity,
+    provider_entity,
+)
+from repro.errors import ConfigurationError
+from repro.net.traceroute import traceroute
+
+
+def remote_peering_path() -> EntityPath:
+    return EntityPath(entities=(
+        network_entity(100, "eyeball"),
+        provider_entity("reachix"),
+        ixp_entity("AMS-IX"),
+        network_entity(200, "content"),
+    ))
+
+
+def transit_path() -> EntityPath:
+    return EntityPath(entities=(
+        network_entity(100, "eyeball"),
+        network_entity(700, "carrier"),
+        network_entity(200, "content"),
+    ))
+
+
+class TestRemotePeeringInvisibility:
+    def test_l2_entities_produce_no_hops(self):
+        result = traceroute(remote_peering_path())
+        assert [h.organization for h in result.hops] == ["content"]
+        assert result.hidden_organizations == ("reachix", "AMS-IX")
+
+    def test_visible_organizations_match_l3_projection(self):
+        path = remote_peering_path()
+        result = traceroute(path)
+        projected = path.layer3_projection()
+        assert result.visible_organizations() == tuple(
+            e.name for e in projected.entities[1:]
+        )
+
+    def test_segment_delay_lands_on_next_hop(self):
+        """The provider's circuit delay shows up in the peer's RTT — the
+        exact signal the paper's detector exploits."""
+        with_delay = traceroute(
+            remote_peering_path(),
+            l2_segment_rtts_ms={"l2:reachix": 18.0, "ixp:AMS-IX": 0.1},
+        )
+        without = traceroute(remote_peering_path())
+        assert with_delay.hops[0].rtt_ms == pytest.approx(
+            without.hops[0].rtt_ms + 18.1
+        )
+
+    def test_transit_path_fully_visible(self):
+        result = traceroute(transit_path())
+        assert [h.organization for h in result.hops] == ["carrier", "content"]
+        assert result.hidden_organizations == ()
+
+    def test_remote_peering_looks_shorter_than_transit(self):
+        """The flattening illusion in traceroute form: fewer hops, fewer
+        visible organizations — despite more organizations involved."""
+        peering = traceroute(remote_peering_path())
+        transit = traceroute(transit_path())
+        assert len(peering.hops) < len(transit.hops)
+        assert len(peering.hidden_organizations) > 0
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traceroute(remote_peering_path(),
+                       l2_segment_rtts_ms={"l2:reachix": -1.0})
+
+    def test_hop_indices_sequential(self):
+        result = traceroute(transit_path())
+        assert [h.index for h in result.hops] == [1, 2]
+        rtts = [h.rtt_ms for h in result.hops]
+        assert rtts == sorted(rtts)
