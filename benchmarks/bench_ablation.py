@@ -55,34 +55,12 @@ def bench_ablation_drop_filter(benchmark, detection_world, campaign):
     """Drop each filter and measure the classification damage."""
     measurements = campaign.collect()
 
-    def run_without(dropped: str | None):
-        pipeline = FilterPipeline()
-        stages = {
-            "sample-size": pipeline.sample_size,
-            "ttl-switch": pipeline.ttl_switch,
-            "ttl-match": pipeline.ttl_match,
-            "rtt-consistent": pipeline.rtt_consistent,
-            "lg-consistent": pipeline.lg_consistent,
-            "asn-change": pipeline.asn_change,
-        }
-        from repro.core.detection.filters import FilterReport
+    pipeline = FilterPipeline()
 
-        report = FilterReport()
-        for m in measurements:
-            survivor = m
-            # Re-run from raw replies: copy the per-operator lists.
-            survivor.replies_by_operator = {
-                k: list(v) for k, v in m.replies_by_operator.items()
-            }
-            for name, stage in stages.items():
-                if name == dropped:
-                    continue
-                survivor = stage(survivor)
-                if survivor is None:
-                    report.discard_counts[name] += 1
-                    break
-            if survivor is not None:
-                report.passed.append(survivor)
+    def run_without(dropped: str | None):
+        # Filter stages never mutate their input, so every variant re-reads
+        # the same raw measurements without defensive copies.
+        report = pipeline.run(measurements, skip=dropped)
         return build_result(measurements, report, threshold_ms=10.0)
 
     def compute():

@@ -1,0 +1,87 @@
+"""End-to-end speed benchmark: the numbers the perf work is held to.
+
+Times the hot paths of both studies — detection-world build, the probing
+campaign under the batch *and* the scalar engine, the filter pipeline,
+and the offload greedy expansion — and writes ``BENCH_speed.json`` at the
+repo root so the perf trajectory is tracked across PRs.
+
+Run it directly (it is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_speed.json"
+
+WORLD_SEED = 42
+CAMPAIGN_SEED = 7
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def main() -> None:
+    from repro.core.detection import CampaignConfig, FilterPipeline, ProbeCampaign
+    from repro.core.offload import OffloadEstimator, PeerGroups, greedy_expansion
+    from repro.sim import scenarios
+
+    timings: dict[str, float] = {}
+
+    world, timings["detection_world_build"] = _timed(
+        lambda: scenarios.paper22(seed=WORLD_SEED)
+    )
+
+    batch_campaign = ProbeCampaign(
+        world, CampaignConfig(seed=CAMPAIGN_SEED, engine="batch")
+    )
+    batch_measurements, timings["collect_batch"] = _timed(batch_campaign.collect)
+
+    scalar_campaign = ProbeCampaign(
+        world, CampaignConfig(seed=CAMPAIGN_SEED, engine="scalar")
+    )
+    _, timings["collect_scalar"] = _timed(scalar_campaign.collect)
+
+    pipeline = FilterPipeline()
+    report, timings["filter_pipeline"] = _timed(
+        lambda: pipeline.run(batch_measurements)
+    )
+
+    offload_world, timings["offload_world_build"] = _timed(
+        lambda: scenarios.rediris(seed=WORLD_SEED)
+    )
+    estimator = OffloadEstimator(offload_world, PeerGroups.build(offload_world))
+    steps, timings["greedy_expansion"] = _timed(
+        lambda: greedy_expansion(estimator, 4, max_ixps=8)
+    )
+
+    payload = {
+        "schema": "bench_speed/v1",
+        "python": platform.python_version(),
+        "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
+        "timings_s": {name: round(value, 4) for name, value in timings.items()},
+        "collect_speedup_batch_vs_scalar": round(
+            timings["collect_scalar"] / timings["collect_batch"], 2
+        ),
+        "detection": {
+            "candidates": len(batch_measurements),
+            "replies": sum(m.reply_count() for m in batch_measurements),
+            "analyzed": len(report.passed),
+        },
+        "offload": {"expansion_steps": [s.ixp for s in steps]},
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,19 @@ class ASGraph:
     _providers: dict[ASN, set[ASN]] = field(default_factory=dict)
     _customers: dict[ASN, set[ASN]] = field(default_factory=dict)
     _peers: dict[ASN, set[ASN]] = field(default_factory=dict)
+    # Cached read-only views returned by the *_of queries.  The queries are
+    # hot (route computation, customer cones); handing out a fresh set copy
+    # per call dominated their cost.  Caches are invalidated per-ASN on
+    # edge insertion.
+    _provider_views: dict[ASN, frozenset[ASN]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _customer_views: dict[ASN, frozenset[ASN]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _peer_views: dict[ASN, frozenset[ASN]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # --- node management -----------------------------------------------------
 
@@ -93,6 +106,8 @@ class ASGraph:
         self._check_fresh(customer, provider)
         self._providers[customer].add(provider)
         self._customers[provider].add(customer)
+        self._provider_views.pop(customer, None)
+        self._customer_views.pop(provider, None)
 
     def add_peering(self, a: ASN, b: ASN) -> None:
         """Record a settlement-free peering between ``a`` and ``b``."""
@@ -100,23 +115,37 @@ class ASGraph:
         self._check_fresh(a, b)
         self._peers[a].add(b)
         self._peers[b].add(a)
+        self._peer_views.pop(a, None)
+        self._peer_views.pop(b, None)
 
     # --- queries ----------------------------------------------------------------
 
-    def providers_of(self, asn: ASN) -> set[ASN]:
-        """Direct transit providers of ``asn``."""
-        self.get(asn)
-        return set(self._providers[asn])
+    def providers_of(self, asn: ASN) -> frozenset[ASN]:
+        """Direct transit providers of ``asn`` (cached read-only view)."""
+        view = self._provider_views.get(asn)
+        if view is None:
+            self.get(asn)
+            view = frozenset(self._providers[asn])
+            self._provider_views[asn] = view
+        return view
 
-    def customers_of(self, asn: ASN) -> set[ASN]:
-        """Direct transit customers of ``asn``."""
-        self.get(asn)
-        return set(self._customers[asn])
+    def customers_of(self, asn: ASN) -> frozenset[ASN]:
+        """Direct transit customers of ``asn`` (cached read-only view)."""
+        view = self._customer_views.get(asn)
+        if view is None:
+            self.get(asn)
+            view = frozenset(self._customers[asn])
+            self._customer_views[asn] = view
+        return view
 
-    def peers_of(self, asn: ASN) -> set[ASN]:
-        """Settlement-free peers of ``asn``."""
-        self.get(asn)
-        return set(self._peers[asn])
+    def peers_of(self, asn: ASN) -> frozenset[ASN]:
+        """Settlement-free peers of ``asn`` (cached read-only view)."""
+        view = self._peer_views.get(asn)
+        if view is None:
+            self.get(asn)
+            view = frozenset(self._peers[asn])
+            self._peer_views[asn] = view
+        return view
 
     def relationship(self, a: ASN, b: ASN) -> Relationship | None:
         """Relationship of ``b`` from ``a``'s viewpoint, or None."""

@@ -1,20 +1,25 @@
 """The six conservative filters of Section 3.1, applied in the paper's order.
 
 Order: sample-size, TTL-switch, TTL-match, RTT-consistent, LG-consistent,
-ASN-change.  Each filter either passes an interface (possibly trimming its
-reply set) or discards it, and the pipeline records exactly one discard
-reason per interface — mirroring how the paper reports the 20 / 82 / 20 /
-100 / 28 / 5 counts.
+ASN-change.  Each filter either passes an interface (possibly returning a
+*new* measurement with a trimmed reply set — stages never mutate their
+input) or discards it, and the pipeline records exactly one discard reason
+per interface — mirroring how the paper reports the 20 / 82 / 20 / 100 /
+28 / 5 counts.  Statistics are read off the measurements' RTT/TTL arrays,
+so batch-collected (struct-of-arrays) and scalar (per-reply object)
+evidence flow through the same pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.detection.measurements import InterfaceMeasurement
 from repro.errors import ConfigurationError
 from repro.net.device import TTL_LINUX, TTL_NETWORK_OS
-from repro.net.icmp import EchoReply
+from repro.net.icmp import EchoReply, ReplyBatch
 
 #: Canonical filter order (Section 3.1, "Choice of IXPs" paragraph).
 FILTER_ORDER = (
@@ -65,10 +70,18 @@ class FilterReport:
 
 
 class FilterPipeline:
-    """Applies the six filters in order, trimming or discarding interfaces."""
+    """Applies the six filters in order, trimming or discarding interfaces.
+
+    Stages are pure: they never modify the measurement they are given, so
+    the same raw measurements can be re-filtered under many configurations
+    (threshold/drop-one sweeps) without defensive copying.
+    """
 
     def __init__(self, config: FilterConfig | None = None) -> None:
         self.config = config or FilterConfig()
+        self._accepted_ttls = np.array(
+            sorted(self.config.accepted_ttls), dtype=np.int64
+        )
 
     # Individual filters.  Each returns None to discard, or the (possibly
     # trimmed) measurement to keep.
@@ -84,35 +97,63 @@ class FilterPipeline:
 
     def ttl_switch(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
         """Discard interfaces whose reply TTL changes during the campaign."""
-        if len(m.distinct_ttls()) > 1:
+        ttls = m.ttls()
+        if ttls.size and bool((ttls != ttls[0]).any()):
             return None
         return m
+
+    def _accepted_mask(self, ttls: np.ndarray) -> np.ndarray:
+        # accepted_ttls is tiny (two values in the paper's config): an OR
+        # of equality masks beats np.isin's sort-based machinery ~4x here.
+        mask = ttls == self._accepted_ttls[0]
+        for value in self._accepted_ttls[1:]:
+            mask |= ttls == value
+        return mask
 
     def ttl_match(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
         """Drop replies whose TTL is not an expected maximum (64 or 255).
 
         If dropping leaves any probing LG below the sample-size floor the
-        interface is discarded here (its usable evidence is gone).
+        interface is discarded here (its usable evidence is gone).  When
+        trimming removes anything, a *new* measurement is returned; the
+        input is never modified.
         """
-        trimmed: dict[str, list[EchoReply]] = {}
+        trimmed: dict[str, list[EchoReply] | ReplyBatch] = {}
+        changed = False
         for operator, replies in m.replies_by_operator.items():
-            kept = [r for r in replies if r.ttl in self.config.accepted_ttls]
-            if len(kept) < self.config.min_replies_per_lg:
-                return None
-            trimmed[operator] = kept
-        m.replies_by_operator = trimmed
-        return m
+            if isinstance(replies, ReplyBatch):
+                keep = self._accepted_mask(replies.ttl)
+                kept_count = int(keep.sum())
+                if kept_count < self.config.min_replies_per_lg:
+                    return None
+                if kept_count == len(replies):
+                    trimmed[operator] = replies
+                else:
+                    trimmed[operator] = replies.select(keep)
+                    changed = True
+            else:
+                kept = [
+                    r for r in replies if r.ttl in self.config.accepted_ttls
+                ]
+                if len(kept) < self.config.min_replies_per_lg:
+                    return None
+                if len(kept) == len(replies):
+                    trimmed[operator] = replies
+                else:
+                    trimmed[operator] = kept
+                    changed = True
+        if not changed:
+            return m
+        return m.with_replies(trimmed)
 
     def rtt_consistent(self, m: InterfaceMeasurement) -> InterfaceMeasurement | None:
         """Require >= 4 replies within max(5 ms, 10%) of the minimum RTT."""
-        replies = m.all_replies()
-        if not replies:
+        rtts = m.rtts()
+        if rtts.size == 0:
             return None
-        rtts = [r.rtt_ms for r in replies]
-        floor = min(rtts)
+        floor = float(rtts.min())
         ceiling = floor + self.config.envelope_ms(floor)
-        consistent = sum(1 for rtt in rtts if rtt <= ceiling)
-        if consistent < 4:
+        if int((rtts <= ceiling).sum()) < 4:
             return None
         return m
 
@@ -142,9 +183,9 @@ class FilterPipeline:
 
     # Pipeline.
 
-    def run(self, measurements: list[InterfaceMeasurement]) -> FilterReport:
-        """Apply all six filters in the paper's order."""
-        stages = (
+    def stages(self) -> tuple[tuple[str, object], ...]:
+        """(name, callable) pairs in the paper's order."""
+        return (
             ("sample-size", self.sample_size),
             ("ttl-switch", self.ttl_switch),
             ("ttl-match", self.ttl_match),
@@ -152,12 +193,29 @@ class FilterPipeline:
             ("lg-consistent", self.lg_consistent),
             ("asn-change", self.asn_change),
         )
+
+    def run(
+        self,
+        measurements: list[InterfaceMeasurement],
+        skip: str | None = None,
+    ) -> FilterReport:
+        """Apply all six filters in the paper's order.
+
+        ``skip`` omits one named stage — the drop-one-filter ablation.
+        Because stages are non-mutating, the same raw measurements can be
+        passed to many ``run`` calls without copying.
+        """
+        if skip is not None and skip not in FILTER_ORDER:
+            raise ConfigurationError(f"unknown filter {skip!r}")
         report = FilterReport()
+        stages = self.stages()
         for measurement in measurements:
             key = (measurement.ixp_acronym, measurement.address.value)
             survivor: InterfaceMeasurement | None = measurement
             for name, stage in stages:
-                survivor = stage(survivor)  # type: ignore[arg-type]
+                if name == skip:
+                    continue
+                survivor = stage(survivor)  # type: ignore[operator]
                 if survivor is None:
                     report.discard_counts[name] += 1
                     report.discard_reason[key] = name

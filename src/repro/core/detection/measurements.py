@@ -1,12 +1,33 @@
-"""Raw measurement containers produced by the probing campaign."""
+"""Raw measurement containers produced by the probing campaign.
+
+A measurement's per-operator reply set is stored either as a list of
+:class:`EchoReply` objects (the scalar reference path and hand-crafted
+tests) or as a struct-of-arrays :class:`ReplyBatch` (the vectorized batch
+engine).  The accessors below normalize both representations, so the
+filter pipeline reads RTT/TTL statistics without caring which engine
+collected the evidence.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.net.addr import IPv4Address
-from repro.net.icmp import EchoReply
+from repro.net.icmp import EchoReply, ReplyBatch
 from repro.types import ASN
+
+def _rtt_array(replies: list[EchoReply] | ReplyBatch) -> np.ndarray:
+    if isinstance(replies, ReplyBatch):
+        return replies.rtt_ms
+    return np.fromiter((r.rtt_ms for r in replies), dtype=float, count=len(replies))
+
+
+def _ttl_array(replies: list[EchoReply] | ReplyBatch) -> np.ndarray:
+    if isinstance(replies, ReplyBatch):
+        return replies.ttl
+    return np.fromiter((r.ttl for r in replies), dtype=np.int64, count=len(replies))
 
 
 @dataclass(slots=True)
@@ -15,38 +36,98 @@ class InterfaceMeasurement:
 
     ixp_acronym: str
     address: IPv4Address
-    replies_by_operator: dict[str, list[EchoReply]] = field(default_factory=dict)
+    replies_by_operator: dict[str, list[EchoReply] | ReplyBatch] = field(
+        default_factory=dict
+    )
     asn_at_start: ASN | None = None
     asn_at_end: ASN | None = None
     identification_source: str | None = None
 
+    def add_batch(self, operator: str, batch: ReplyBatch) -> None:
+        """Attach one sweep's replies from ``operator`` (concatenating)."""
+        existing = self.replies_by_operator.get(operator)
+        if existing is None:
+            self.replies_by_operator[operator] = batch
+        elif isinstance(existing, ReplyBatch):
+            self.replies_by_operator[operator] = existing.concat(batch)
+        else:
+            existing.extend(batch.to_replies(str(self.address)))
+
+    def with_replies(
+        self, replies_by_operator: dict[str, list[EchoReply] | ReplyBatch]
+    ) -> "InterfaceMeasurement":
+        """A sibling measurement holding different evidence (same identity).
+
+        Used by non-mutating filter stages that trim reply sets: the
+        original measurement keeps its raw evidence untouched.
+        """
+        return InterfaceMeasurement(
+            ixp_acronym=self.ixp_acronym,
+            address=self.address,
+            replies_by_operator=replies_by_operator,
+            asn_at_start=self.asn_at_start,
+            asn_at_end=self.asn_at_end,
+            identification_source=self.identification_source,
+        )
+
     def all_replies(self) -> list[EchoReply]:
-        """Replies across all LG operators, in probe order."""
+        """Replies across all LG operators, in probe order (materialized)."""
         merged: list[EchoReply] = []
         for operator in sorted(self.replies_by_operator):
-            merged.extend(self.replies_by_operator[operator])
+            replies = self.replies_by_operator[operator]
+            if isinstance(replies, ReplyBatch):
+                merged.extend(replies.to_replies(str(self.address)))
+            else:
+                merged.extend(replies)
         return merged
 
     def reply_count(self, operator: str | None = None) -> int:
         """Total replies (optionally for one operator)."""
         if operator is not None:
-            return len(self.replies_by_operator.get(operator, []))
+            return len(self.replies_by_operator.get(operator, ()))
         return sum(len(v) for v in self.replies_by_operator.values())
 
     def operators(self) -> list[str]:
         """LG operators that probed this interface, sorted."""
         return sorted(self.replies_by_operator)
 
+    def rtts(self, operator: str | None = None) -> np.ndarray:
+        """Observed RTTs as an array (optionally for one operator)."""
+        if operator is not None:
+            replies = self.replies_by_operator.get(operator)
+            if replies is None:
+                return np.zeros(0)
+            return _rtt_array(replies)
+        arrays = [
+            _rtt_array(self.replies_by_operator[op])
+            for op in sorted(self.replies_by_operator)
+        ]
+        if not arrays:
+            return np.zeros(0)
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+    def ttls(self, operator: str | None = None) -> np.ndarray:
+        """Received TTLs as an array (optionally for one operator)."""
+        if operator is not None:
+            replies = self.replies_by_operator.get(operator)
+            if replies is None:
+                return np.zeros(0, dtype=np.int64)
+            return _ttl_array(replies)
+        arrays = [
+            _ttl_array(self.replies_by_operator[op])
+            for op in sorted(self.replies_by_operator)
+        ]
+        if not arrays:
+            return np.zeros(0, dtype=np.int64)
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
     def min_rtt_ms(self, operator: str | None = None) -> float | None:
         """Minimum observed RTT (optionally per operator); None if no replies."""
-        if operator is not None:
-            replies = self.replies_by_operator.get(operator, [])
-        else:
-            replies = self.all_replies()
-        if not replies:
+        rtts = self.rtts(operator)
+        if rtts.size == 0:
             return None
-        return min(r.rtt_ms for r in replies)
+        return float(rtts.min())
 
     def distinct_ttls(self) -> set[int]:
         """The set of TTL values seen across all replies."""
-        return {r.ttl for r in self.all_replies()}
+        return {int(t) for t in np.unique(self.ttls())}

@@ -14,7 +14,6 @@ from repro.core.detection.filters import (
     FILTER_ORDER,
     FilterConfig,
     FilterPipeline,
-    FilterReport,
 )
 from repro.core.detection.measurements import InterfaceMeasurement
 from repro.core.detection.results import CampaignResult, build_result
@@ -84,41 +83,6 @@ class FilterDropPoint:
     report: GroundTruthReport
 
 
-class _PartialPipeline(FilterPipeline):
-    """A pipeline that skips one named stage."""
-
-    def __init__(self, config: FilterConfig | None, dropped: str | None):
-        super().__init__(config)
-        if dropped is not None and dropped not in FILTER_ORDER:
-            raise ConfigurationError(f"unknown filter {dropped!r}")
-        self._dropped = dropped
-
-    def run(self, measurements: list[InterfaceMeasurement]) -> FilterReport:
-        stages = (
-            ("sample-size", self.sample_size),
-            ("ttl-switch", self.ttl_switch),
-            ("ttl-match", self.ttl_match),
-            ("rtt-consistent", self.rtt_consistent),
-            ("lg-consistent", self.lg_consistent),
-            ("asn-change", self.asn_change),
-        )
-        report = FilterReport()
-        for measurement in measurements:
-            key = (measurement.ixp_acronym, measurement.address.value)
-            survivor: InterfaceMeasurement | None = measurement
-            for name, stage in stages:
-                if name == self._dropped:
-                    continue
-                survivor = stage(survivor)  # type: ignore[arg-type]
-                if survivor is None:
-                    report.discard_counts[name] += 1
-                    report.discard_reason[key] = name
-                    break
-            if survivor is not None:
-                report.passed.append(survivor)
-        return report
-
-
 def filter_drop_sweep(
     world: DetectionWorld,
     measurements: list[InterfaceMeasurement],
@@ -127,15 +91,15 @@ def filter_drop_sweep(
 ) -> list[FilterDropPoint]:
     """Run the pipeline with each filter removed in turn.
 
-    ``measurements`` must be raw (pre-filter); reply lists are copied per
-    variant because the TTL-match stage trims in place.
+    ``measurements`` must be raw (pre-filter).  Filter stages never mutate
+    their input, so every variant re-reads the same raw measurements — no
+    per-variant deep copies.
     """
+    pipeline = FilterPipeline(config)
     points = []
     for dropped in (None, *FILTER_ORDER):
-        fresh = _copy_measurements(measurements)
-        pipeline = _PartialPipeline(config, dropped)
-        report = pipeline.run(fresh)
-        result = build_result(fresh, report, threshold_ms=threshold_ms)
+        report = pipeline.run(measurements, skip=dropped)
+        result = build_result(measurements, report, threshold_ms=threshold_ms)
         truth = validate_against_truth(world, result)
         points.append(
             FilterDropPoint(
@@ -145,22 +109,3 @@ def filter_drop_sweep(
             )
         )
     return points
-
-
-def _copy_measurements(
-    measurements: list[InterfaceMeasurement],
-) -> list[InterfaceMeasurement]:
-    copies = []
-    for m in measurements:
-        copy = InterfaceMeasurement(
-            ixp_acronym=m.ixp_acronym,
-            address=m.address,
-            replies_by_operator={
-                op: list(replies) for op, replies in m.replies_by_operator.items()
-            },
-            asn_at_start=m.asn_at_start,
-            asn_at_end=m.asn_at_end,
-            identification_source=m.identification_source,
-        )
-        copies.append(copy)
-    return copies

@@ -29,6 +29,19 @@ class CongestionProcess:
         """Extra round-trip delay (ms) for a probe sent at ``time_s``."""
         raise NotImplementedError
 
+    def delay_batch_ms(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Extra delay for many probes at once (same law as :meth:`delay_ms`).
+
+        Subclasses override with a vectorized implementation; this fallback
+        loops, so arbitrary third-party processes stay usable in batch mode
+        (including the multi-dimensional time grids the probe engine passes).
+        """
+        flat = np.ravel(np.asarray(times_s, dtype=float))
+        delays = np.array([self.delay_ms(float(t), rng) for t in flat])
+        return delays.reshape(np.shape(times_s))
+
 
 @dataclass(frozen=True, slots=True)
 class NoCongestion(CongestionProcess):
@@ -36,6 +49,11 @@ class NoCongestion(CongestionProcess):
 
     def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
         return 0.0
+
+    def delay_batch_ms(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.zeros(np.shape(times_s))
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,11 +85,26 @@ class TransientCongestion(CongestionProcess):
         base = (1.0 + math.cos(phase)) / 2.0
         return base ** self.sharpness
 
+    def intensity_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`intensity` over an array of probe times."""
+        hours = np.mod(times_s, DAY) / 3600.0
+        phases = (hours - self.peak_hour_utc) / 24.0 * 2.0 * np.pi
+        base = (1.0 + np.cos(phases)) / 2.0
+        return base ** self.sharpness
+
     def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
         mean = self.peak_amplitude_ms * self.intensity(time_s)
         if mean <= 0:
             return 0.0
         return float(rng.exponential(mean))
+
+    def delay_batch_ms(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Exponential with a per-probe mean == unit exponential scaled by
+        # each probe's diurnal mean; one vectorized draw for the whole batch.
+        means = self.peak_amplitude_ms * self.intensity_batch(times_s)
+        return rng.exponential(1.0, size=np.shape(times_s)) * means
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,3 +126,10 @@ class PersistentCongestion(CongestionProcess):
 
     def delay_ms(self, time_s: float, rng: np.random.Generator) -> float:
         return self.floor_ms + float(rng.uniform(0.0, self.spread_ms))
+
+    def delay_batch_ms(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.floor_ms + rng.uniform(
+            0.0, self.spread_ms, size=np.shape(times_s)
+        )

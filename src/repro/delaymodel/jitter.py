@@ -31,3 +31,11 @@ class JitterModel:
         if self.scale_ms == 0:
             return self.floor_ms
         return self.floor_ms + float(rng.exponential(self.scale_ms))
+
+    def sample_batch_ms(
+        self, rng: np.random.Generator, size: int | tuple[int, ...]
+    ) -> np.ndarray:
+        """Jitter for ``size`` probes at once (one exponential draw each)."""
+        if self.scale_ms == 0:
+            return np.full(size, self.floor_ms)
+        return self.floor_ms + rng.exponential(self.scale_ms, size=size)

@@ -99,3 +99,19 @@ class PeeringFabric:
         rtt += a.profile.congestion.delay_ms(time_s, rng)
         rtt += b.profile.congestion.delay_ms(time_s, rng)
         return rtt
+
+    def path_rtt_batch_ms(
+        self, a: Port, b: Port, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Path RTTs for many probes between one port pair, vectorized.
+
+        Same law as :meth:`path_rtt_ms` (baseline + jitter + both ports'
+        congestion), realized as one array draw per stochastic component.
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        rtt = self.base_path_rtt_ms(a, b) + self.jitter.sample_batch_ms(
+            rng, times_s.shape
+        )
+        rtt += a.profile.congestion.delay_batch_ms(times_s, rng)
+        rtt += b.profile.congestion.delay_batch_ms(times_s, rng)
+        return rtt

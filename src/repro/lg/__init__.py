@@ -7,6 +7,7 @@ the IXP subnet (Section 3.1).
 
 from repro.lg.server import LookingGlassServer, OffLanTarget, PCH_PINGS, RIPE_PINGS
 from repro.lg.client import LookingGlassClient, QueryResult
+from repro.lg.batch import ProbePlan, compile_probe_plan, run_sweeps
 
 __all__ = [
     "LookingGlassServer",
@@ -15,4 +16,7 @@ __all__ = [
     "RIPE_PINGS",
     "LookingGlassClient",
     "QueryResult",
+    "ProbePlan",
+    "compile_probe_plan",
+    "run_sweeps",
 ]

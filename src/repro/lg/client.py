@@ -71,6 +71,40 @@ class LookingGlassClient:
             replies=tuple(replies),
         )
 
+    def record_sweep(self, server_name: str, times_s: np.ndarray) -> None:
+        """Enter a vectorized sweep's query times into the rate-limit ledger.
+
+        The batch probe engine issues a whole campaign's queries to one
+        server in a single call, so the ledger validates the entire schedule
+        at once: the sorted query times must keep the per-server minimum
+        interval among themselves *and* against any previously recorded
+        query.  A violation anywhere in the schedule fails the sweep before
+        a single simulated probe is sent.
+        """
+        times = np.sort(np.asarray(times_s, dtype=float).ravel())
+        if times.size == 0:
+            return
+        tolerance = self.min_interval_s - 1e-3
+        gaps = np.diff(times)
+        if gaps.size and float(gaps.min()) < tolerance:
+            at = int(np.argmin(gaps))
+            raise RateLimitError(
+                f"{server_name}: queries at t={times[at]:.0f}s and "
+                f"t={times[at + 1]:.0f}s violate the "
+                f"{self.min_interval_s:.0f}s per-server interval"
+            )
+        last = self._last_query_at.get(server_name)
+        if last is not None and float(times[0]) - last < tolerance:
+            raise RateLimitError(
+                f"{server_name}: query at t={times[0]:.0f}s violates the "
+                f"{self.min_interval_s:.0f}s per-server interval "
+                f"(previous at t={last:.0f}s)"
+            )
+        self._last_query_at[server_name] = float(times[-1])
+        self._query_counts[server_name] = (
+            self._query_counts.get(server_name, 0) + int(times.size)
+        )
+
     def queries_sent(self, server_name: str) -> int:
         """Number of queries submitted to one server so far."""
         return self._query_counts.get(server_name, 0)

@@ -4,6 +4,21 @@ Every stochastic component takes an explicit seed or ``numpy`` generator so
 that campaigns, worlds, and benchmarks are bit-for-bit reproducible.  The
 helpers here derive independent child streams from a root seed, so adding a
 new consumer never perturbs the draws of existing ones.
+
+RNG stream discipline
+---------------------
+The probing campaign derives exactly one stream per
+``(seed, "campaign", ixp, operator)`` label path — one independent
+generator per LG server per campaign.  Within a stream, a given engine
+draws in a fixed, documented order (the batch engine: round start times,
+then per sweep jitter, congestion groups in plan order, response loss,
+slow-path processing — see :mod:`repro.lg.batch`), so a (seed, engine)
+pair is bit-for-bit reproducible.  The scalar and batch engines consume
+the *same streams in different orders*; they therefore agree statistically
+rather than sample-for-sample, and results that must hold across engines
+are asserted with tolerances, never exact draws.  World generation uses
+the disjoint label paths ``(seed, "ixp", acronym)`` etc., so campaign
+replays never disturb the world.
 """
 
 from __future__ import annotations

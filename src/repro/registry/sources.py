@@ -9,6 +9,7 @@ a real registry's gaps behave across a campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 from repro.net.addr import IPv4Address
@@ -17,10 +18,17 @@ from repro.registry.records import IXPDirectory
 from repro.types import ASN
 
 
+@lru_cache(maxsize=1 << 18)
+def _coverage_draw(seed: int, label: str, value: int) -> int:
+    # The sha256-based draw is pure in (seed, label, address); campaigns
+    # look every address up at both campaign endpoints and across sources,
+    # so the memo halves identification cost.
+    return derive_seed(seed, label, value) % 10_000
+
+
 def _covered(seed: int, label: str, address: IPv4Address, coverage: float) -> bool:
     """Deterministic membership test: is ``address`` in this source's view?"""
-    draw = derive_seed(seed, label, address.value) % 10_000
-    return draw < coverage * 10_000
+    return _coverage_draw(seed, label, address.value) < coverage * 10_000
 
 
 @dataclass(frozen=True, slots=True)

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.delaymodel.congestion import (
+    CongestionProcess,
     NoCongestion,
     PersistentCongestion,
     TransientCongestion,
@@ -71,6 +72,60 @@ class TestTransient:
     def test_rejects_bad_peak_hour(self):
         with pytest.raises(ConfigurationError):
             TransientCongestion(peak_hour_utc=24.0)
+
+
+class TestBatchAPIs:
+    """The vectorized draws must follow the same laws as the scalar ones."""
+
+    def test_jitter_batch_floor_and_mean(self):
+        model = JitterModel(scale_ms=0.2, floor_ms=0.05)
+        rng = np.random.default_rng(0)
+        samples = model.sample_batch_ms(rng, 5000)
+        assert samples.shape == (5000,)
+        assert samples.min() >= 0.05
+        assert samples.mean() == pytest.approx(0.25, rel=0.1)
+
+    def test_jitter_batch_zero_scale(self):
+        model = JitterModel(scale_ms=0.0, floor_ms=0.03)
+        samples = model.sample_batch_ms(np.random.default_rng(0), (2, 3))
+        assert samples.shape == (2, 3)
+        assert (samples == 0.03).all()
+
+    def test_no_congestion_batch_zero(self):
+        delays = NoCongestion().delay_batch_ms(
+            np.linspace(0, DAY, 50), np.random.default_rng(0)
+        )
+        assert (delays == 0.0).all()
+
+    def test_transient_intensity_batch_matches_scalar(self):
+        c = TransientCongestion(peak_hour_utc=20.0, sharpness=3.0)
+        times = np.linspace(0.0, 2 * DAY, 97)
+        batch = c.intensity_batch(times)
+        scalar = np.array([c.intensity(float(t)) for t in times])
+        assert np.allclose(batch, scalar)
+
+    def test_transient_batch_mean_tracks_diurnal_profile(self):
+        c = TransientCongestion(peak_amplitude_ms=5.0, peak_hour_utc=10.0)
+        rng = np.random.default_rng(0)
+        peak = c.delay_batch_ms(np.full(4000, 10 * 3600.0), rng)
+        trough = c.delay_batch_ms(np.full(4000, 22 * 3600.0), rng)
+        assert peak.mean() == pytest.approx(5.0, rel=0.1)
+        assert trough.mean() < 0.2
+
+    def test_persistent_batch_floor_and_spread(self):
+        c = PersistentCongestion(floor_ms=4.0, spread_ms=10.0)
+        delays = c.delay_batch_ms(np.zeros(4000), np.random.default_rng(0))
+        assert delays.min() >= 4.0
+        assert delays.max() <= 14.0
+        assert delays.mean() == pytest.approx(9.0, rel=0.1)
+
+    def test_generic_fallback_loops_scalar_law(self):
+        class Fixed(CongestionProcess):
+            def delay_ms(self, time_s, rng):
+                return 1.5
+
+        delays = Fixed().delay_batch_ms(np.zeros(7), np.random.default_rng(0))
+        assert (delays == 1.5).all()
 
 
 class TestPersistent:

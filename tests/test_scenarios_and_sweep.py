@@ -85,7 +85,7 @@ class TestFilterDropSweep:
         assert no_rtt_fp >= baseline_fp
 
     def test_unknown_filter_rejected(self, mini_world, raw_measurements):
-        from repro.core.detection.sweep import _PartialPipeline
+        from repro.core.detection.filters import FilterPipeline
 
         with pytest.raises(ConfigurationError):
-            _PartialPipeline(None, "no-such-filter")
+            FilterPipeline().run([], skip="no-such-filter")
