@@ -1,9 +1,11 @@
 """End-to-end speed benchmark: the numbers the perf work is held to.
 
-Times the hot paths of both studies — detection-world build, the probing
-campaign under the batch *and* the scalar engine, the filter pipeline,
-and the offload greedy expansion — and writes ``BENCH_speed.json`` at the
-repo root so the perf trajectory is tracked across PRs.
+Times the hot paths of both studies — detection-world build under the
+vectorized *and* the scalar engine, the probing campaign under the batch
+*and* the scalar engine, the filter pipeline, a 16-trial mini-world
+ensemble, and the offload greedy expansion — and writes
+``BENCH_speed.json`` (schema ``bench_speed/v2``) at the repo root so the
+perf trajectory is tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
@@ -33,12 +35,20 @@ def _timed(fn):
 def main() -> None:
     from repro.core.detection import CampaignConfig, FilterPipeline, ProbeCampaign
     from repro.core.offload import OffloadEstimator, PeerGroups, greedy_expansion
-    from repro.sim import scenarios
+    from repro.experiments import ConfigVariant, EnsembleConfig, run_ensemble
+    from repro.sim import DetectionWorldConfig, build_detection_world, scenarios
+    from repro.sim.scenarios import mini_specs
 
     timings: dict[str, float] = {}
 
     world, timings["detection_world_build"] = _timed(
         lambda: scenarios.paper22(seed=WORLD_SEED)
+    )
+
+    _, timings["detection_world_build_scalar"] = _timed(
+        lambda: build_detection_world(
+            DetectionWorldConfig(seed=WORLD_SEED, engine="scalar")
+        )
     )
 
     batch_campaign = ProbeCampaign(
@@ -56,6 +66,21 @@ def main() -> None:
         lambda: pipeline.run(batch_measurements)
     )
 
+    ensemble_result, timings["ensemble_mini3_16trials"] = _timed(
+        lambda: run_ensemble(
+            EnsembleConfig(
+                seeds=tuple(range(16)),
+                variants=(
+                    ConfigVariant(
+                        name="mini3",
+                        world=DetectionWorldConfig(specs=mini_specs()),
+                    ),
+                ),
+            )
+        )
+    )
+    (ensemble_summary,) = ensemble_result.summaries()
+
     offload_world, timings["offload_world_build"] = _timed(
         lambda: scenarios.rediris(seed=WORLD_SEED)
     )
@@ -65,17 +90,28 @@ def main() -> None:
     )
 
     payload = {
-        "schema": "bench_speed/v1",
+        "schema": "bench_speed/v2",
         "python": platform.python_version(),
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
         "timings_s": {name: round(value, 4) for name, value in timings.items()},
         "collect_speedup_batch_vs_scalar": round(
             timings["collect_scalar"] / timings["collect_batch"], 2
         ),
+        "world_build_speedup_vectorized_vs_scalar": round(
+            timings["detection_world_build_scalar"]
+            / timings["detection_world_build"], 2
+        ),
         "detection": {
             "candidates": len(batch_measurements),
             "replies": sum(m.reply_count() for m in batch_measurements),
             "analyzed": len(report.passed),
+        },
+        "ensemble_mini3": {
+            "trials": ensemble_summary.trials,
+            "precision_mean": round(ensemble_summary.precision.mean, 4),
+            "precision_ci95": round(ensemble_summary.precision.half_width, 4),
+            "recall_mean": round(ensemble_summary.recall.mean, 4),
+            "recall_ci95": round(ensemble_summary.recall.half_width, 4),
         },
         "offload": {"expansion_steps": [s.ixp for s in steps]},
     }

@@ -1,5 +1,6 @@
 """Command-line entry points: ``repro-detect``, ``repro-offload``,
-``repro-econ``.
+``repro-econ``, ``repro-ensemble`` — and the ``repro <command>``
+dispatcher that fronts them all (``repro ensemble ...``).
 
 Each command builds the corresponding synthetic world, runs the study, and
 prints the paper-shaped report as plain text.
@@ -224,5 +225,115 @@ def econ_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def ensemble_main(argv: list[str] | None = None) -> int:
+    """Run a multi-seed (optionally multi-config) detection ensemble."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ensemble",
+        description="Multi-seed ensemble of the detection study: "
+        "mean ± 95% CI for precision, recall, per-filter discards and "
+        "per-IXP remote fractions.",
+    )
+    parser.add_argument(
+        "--scenario", choices=("mini3", "paper22"), default="mini3",
+        help="world to replicate (default: the fast 3-IXP mini world)",
+    )
+    parser.add_argument(
+        "--ixps", nargs="*", default=None,
+        help="override the scenario with these IXP acronyms",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16,
+        help="number of trial seeds (default: 16)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    parser.add_argument(
+        "--threshold-ms", type=float, nargs="*", default=None,
+        help="remoteness threshold grid (default: just 10 ms)",
+    )
+    parser.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default="vectorized",
+        help="world-builder engine (default: vectorized)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    parser.add_argument(
+        "--per-ixp", action="store_true",
+        help="also print per-IXP detected remote fractions",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+    if args.threshold_ms and any(t <= 0 for t in args.threshold_ms):
+        parser.error("--threshold-ms values must be positive")
+
+    from repro.experiments import (
+        EnsembleConfig,
+        grid_variants,
+        render_ensemble_report,
+        run_ensemble,
+    )
+    from repro.sim.scenarios import mini_specs
+
+    if args.ixps:
+        from repro.errors import ConfigurationError
+        from repro.ixp.catalog import spec_by_acronym
+
+        try:
+            # Resolve each name individually so typos fail loudly instead
+            # of silently shrinking the ensemble.
+            specs = tuple(spec_by_acronym(name) for name in dict.fromkeys(args.ixps))
+        except ConfigurationError as error:
+            parser.error(str(error))
+    elif args.scenario == "mini3":
+        specs = mini_specs()
+    else:
+        specs = ()  # the full catalog
+    world = DetectionWorldConfig(specs=specs, engine=args.engine)
+    axes = {}
+    if args.threshold_ms:
+        # Dedup: repeated values would produce same-named variants.
+        axes["campaign.remoteness_threshold_ms"] = tuple(
+            dict.fromkeys(args.threshold_ms)
+        )
+    config = EnsembleConfig(
+        seeds=tuple(range(args.seed_offset, args.seed_offset + args.seeds)),
+        variants=grid_variants(world=world, axes=axes),
+        workers=args.workers,
+    )
+    result = run_ensemble(config)
+    print(render_ensemble_report(result, per_ixp=args.per_ixp))
+    return 0
+
+
+#: Subcommands of the ``repro`` dispatcher.
+_COMMANDS = {
+    "detect": detect_main,
+    "offload": offload_main,
+    "econ": econ_main,
+    "report": report_main,
+    "ensemble": ensemble_main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro <command> [args...]`` — dispatch to the study entry points."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Remote-peering reproduction studies.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("args", nargs=argparse.REMAINDER)
+    parsed = parser.parse_args(argv)
+    return _COMMANDS[parsed.command](parsed.args)
+
+
 if __name__ == "__main__":  # pragma: no cover - module execution guard
-    sys.exit(detect_main())
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Multi-seed, multi-configuration ensemble experiments.
+
+Every headline number in the reproduction — precision, recall, per-filter
+discard counts, per-IXP remote fractions — was, until this subsystem, read
+off a *single* seed.  The paper (and Nomikos et al.'s "O Peer, Where Art
+Thou?" follow-up) validate detection quality against ground truth whose
+robustness only shows up across repeated trials; an *ensemble* runs the
+full detection study (build world → collect → filter → validate) over a
+grid of seeds × configuration variants and reports mean ± confidence
+intervals instead of point estimates.
+
+Usage
+-----
+Build a config, run it, render the report::
+
+    from repro.experiments import (
+        ConfigVariant, EnsembleConfig, grid_variants,
+        render_ensemble_report, run_ensemble,
+    )
+    from repro.core.detection import CampaignConfig
+    from repro.sim.scenarios import mini_specs
+
+    # 16 seeds x one variant over the 3-IXP mini world:
+    config = EnsembleConfig(
+        seeds=tuple(range(16)),
+        variants=(
+            ConfigVariant(
+                name="mini3",
+                world=DetectionWorldConfig(specs=mini_specs()),
+            ),
+        ),
+        workers=0,           # 0 = one process per core (capped at #trials)
+    )
+    result = run_ensemble(config)
+    print(render_ensemble_report(result))
+
+Config grids sweep any DetectionWorldConfig / CampaignConfig /
+FilterConfig field via dotted axes, taking the cartesian product::
+
+    variants = grid_variants(
+        world=DetectionWorldConfig(specs=mini_specs()),
+        axes={
+            "campaign.remoteness_threshold_ms": (5.0, 10.0, 20.0),
+            "filters.min_replies_per_lg": (6, 8),
+        },
+    )   # 6 variants; x 16 seeds = 96 trials
+
+Trials are independent and run under a ``ProcessPoolExecutor``
+(``workers=1`` runs inline, which tests use).  Each trial's campaign seed
+is derived from its world seed via :func:`repro.rand.derive_seed`, so
+ensembles are fully reproducible and adding variants never perturbs
+existing trials.  The CLI front end is ``repro ensemble`` (see
+``repro.cli``); ``examples/ensemble_study.py`` is a worked example.
+"""
+
+from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
+from repro.experiments.ensemble import (
+    ConfigVariant,
+    EnsembleConfig,
+    EnsembleResult,
+    TrialResult,
+    TrialSpec,
+    grid_variants,
+    run_ensemble,
+    run_trial,
+)
+from repro.experiments.report import render_ensemble_report
+
+__all__ = [
+    "ConfigVariant",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "MeanCI",
+    "TrialResult",
+    "TrialSpec",
+    "VariantSummary",
+    "grid_variants",
+    "mean_ci",
+    "render_ensemble_report",
+    "run_ensemble",
+    "run_trial",
+]

@@ -1,0 +1,327 @@
+"""The ensemble runner: seeds × config variants, one detection study each.
+
+A *trial* is the full Section 3 pipeline under one (seed, variant) pair:
+build the detection world, collect the campaign's measurements, run the
+filter pipeline, and validate the remote/direct calls against the
+simulator's ground truth.  Trials are embarrassingly parallel; the runner
+fans them out over a ``ProcessPoolExecutor`` and the aggregates in
+:mod:`repro.experiments.aggregate` turn the per-trial metrics into
+mean ± CI summaries per variant.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Sequence
+
+from repro.core.detection.campaign import CampaignConfig, ProbeCampaign
+from repro.core.detection.filters import FilterPipeline
+from repro.core.detection.results import build_result
+from repro.core.detection.validation import validate_against_truth
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
+from repro.rand import derive_seed
+from repro.sim.detection_world import DetectionWorldConfig, build_detection_world
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigVariant:
+    """One named cell of the configuration grid.
+
+    ``world`` carries the :class:`DetectionWorldConfig`;  ``campaign``
+    carries the :class:`CampaignConfig` (whose ``filters`` field is the
+    :class:`FilterConfig`).  The seeds in both are overridden per trial.
+    """
+
+    name: str
+    world: DetectionWorldConfig = DetectionWorldConfig()
+    campaign: CampaignConfig = CampaignConfig()
+
+
+def grid_variants(
+    world: DetectionWorldConfig | None = None,
+    campaign: CampaignConfig | None = None,
+    axes: Mapping[str, Sequence] | None = None,
+) -> tuple[ConfigVariant, ...]:
+    """Cartesian product of config axes as named variants.
+
+    ``axes`` maps dotted field paths to value sequences:
+
+    * ``"world.<field>"`` — a :class:`DetectionWorldConfig` field;
+    * ``"campaign.<field>"`` — a :class:`CampaignConfig` field;
+    * ``"filters.<field>"`` — a :class:`FilterConfig` field (inside the
+      campaign config).
+
+    Variant names join the swept assignments (``threshold_ms=5|replies=6``
+    style), so reports stay readable without a naming scheme.
+    """
+    world = world or DetectionWorldConfig()
+    campaign = campaign or CampaignConfig()
+    if not axes:
+        return (ConfigVariant(name="base", world=world, campaign=campaign),)
+    scope_fields = {
+        "world": {f.name for f in fields(DetectionWorldConfig)},
+        "campaign": {f.name for f in fields(CampaignConfig)},
+        "filters": {f.name for f in fields(campaign.filters)},
+    }
+    paths = list(axes)
+    for path in paths:
+        scope, _, fname = path.partition(".")
+        if scope not in scope_fields or fname not in scope_fields[scope]:
+            raise ConfigurationError(
+                f"grid axis {path!r} must be world.<field>, campaign.<field> "
+                "or filters.<field> naming an existing config field"
+            )
+        if fname == "seed":
+            # Seeds are per-trial (EnsembleConfig.seeds) and would be
+            # silently overwritten here — reject the no-op sweep loudly.
+            raise ConfigurationError(
+                f"grid axis {path!r} is not sweepable: trial seeds come "
+                "from EnsembleConfig.seeds"
+            )
+    variants = []
+    for combo in itertools.product(*(axes[p] for p in paths)):
+        w, c = world, campaign
+        parts = []
+        for path, value in zip(paths, combo):
+            scope, _, fname = path.partition(".")
+            if scope == "world":
+                w = replace(w, **{fname: value})
+            elif scope == "campaign":
+                c = replace(c, **{fname: value})
+            else:  # filters
+                c = replace(c, filters=replace(c.filters, **{fname: value}))
+            parts.append(f"{fname}={value}")
+        variants.append(
+            ConfigVariant(name="|".join(parts), world=w, campaign=c)
+        )
+    return tuple(variants)
+
+
+@dataclass(frozen=True, slots=True)
+class TrialSpec:
+    """One fully-resolved trial: picklable input of :func:`run_trial`."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    world: DetectionWorldConfig
+    campaign: CampaignConfig
+
+
+@dataclass(frozen=True, slots=True)
+class EnsembleConfig:
+    """Seed list × variant grid, plus parallelism.
+
+    ``workers=1`` runs trials inline in this process (what tests use);
+    ``workers=0`` uses one process per core, capped at the trial count.
+    """
+
+    seeds: tuple[int, ...]
+    variants: tuple[ConfigVariant, ...] = (ConfigVariant(name="base"),)
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("an ensemble needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("ensemble seeds must be distinct")
+        if not self.variants:
+            raise ConfigurationError("an ensemble needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
+
+    def trials(self) -> list[TrialSpec]:
+        """The fully-resolved trial list, variant-major, in a stable order.
+
+        Each trial's world takes the trial seed directly; its campaign
+        seed is *derived* from the trial seed so world and campaign
+        streams stay independent and reproducible.
+        """
+        specs: list[TrialSpec] = []
+        for variant in self.variants:
+            for seed in self.seeds:
+                specs.append(
+                    TrialSpec(
+                        trial_id=len(specs),
+                        variant=variant.name,
+                        seed=seed,
+                        world=replace(variant.world, seed=seed),
+                        campaign=replace(
+                            variant.campaign,
+                            seed=derive_seed(seed, "ensemble", "campaign"),
+                        ),
+                    )
+                )
+        return specs
+
+
+@dataclass(frozen=True, slots=True)
+class TrialResult:
+    """Per-trial metrics (picklable output of :func:`run_trial`)."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    candidate_count: int
+    analyzed_count: int
+    discard_counts: dict[str, int]
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+    remote_fraction_by_ixp: dict[str, float]
+    shortfall: int
+    build_s: float
+    collect_s: float
+    filter_s: float
+
+    @property
+    def precision(self) -> float | None:
+        """Precision of the remote calls; None when nothing was called."""
+        called = self.true_positives + self.false_positives
+        return self.true_positives / called if called else None
+
+    @property
+    def recall(self) -> float | None:
+        """Recall of the remote calls; None with no true remotes."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else None
+
+
+def run_trial(spec: TrialSpec) -> TrialResult:
+    """Execute one trial: build world → collect → filter → validate."""
+    t0 = time.perf_counter()
+    world = build_detection_world(spec.world)
+    t1 = time.perf_counter()
+    measurements = ProbeCampaign(world, spec.campaign).collect()
+    t2 = time.perf_counter()
+    report = FilterPipeline(spec.campaign.filters).run(measurements)
+    t3 = time.perf_counter()
+    result = build_result(
+        measurements=measurements,
+        report=report,
+        threshold_ms=spec.campaign.remoteness_threshold_ms,
+    )
+    truth = validate_against_truth(world, result)
+
+    per_ixp_total: dict[str, int] = {}
+    per_ixp_remote: dict[str, int] = {}
+    for iface in result.analyzed:
+        per_ixp_total[iface.ixp_acronym] = per_ixp_total.get(iface.ixp_acronym, 0) + 1
+        if iface.remote(result.threshold_ms):
+            per_ixp_remote[iface.ixp_acronym] = (
+                per_ixp_remote.get(iface.ixp_acronym, 0) + 1
+            )
+    remote_fraction = {
+        acr: per_ixp_remote.get(acr, 0) / total
+        for acr, total in sorted(per_ixp_total.items())
+    }
+    return TrialResult(
+        trial_id=spec.trial_id,
+        variant=spec.variant,
+        seed=spec.seed,
+        candidate_count=len(measurements),
+        analyzed_count=result.analyzed_count(),
+        discard_counts=dict(report.discard_counts),
+        true_positives=truth.true_positives,
+        false_positives=truth.false_positives,
+        true_negatives=truth.true_negatives,
+        false_negatives=truth.false_negatives,
+        remote_fraction_by_ixp=remote_fraction,
+        shortfall=world.total_shortfall(),
+        build_s=t1 - t0,
+        collect_s=t2 - t1,
+        filter_s=t3 - t2,
+    )
+
+
+@dataclass
+class EnsembleResult:
+    """All trial results plus the config that produced them."""
+
+    config: EnsembleConfig
+    trials: list[TrialResult]
+    wall_s: float = 0.0
+    _by_variant: dict[str, list[TrialResult]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_variant:
+            grouped: dict[str, list[TrialResult]] = {}
+            for trial in self.trials:
+                grouped.setdefault(trial.variant, []).append(trial)
+            self._by_variant = grouped
+
+    def by_variant(self) -> dict[str, list[TrialResult]]:
+        """Trials grouped by variant name, in config order."""
+        return dict(self._by_variant)
+
+    def summaries(self) -> list[VariantSummary]:
+        """Mean ± 95% CI aggregates, one per variant."""
+        out = []
+        for variant, trials in self._by_variant.items():
+            out.append(_summarize(variant, trials))
+        return out
+
+
+def _optional_mean_ci(values: list[float | None]) -> MeanCI | None:
+    defined = [v for v in values if v is not None]
+    return mean_ci(defined) if defined else None
+
+
+def _summarize(variant: str, trials: list[TrialResult]) -> VariantSummary:
+    filter_names: list[str] = []
+    for trial in trials:
+        for name in trial.discard_counts:
+            if name not in filter_names:
+                filter_names.append(name)
+    ixps = sorted({acr for t in trials for acr in t.remote_fraction_by_ixp})
+    return VariantSummary(
+        variant=variant,
+        trials=len(trials),
+        precision=_optional_mean_ci([t.precision for t in trials]),
+        recall=_optional_mean_ci([t.recall for t in trials]),
+        analyzed=mean_ci([t.analyzed_count for t in trials]),
+        candidates=mean_ci([t.candidate_count for t in trials]),
+        discards={
+            name: mean_ci([t.discard_counts.get(name, 0) for t in trials])
+            for name in filter_names
+        },
+        # Trials where an IXP had no analyzed interfaces carry no fraction
+        # for it; they are excluded (not counted as 0.0) so means/CIs
+        # reflect only trials with evidence.
+        remote_fraction_by_ixp={
+            acr: mean_ci([
+                t.remote_fraction_by_ixp[acr]
+                for t in trials
+                if acr in t.remote_fraction_by_ixp
+            ])
+            for acr in ixps
+        },
+        shortfall=mean_ci([t.shortfall for t in trials]),
+    )
+
+
+def run_ensemble(config: EnsembleConfig) -> EnsembleResult:
+    """Run every trial of ``config``, in parallel unless ``workers=1``.
+
+    Results come back in trial order regardless of completion order, so
+    ensembles are reproducible artifacts: same config, same report.
+    """
+    specs = config.trials()
+    workers = config.workers or min(os.cpu_count() or 1, len(specs))
+    t0 = time.perf_counter()
+    if workers <= 1 or len(specs) == 1:
+        trials = [run_trial(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+            trials = list(pool.map(run_trial, specs))
+    return EnsembleResult(
+        config=config, trials=trials, wall_s=time.perf_counter() - t0
+    )

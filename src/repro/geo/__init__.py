@@ -7,6 +7,7 @@ of every RTT the simulator produces.
 
 from repro.geo.coords import GeoPoint, haversine_km
 from repro.geo.cities import City, CityDB, default_city_db
+from repro.geo.distances import CityDistanceMatrix, pairwise_distance_km
 from repro.geo.latency import LatencyModel, distance_band
 
 __all__ = [
@@ -15,6 +16,8 @@ __all__ = [
     "City",
     "CityDB",
     "default_city_db",
+    "CityDistanceMatrix",
+    "pairwise_distance_km",
     "LatencyModel",
     "distance_band",
 ]

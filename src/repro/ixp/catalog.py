@@ -46,8 +46,9 @@ class IXPSpec:
             raise ConfigurationError("counts must be positive")
         if len(self.band_weights) != 3 or any(w < 0 for w in self.band_weights):
             raise ConfigurationError("band_weights must be 3 non-negative values")
-        if self.remote_fraction > 0 and sum(self.band_weights) == 0:
-            raise ConfigurationError("remote members need positive band weights")
+        # All-zero band_weights are allowed (a direct-only IXP, or "no
+        # preference"): the world builder falls back to a uniform band draw
+        # for any remote members.
         if not (self.has_pch_lg or self.has_ripe_lg):
             raise ConfigurationError(
                 f"{self.acronym}: study requires at least one LG server"

@@ -10,6 +10,40 @@ interface and power validation and ablation.
 Behaviour classes are drawn per interface, mutually exclusively, at rates
 calibrated so the six-filter pipeline discards roughly the paper's
 20 / 82 / 20 / 100 / 28 / 5 interfaces out of ~4.7k candidates.
+
+Engines
+-------
+Two builders produce statistically equivalent worlds from the same
+calibration knobs (``DetectionWorldConfig.engine``):
+
+* ``"vectorized"`` (default) realizes each IXP's stochastic content as
+  per-IXP array draws in a fixed, documented order — the same
+  struct-of-arrays discipline as :mod:`repro.lg.batch`.  Per IXP the
+  order is: intersite RTT (multi-site only), direct-member sample,
+  short-circuit coins, band draw, per-band member draws (partner seats
+  first, then short/intercity/intercountry/intercontinental), interleave
+  permutation, second-interface coins, behaviour classes, device arrays
+  (TTL coin, processing, rare TTL, OS-change time, blackhole/healthy
+  respond), congestion arrays (persistent floor/spread, transient
+  coin/amplitude/peak), attachment arrays (far-metro coin, far/near
+  tails, site coin, provider pick, partner overhead, PoP relocation),
+  LG-bias arrays, stale-target arrays, ASN-change arrays, anchors.
+* ``"scalar"`` replays the seed implementation's per-interface draws and
+  is kept as the reference engine.
+
+Both engines consume the same per-``(seed, "ixp", acronym)`` streams in
+different orders, so they agree in distribution (remote fractions,
+behaviour-class counts, band histograms, filter discard counts — see the
+equivalence suite in ``tests/test_world_builder_engines.py``), not
+member-for-member.  Distance queries are answered by one precomputed
+:class:`repro.geo.distances.CityDistanceMatrix` instead of re-sorting
+the city database per draw.
+
+Remote-member draws that find no eligible candidate in their nominal
+distance band are *redrawn from a widened band* (any unused network; the
+circuit still enters from an in-band provider PoP, so RTT calibration
+holds) and counted in :attr:`DetectionWorld.shortfall` — members are
+never silently dropped unless the whole pool is exhausted.
 """
 
 from __future__ import annotations
@@ -20,15 +54,18 @@ import numpy as np
 
 from repro.bgp.asys import AutonomousSystem
 from repro.delaymodel.congestion import (
+    CongestionProcess,
     NoCongestion,
     PersistentCongestion,
     TransientCongestion,
 )
 from repro.errors import ConfigurationError
 from repro.geo.cities import City, CityDB, default_city_db
+from repro.geo.distances import CityDistanceMatrix
 from repro.ixp.catalog import IXPSpec, paper_catalog
 from repro.ixp.ixp import IXP, MemberInterface
 from repro.layer2.provider import RemotePeeringProvider
+from repro.layer2.pseudowire import Pseudowire
 from repro.lg.server import LookingGlassServer, OffLanTarget
 from repro.net.addr import IPv4Address, IPv4Prefix, SubnetAllocator
 from repro.net.device import Device, TTL_LINUX, TTL_NETWORK_OS, TTL_RARE
@@ -46,6 +83,7 @@ from repro.sim.netpool import (
     NetworkPoolConfig,
     PooledNetwork,
     generate_network_pool,
+    weighted_index_sample,
 )
 from repro.types import ASN, NetworkKind, PeeringPolicy, PortKind
 
@@ -68,6 +106,9 @@ _BAND_DISTANCES = {
     "intercontinental": (3500.0, 12000.0),
 }
 
+#: Remote bands in draw order (the vectorized engine groups draws by band).
+_BANDS = ("intercity", "intercountry", "intercontinental")
+
 #: Inter-IXP partnership programs the paper names (Section 2.3/3.2):
 #: TOP-IX interconnects with VSIX (Padua) and LyonIX (Lyon); AMS-IX Hong
 #: Kong reaches AMS-IX over third-party layer 2.  The builder seats some
@@ -80,6 +121,10 @@ _PARTNERSHIPS: dict[str, tuple[tuple[str, str], ...]] = {
 
 #: Remote members per partnership seat.
 _PARTNER_SEATS = 4
+
+#: Provider indices member circuits may use; index 1 (``atrato-like``,
+#: the visible-detour provider) is reserved for the validation anchors.
+_MEMBER_PROVIDER_CHOICES = (0, 2, 3)
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +160,26 @@ class BehaviorRates:
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError("rates must be probabilities")
 
+    def class_table(self, dual_lg: bool) -> tuple[np.ndarray, tuple[str, ...]]:
+        """Cumulative thresholds + labels for the mutually-exclusive draw.
+
+        A uniform deviate ``u`` maps to ``labels[searchsorted(edges, u,
+        'right')]`` — the same class boundaries the scalar engine walks
+        with its running cursor.
+        """
+        pairs = (
+            (self.blackhole, BLACKHOLE),
+            (self.os_change, OS_CHANGE),
+            (self.stale, STALE),
+            (self.rare_ttl, RARE_TTL),
+            (self.persistent_congestion, CONGESTED),
+            (self.lg_bias if dual_lg else 0.0, LG_BIASED),
+            (self.asn_change, ASN_CHANGED),
+        )
+        edges = np.cumsum([rate for rate, _ in pairs])
+        labels = tuple(label for _, label in pairs) + (NORMAL,)
+        return edges, labels
+
 
 @dataclass(frozen=True, slots=True)
 class DetectionWorldConfig:
@@ -136,6 +201,16 @@ class DetectionWorldConfig:
     short_remote_fraction: float = 0.08
     #: Whether to add the named validation anchors (E4A/Invitel analogues).
     with_anchors: bool = True
+    #: ``"vectorized"`` (array draws, default) or ``"scalar"`` (reference).
+    #: Governs the builder and — only when ``pool`` is None — the network
+    #: pool generator; an explicit ``pool`` config carries its own
+    #: ``engine`` field (set it to ``"scalar"`` too for a fully scalar
+    #: reference world).
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("vectorized", "scalar"):
+            raise ConfigurationError(f"unknown world engine {self.engine!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,6 +242,12 @@ class DetectionWorld:
     truth: dict[tuple[str, int], InterfaceTruth]
     config: DetectionWorldConfig
     partnerships: list = field(default_factory=list)
+    #: Per-IXP count of remote-member draws that found no candidate in
+    #: their nominal distance band (filled from a widened band, or — only
+    #: when the whole pool was exhausted — dropped).  0 for every IXP of
+    #: the paper catalog; custom scenarios read it to see how far their
+    #: candidate counts drifted from calibration.
+    shortfall: dict[str, int] = field(default_factory=dict)
 
     def truth_for(self, ixp_acronym: str, address: IPv4Address) -> InterfaceTruth:
         """Ground-truth record for one (IXP, address) pair."""
@@ -189,6 +270,10 @@ class DetectionWorld:
             if t.is_remote and (ixp_acronym is None or t.ixp_acronym == ixp_acronym)
         )
 
+    def total_shortfall(self) -> int:
+        """Remote-member draws that left their nominal band, world-wide."""
+        return sum(self.shortfall.values())
+
 
 # ---------------------------------------------------------------------------
 # builder
@@ -202,15 +287,22 @@ def build_detection_world(
     config = config or DetectionWorldConfig()
     specs = config.specs or paper_catalog()
     city_db = default_city_db()
-    pool = generate_network_pool(
-        city_db, config.pool or NetworkPoolConfig(seed=config.seed)
+    matrix = CityDistanceMatrix.build(city_db)
+    pool_config = config.pool or NetworkPoolConfig(
+        seed=config.seed,
+        engine="scalar" if config.engine == "scalar" else "vectorized",
     )
+    pool = generate_network_pool(city_db, pool_config)
     directory = IXPDirectory()
     providers = _make_providers(config.seed, specs, city_db)
-    builder = _WorldBuilder(
+    builder_cls = (
+        _WorldBuilder if config.engine == "scalar" else _VectorWorldBuilder
+    )
+    builder = builder_cls(
         config=config,
         specs=specs,
         city_db=city_db,
+        matrix=matrix,
         pool=pool,
         directory=directory,
         providers=providers,
@@ -233,6 +325,7 @@ def build_detection_world(
         truth=builder.truth,
         config=config,
         partnerships=builder.partnerships,
+        shortfall=builder.shortfall,
     )
 
 
@@ -257,13 +350,14 @@ def _make_providers(
 
 
 class _WorldBuilder:
-    """Stateful helper that wires one world together."""
+    """The scalar reference engine: one draw per interface attribute."""
 
     def __init__(
         self,
         config: DetectionWorldConfig,
         specs: tuple[IXPSpec, ...],
         city_db: CityDB,
+        matrix: CityDistanceMatrix,
         pool: NetworkPool,
         directory: IXPDirectory,
         providers: list[RemotePeeringProvider],
@@ -271,6 +365,7 @@ class _WorldBuilder:
         self.config = config
         self.specs = specs
         self.city_db = city_db
+        self.matrix = matrix
         self.pool = pool
         self.directory = directory
         self.providers = providers
@@ -278,10 +373,14 @@ class _WorldBuilder:
         self.lg_servers: dict[str, list[LookingGlassServer]] = {}
         self.truth: dict[tuple[str, int], InterfaceTruth] = {}
         self.partnerships: list = []
+        self.shortfall: dict[str, int] = {}
         self._lans = SubnetAllocator(IPv4Prefix.parse("193.128.0.0/10"), 22)
         self._anchor_asn = ASN(64_600)
         self._anchor_plan: dict[str, list[tuple[AutonomousSystem, str, str]]] = {}
-        self._distance_cache: dict[str, list[tuple[float, City]]] = {}
+        #: One shared no-op process: ports without congestion are
+        #: indistinguishable, and the batch probe engine skips
+        #: ``NoCongestion`` entirely, so sharing is safe and cheap.
+        self._no_congestion = NoCongestion()
 
     # -- top level ------------------------------------------------------------
 
@@ -289,7 +388,12 @@ class _WorldBuilder:
         if self.config.with_anchors:
             self._plan_anchors()
         for spec in self.specs:
+            self.shortfall.setdefault(spec.acronym, 0)
             self._build_ixp(spec)
+
+    def _note_shortfall(self, spec: IXPSpec, count: int = 1) -> None:
+        """Record remote draws that had to leave their nominal band."""
+        self.shortfall[spec.acronym] = self.shortfall.get(spec.acronym, 0) + count
 
     # -- anchors ---------------------------------------------------------------
 
@@ -339,10 +443,43 @@ class _WorldBuilder:
         for ixp_acr, asys, kind, provider in plan:
             self._anchor_plan.setdefault(ixp_acr, []).append((asys, kind, provider))
 
+    # -- shared geometry -------------------------------------------------------
+
+    def _cities_within(self, city: City, low: float, high: float) -> list[City]:
+        """Cities whose distance from ``city`` lies in [low, high] km."""
+        return self.matrix.within(city.name, low, high)
+
+    def _city_names_within(self, city: City, low: float, high: float) -> set[str]:
+        return {c.name for c in self._cities_within(city, low, high)}
+
+    @staticmethod
+    def _propensity_weights(candidates: list[PooledNetwork]) -> np.ndarray:
+        """Normalized draw weights; uniform when all propensities are 0."""
+        weights = np.array([n.propensity for n in candidates], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            return np.full(len(candidates), 1.0 / len(candidates))
+        return weights / total
+
+    @staticmethod
+    def _band_probabilities(spec: IXPSpec) -> np.ndarray:
+        """Normalized band odds; all-zero ``band_weights`` fall back to
+        a uniform draw over the three bands."""
+        weights = np.array(spec.band_weights, dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            return np.full(3, 1.0 / 3.0)
+        return weights / total
+
     # -- one IXP -----------------------------------------------------------------
 
-    def _build_ixp(self, spec: IXPSpec) -> None:
-        rng = child_rng(self.config.seed, "ixp", spec.acronym)
+    def _common_ixp_setup(
+        self, spec: IXPSpec, rng: np.random.Generator
+    ) -> tuple[IXP, list[LookingGlassServer], list, int, int, int]:
+        """IXP shell, LGs and membership arithmetic shared by both engines.
+
+        The resolved city travels back as ``ixp.city``.
+        """
         city = self.city_db.get(spec.city_name)
         ixp = IXP(
             acronym=spec.acronym,
@@ -366,8 +503,19 @@ class _WorldBuilder:
         )
         remote_members = round(spec.remote_fraction * membership_count)
         direct_members = membership_count - remote_members
+        return (
+            ixp, servers, anchors, target_count, remote_members, direct_members,
+        )
 
-        members = self._draw_members(spec, rng, city, remote_members, direct_members)
+    def _build_ixp(self, spec: IXPSpec) -> None:
+        rng = child_rng(self.config.seed, "ixp", spec.acronym)
+        ixp, servers, anchors, target_count, remote_members, direct_members = (
+            self._common_ixp_setup(spec, rng)
+        )
+
+        members = self._draw_members(
+            spec, rng, ixp.city, remote_members, direct_members
+        )
 
         dual_lg = spec.has_pch_lg and spec.has_ripe_lg
         produced = 0
@@ -419,15 +567,12 @@ class _WorldBuilder:
             used.add(network.asn)
             chosen.append((network, "direct"))
 
-        bands = ["intercity", "intercountry", "intercontinental"]
-        weights = np.array(spec.band_weights, dtype=float)
-        if weights.sum() > 0:
-            weights = weights / weights.sum()
+        band_p = self._band_probabilities(spec)
         partner_slots = self._partner_slots(spec, city)
         for index in range(remote_members):
             if index < len(partner_slots):
                 partner_city = partner_slots[index]
-                network = self._draw_partner_network(rng, partner_city, used)
+                network = self._draw_partner_network(spec, rng, partner_city, used)
                 if network is not None:
                     used.add(network.asn)
                     chosen.append((network, f"partner:{partner_city.name}"))
@@ -435,7 +580,7 @@ class _WorldBuilder:
             if rng.random() < self.config.short_remote_fraction:
                 band = "short"
             else:
-                band = bands[int(rng.choice(3, p=weights))]
+                band = _BANDS[int(rng.choice(3, p=band_p))]
             network = self._draw_remote_network(spec, rng, city, band, used)
             if network is None:
                 continue
@@ -444,17 +589,6 @@ class _WorldBuilder:
         # Shuffle so remote/direct interleave in address space.
         order = rng.permutation(len(chosen))
         return [chosen[i] for i in order]
-
-    def _distance_sorted_cities(self, city: City) -> list[tuple[float, City]]:
-        cached = self._distance_cache.get(city.name)
-        if cached is not None:
-            return cached
-        ranked = sorted(
-            ((city.distance_km(c), c) for c in self.city_db.cities.values()),
-            key=lambda pair: pair[0],
-        )
-        self._distance_cache[city.name] = ranked
-        return ranked
 
     def _partner_slots(self, spec: IXPSpec, city: City) -> list[City]:
         """Partner-IXP cities whose members remote-peer here."""
@@ -479,14 +613,19 @@ class _WorldBuilder:
         return slots
 
     def _draw_partner_network(
-        self, rng: np.random.Generator, partner_city: City, used: set[ASN]
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        partner_city: City,
+        used: set[ASN],
     ) -> PooledNetwork | None:
-        """A member of the partner IXP: a network homed near its city."""
-        nearby = {
-            c.name
-            for d, c in self._distance_sorted_cities(partner_city)
-            if d <= 400.0
-        }
+        """A member of the partner IXP: a network homed near its city.
+
+        Falls back from "within 400 km" to "same continent" to "any unused
+        network" — the seat is filled whenever the pool has *any* network
+        left; the widened draws are counted as shortfall.
+        """
+        nearby = self._city_names_within(partner_city, 0.0, 400.0)
         candidates = [
             n
             for n in self.pool.networks
@@ -500,9 +639,11 @@ class _WorldBuilder:
                 and n.home_city.continent == partner_city.continent
             ]
         if not candidates:
+            self._note_shortfall(spec)
+            candidates = [n for n in self.pool.networks if n.asn not in used]
+        if not candidates:
             return None
-        weights = np.array([n.propensity for n in candidates])
-        weights = weights / weights.sum()
+        weights = self._propensity_weights(candidates)
         return candidates[int(rng.choice(len(candidates), p=weights))]
 
     def _draw_remote_network(
@@ -513,44 +654,34 @@ class _WorldBuilder:
         band: str,
         used: set[ASN],
     ) -> PooledNetwork | None:
-        """A network whose home city sits in the wanted distance band."""
+        """A network whose home city sits in the wanted distance band.
+
+        When the band holds no unused candidate the draw widens to the
+        whole pool (and is counted as shortfall) instead of silently
+        dropping the member; ``_attach_remote`` later routes the widened
+        member's circuit through an in-band provider PoP, so the IXP's
+        RTT band mix stays calibrated.
+        """
         low, high = _BAND_DISTANCES[band]
-        eligible_cities = {
-            c.name
-            for d, c in self._distance_sorted_cities(ixp_city)
-            if low <= d <= high
-        }
+        eligible_cities = self._city_names_within(ixp_city, low, high)
         candidates = [
             n
             for n in self.pool.networks
             if n.asn not in used and n.home_city.name in eligible_cities
         ]
         if not candidates:
+            self._note_shortfall(spec)
+            candidates = [n for n in self.pool.networks if n.asn not in used]
+        if not candidates:
             return None
-        weights = np.array([n.propensity for n in candidates])
-        weights = weights / weights.sum()
+        weights = self._propensity_weights(candidates)
         return candidates[int(rng.choice(len(candidates), p=weights))]
 
     # -- interfaces -------------------------------------------------------------------
 
     def _draw_behavior(self, rng: np.random.Generator, dual_lg: bool) -> str:
-        rates = self.config.rates
-        draw = rng.random()
-        thresholds = [
-            (rates.blackhole, BLACKHOLE),
-            (rates.os_change, OS_CHANGE),
-            (rates.stale, STALE),
-            (rates.rare_ttl, RARE_TTL),
-            (rates.persistent_congestion, CONGESTED),
-            (rates.lg_bias if dual_lg else 0.0, LG_BIASED),
-            (rates.asn_change, ASN_CHANGED),
-        ]
-        cursor = 0.0
-        for rate, label in thresholds:
-            cursor += rate
-            if draw < cursor:
-                return label
-        return NORMAL
+        edges, labels = self.config.rates.class_table(dual_lg)
+        return labels[int(np.searchsorted(edges, rng.random(), side="right"))]
 
     def _make_device(
         self,
@@ -591,7 +722,7 @@ class _WorldBuilder:
                 peak_amplitude_ms=float(rng.uniform(0.5, 3.0)),
                 peak_hour_utc=float(rng.uniform(0.0, 24.0)),
             )
-        return NoCongestion()
+        return self._no_congestion
 
     def _add_member_interface(
         self,
@@ -609,7 +740,11 @@ class _WorldBuilder:
         member = ixp.register(network.asys)
 
         if behavior == STALE:
-            self._add_stale_target(spec, ixp, servers, rng, network.asys, device)
+            self._add_stale_target(
+                spec, ixp, servers, network.asys, device,
+                base_rtt_ms=float(rng.uniform(1.0, 18.0)),
+                extra_hops=int(rng.integers(1, 4)),
+            )
             return
 
         if wanted_kind == "direct":
@@ -626,16 +761,31 @@ class _WorldBuilder:
             bias = max(6.0, 0.12 * base_rtt) + float(rng.uniform(3.0, 25.0))
             iface.port.operator_bias[operator] = bias
 
-        self._publish(spec, ixp, rng, network.asys, iface.address, behavior)
-        self.truth[(spec.acronym, iface.address.value)] = InterfaceTruth(
+        self._publish(spec, ixp, network.asys, iface.address, behavior, rng=rng)
+        self._record_truth(
+            spec, iface.address, network.asn, is_remote, behavior, base_rtt, km,
+        )
+
+    def _record_truth(
+        self,
+        spec: IXPSpec,
+        address: IPv4Address,
+        asn: ASN,
+        is_remote: bool,
+        behavior: str,
+        base_rtt_ms: float,
+        circuit_km: float,
+        on_lan: bool = True,
+    ) -> None:
+        self.truth[(spec.acronym, address.value)] = InterfaceTruth(
             ixp_acronym=spec.acronym,
-            address=iface.address,
-            asn=network.asn,
+            address=address,
+            asn=asn,
             is_remote=is_remote,
             behavior=behavior,
-            base_rtt_ms=base_rtt,
-            circuit_km=km,
-            on_lan=True,
+            base_rtt_ms=base_rtt_ms,
+            circuit_km=circuit_km,
+            on_lan=on_lan,
         )
 
     def _attach_direct(self, spec, ixp, rng, member, device, behavior):
@@ -654,26 +804,38 @@ class _WorldBuilder:
         )
         return iface, tail, 0.0
 
+    def _provision_partner_wire(
+        self,
+        provider: RemotePeeringProvider,
+        home_city: City,
+        ixp: IXP,
+        overhead_ms: float,
+    ) -> Pseudowire:
+        """Partner-IXP interconnect circuit.
+
+        Inter-IXP interconnects chain several provider segments and detour
+        through carrier hubs, so their overhead is well above a
+        point-to-point circuit's — which is why the paper sees TOP-IX's
+        partner members in the 10-20 ms band despite Padua/Lyon being only
+        a few hundred kilometres away.
+        """
+        wire = Pseudowire(
+            customer_city=home_city,
+            ixp_city=ixp.city,
+            overhead_ms=overhead_ms,
+            latency_model=provider.latency_model,
+        )
+        provider.circuits.append(wire)
+        return wire
+
     def _attach_remote(self, spec, ixp, rng, member, device, behavior, band, home_city):
         provider = self._pick_provider(rng)
         if band.startswith("partner:"):
-            # Partner-IXP interconnect: the circuit enters from the partner
-            # IXP's city.  Inter-IXP interconnects chain several provider
-            # segments and detour through carrier hubs, so their overhead is
-            # well above a point-to-point circuit's — which is why the paper
-            # sees TOP-IX's partner members in the 10-20 ms band despite
-            # Padua/Lyon being only a few hundred kilometres away.
             home_city = self.city_db.get(band.split(":", 1)[1])
             km = home_city.distance_km(ixp.city)
-            from repro.layer2.pseudowire import Pseudowire
-
-            wire = Pseudowire(
-                customer_city=home_city,
-                ixp_city=ixp.city,
-                overhead_ms=float(rng.uniform(6.5, 11.0)),
-                latency_model=provider.latency_model,
+            wire = self._provision_partner_wire(
+                provider, home_city, ixp, overhead_ms=float(rng.uniform(6.5, 11.0))
             )
-            provider.circuits.append(wire)
             iface = ixp.add_interface(
                 member,
                 device,
@@ -687,11 +849,7 @@ class _WorldBuilder:
             km = home_city.distance_km(ixp.city)
             if not low <= km <= high:
                 # The member's circuit enters from a provider PoP in the band.
-                candidates = [
-                    c
-                    for d, c in self._distance_sorted_cities(ixp.city)
-                    if low <= d <= high
-                ]
+                candidates = self._cities_within(ixp.city, low, high)
                 if candidates:
                     home_city = candidates[int(rng.integers(0, len(candidates)))]
                     km = home_city.distance_km(ixp.city)
@@ -706,33 +864,39 @@ class _WorldBuilder:
         return iface, wire.base_rtt_ms(), km
 
     def _pick_provider(self, rng: np.random.Generator) -> RemotePeeringProvider:
-        # The anchor provider (index 1) is reserved for anchors.
-        choices = [0, 2, 3]
+        choices = _MEMBER_PROVIDER_CHOICES
         return self.providers[choices[int(rng.integers(0, len(choices)))]]
 
-    def _add_stale_target(self, spec, ixp, servers, rng, asys, device) -> None:
+    def _add_stale_target(
+        self, spec, ixp, servers, asys, device, base_rtt_ms: float, extra_hops: int
+    ) -> None:
         """Publish an address that is not on the LAN (website rot)."""
         address = ixp.allocate_address()
         offlan = OffLanTarget(
             device=device,
-            base_rtt_ms=float(rng.uniform(1.0, 18.0)),
-            extra_hops=int(rng.integers(1, 4)),
+            base_rtt_ms=base_rtt_ms,
+            extra_hops=extra_hops,
         )
         for server in servers:
             server.register_offlan_target(address, offlan)
-        self._publish(spec, ixp, rng, asys, address, STALE)
-        self.truth[(spec.acronym, address.value)] = InterfaceTruth(
-            ixp_acronym=spec.acronym,
-            address=address,
-            asn=asys.asn,
-            is_remote=False,
-            behavior=STALE,
-            base_rtt_ms=offlan.base_rtt_ms,
-            circuit_km=0.0,
+        self._publish(spec, ixp, asys, address, STALE)
+        self._record_truth(
+            spec, address, asys.asn, False, STALE, offlan.base_rtt_ms, 0.0,
             on_lan=False,
         )
 
-    def _publish(self, spec, ixp, rng, asys, address, behavior, well_known=False) -> None:
+    def _publish(
+        self,
+        spec,
+        ixp,
+        asys,
+        address,
+        behavior,
+        well_known=False,
+        *,
+        rng: np.random.Generator | None = None,
+        asn_change: tuple[ASN, float] | None = None,
+    ) -> None:
         record = InterfaceRecord(
             ixp_acronym=spec.acronym,
             address=address,
@@ -742,11 +906,14 @@ class _WorldBuilder:
             well_known=well_known,
         )
         if behavior == ASN_CHANGED:
-            other = self.pool.networks[int(rng.integers(0, len(self.pool.networks)))]
-            record.asn_after_change = other.asn
-            record.asn_change_time = (
-                float(rng.uniform(0.3, 0.7)) * self.config.window.duration_s
-            )
+            if asn_change is None:
+                assert rng is not None
+                other = self.pool.networks[int(rng.integers(0, len(self.pool.networks)))]
+                asn_change = (
+                    other.asn,
+                    float(rng.uniform(0.3, 0.7)) * self.config.window.duration_s,
+                )
+            record.asn_after_change, record.asn_change_time = asn_change
         self.directory.add(record)
 
     def _add_anchor_interface(
@@ -773,14 +940,406 @@ class _WorldBuilder:
                 asys.home_city.distance_km(ixp.city),
                 True,
             )
-        self._publish(spec, ixp, rng, asys, iface.address, NORMAL, well_known=True)
-        self.truth[(spec.acronym, iface.address.value)] = InterfaceTruth(
-            ixp_acronym=spec.acronym,
-            address=iface.address,
-            asn=asys.asn,
-            is_remote=is_remote,
-            behavior=NORMAL,
-            base_rtt_ms=base_rtt,
-            circuit_km=km,
-            on_lan=True,
+        self._publish(spec, ixp, asys, iface.address, NORMAL, well_known=True)
+        self._record_truth(
+            spec, iface.address, asys.asn, is_remote, NORMAL, base_rtt, km,
         )
+
+
+# ---------------------------------------------------------------------------
+# vectorized engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _InterfaceDraws:
+    """Per-interface stochastic components, drawn as arrays (length n).
+
+    Every quantity is drawn for every slot (in the fixed order listed in
+    the module docstring) and selected per behaviour class afterwards —
+    the same marginal law as the scalar engine's conditional draws.
+    """
+
+    behavior: list[str]
+    ttl_linux: np.ndarray
+    processing: np.ndarray
+    rare_ttl_idx: np.ndarray
+    os_change_frac: np.ndarray
+    blackhole_respond: np.ndarray
+    healthy_respond: np.ndarray
+    persistent_floor: np.ndarray
+    persistent_spread: np.ndarray
+    transient_on: np.ndarray
+    transient_amp: np.ndarray
+    transient_peak: np.ndarray
+    far_metro: np.ndarray
+    far_tail: np.ndarray
+    near_tail: np.ndarray
+    site_b: np.ndarray
+    provider_pick: np.ndarray
+    partner_overhead: np.ndarray
+    relocation_u: np.ndarray
+    bias_ripe: np.ndarray
+    bias_extra: np.ndarray
+    stale_rtt: np.ndarray
+    stale_hops: np.ndarray
+    asn_other: np.ndarray
+    asn_change_frac: np.ndarray
+
+
+class _VectorWorldBuilder(_WorldBuilder):
+    """The vectorized engine: per-IXP array draws, then object assembly.
+
+    All randomness for one IXP is realized up front as numpy arrays; the
+    remaining per-interface loop only constructs devices, ports and truth
+    records.  Member selection replaces the scalar engine's per-draw
+    pool scan with boolean masks over precomputed pool arrays (home-city
+    index, propensity) against one city-distance-matrix row per band.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        networks = self.pool.networks
+        self._net_city_idx = np.array(
+            [self.matrix.index_of(n.home_city.name) for n in networks],
+            dtype=np.intp,
+        )
+        self._net_propensity = np.array(
+            [n.propensity for n in networks], dtype=float
+        )
+        self._net_index_by_asn = {n.asn: i for i, n in enumerate(networks)}
+        self._city_continent = np.array(
+            [c.continent for c in self.matrix.cities]
+        )
+
+    # -- member selection -------------------------------------------------------
+
+    def _weighted_sample_idx(
+        self, rng: np.random.Generator, candidates: np.ndarray, count: int
+    ) -> np.ndarray:
+        """Propensity-weighted sample without replacement from pool indices
+        (see :func:`repro.sim.netpool.weighted_index_sample` for the law)."""
+        return weighted_index_sample(
+            rng, self._net_propensity[candidates], count, indices=candidates
+        )
+
+    def _draw_band_members(
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        ixp_city: City,
+        band: str,
+        count: int,
+        used: np.ndarray,
+    ) -> list[int]:
+        """``count`` pool indices homed in ``band``, widening on shortfall."""
+        if count <= 0:
+            return []
+        low, high = _BAND_DISTANCES[band]
+        city_mask = self.matrix.band_mask(ixp_city.name, low, high)
+        candidates = np.flatnonzero(~used & city_mask[self._net_city_idx])
+        picked: list[int] = []
+        take = min(count, len(candidates))
+        if take:
+            chosen = self._weighted_sample_idx(rng, candidates, take)
+            used[chosen] = True
+            picked.extend(int(i) for i in chosen)
+        missing = count - take
+        if missing:
+            self._note_shortfall(spec, missing)
+            widened = np.flatnonzero(~used)
+            take = min(missing, len(widened))
+            if take:
+                chosen = self._weighted_sample_idx(rng, widened, take)
+                used[chosen] = True
+                picked.extend(int(i) for i in chosen)
+        return picked
+
+    def _draw_partner_member(
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        partner_city: City,
+        used: np.ndarray,
+    ) -> int | None:
+        """One pool index homed near the partner city (same fallbacks as
+        the scalar engine: <= 400 km, same continent, any unused)."""
+        near = self.matrix.band_mask(partner_city.name, 0.0, 400.0)
+        candidates = np.flatnonzero(~used & near[self._net_city_idx])
+        if not len(candidates):
+            same_continent = (
+                self._city_continent[self._net_city_idx] == partner_city.continent
+            )
+            candidates = np.flatnonzero(~used & same_continent)
+        if not len(candidates):
+            self._note_shortfall(spec)
+            candidates = np.flatnonzero(~used)
+        if not len(candidates):
+            return None
+        chosen = int(self._weighted_sample_idx(rng, candidates, 1)[0])
+        used[chosen] = True
+        return chosen
+
+    def _draw_members_arrays(
+        self,
+        spec: IXPSpec,
+        rng: np.random.Generator,
+        city: City,
+        remote_members: int,
+        direct_members: int,
+    ) -> list[tuple[PooledNetwork, str]]:
+        """Vectorized counterpart of ``_draw_members`` (same draw intent:
+        directs, partner seats, banded remotes, interleave shuffle)."""
+        networks = self.pool.networks
+        used = np.zeros(len(networks), dtype=bool)
+        chosen: list[tuple[PooledNetwork, str]] = []
+
+        directs = self.pool.sample_members(rng, city.continent, direct_members)
+        for network in directs:
+            used[self._net_index_by_asn[network.asn]] = True
+            chosen.append((network, "direct"))
+
+        partner_slots = self._partner_slots(spec, city)
+        n_partner = min(len(partner_slots), remote_members)
+        n_banded = remote_members - n_partner
+
+        short_coin = rng.random(n_banded) < self.config.short_remote_fraction
+        band_idx = rng.choice(3, size=n_banded, p=self._band_probabilities(spec))
+        band_counts = {"short": int(short_coin.sum())}
+        for b, name in enumerate(_BANDS):
+            band_counts[name] = int((band_idx[~short_coin] == b).sum())
+
+        for partner_city in partner_slots[:n_partner]:
+            index = self._draw_partner_member(spec, rng, partner_city, used)
+            if index is not None:
+                chosen.append(
+                    (networks[index], f"partner:{partner_city.name}")
+                )
+        for band in ("short", *_BANDS):
+            for index in self._draw_band_members(
+                spec, rng, city, band, band_counts[band], used
+            ):
+                chosen.append((networks[index], band))
+
+        order = rng.permutation(len(chosen))
+        return [chosen[i] for i in order]
+
+    # -- interface assembly -----------------------------------------------------
+
+    def _draw_interface_arrays(
+        self, spec: IXPSpec, rng: np.random.Generator, n: int, dual_lg: bool
+    ) -> _InterfaceDraws:
+        """All per-interface stochastic components for one IXP at once."""
+        edges, labels = self.config.rates.class_table(dual_lg)
+        class_idx = np.searchsorted(edges, rng.random(n), side="right")
+        return _InterfaceDraws(
+            behavior=[labels[k] for k in class_idx],
+            ttl_linux=rng.random(n) < 0.5,
+            processing=rng.uniform(0.03, 0.25, n),
+            rare_ttl_idx=rng.integers(0, len(TTL_RARE), n),
+            os_change_frac=rng.uniform(0.15, 0.85, n),
+            blackhole_respond=rng.uniform(0.0, 0.10, n),
+            healthy_respond=rng.uniform(0.965, 1.0, n),
+            persistent_floor=rng.uniform(2.0, 5.0, n),
+            persistent_spread=rng.uniform(350.0, 650.0, n),
+            transient_on=rng.random(n) < self.config.rates.transient_congestion,
+            transient_amp=rng.uniform(0.5, 3.0, n),
+            transient_peak=rng.uniform(0.0, 24.0, n),
+            far_metro=rng.random(n) < self.config.far_metro_fraction,
+            far_tail=rng.uniform(2.0, 9.0, n),
+            near_tail=rng.uniform(0.22, 1.9, n),
+            site_b=rng.random(n) < 0.4,
+            provider_pick=rng.integers(0, len(_MEMBER_PROVIDER_CHOICES), n),
+            partner_overhead=rng.uniform(6.5, 11.0, n),
+            relocation_u=rng.random(n),
+            bias_ripe=rng.random(n) < 0.5,
+            bias_extra=rng.uniform(3.0, 25.0, n),
+            stale_rtt=rng.uniform(1.0, 18.0, n),
+            stale_hops=rng.integers(1, 4, n),
+            asn_other=rng.integers(0, len(self.pool.networks), n),
+            asn_change_frac=rng.uniform(0.3, 0.7, n),
+        )
+
+    def _build_ixp(self, spec: IXPSpec) -> None:
+        rng = child_rng(self.config.seed, "ixp", spec.acronym)
+        ixp, servers, anchors, target_count, remote_members, direct_members = (
+            self._common_ixp_setup(spec, rng)
+        )
+
+        members = self._draw_members_arrays(
+            spec, rng, ixp.city, remote_members, direct_members
+        )
+
+        # Expand members into interface slots (second-interface coins are
+        # one array draw), capped at the candidate target like the scalar
+        # engine's running `produced` counter.
+        second = rng.random(len(members)) < self.config.second_interface_fraction
+        slots: list[tuple[PooledNetwork, str, int]] = []
+        for (network, wanted_kind), extra in zip(members, second):
+            slots.append((network, wanted_kind, 0))
+            if extra:
+                slots.append((network, wanted_kind, 1))
+        slots = slots[:target_count]
+
+        dual_lg = spec.has_pch_lg and spec.has_ripe_lg
+        draws = self._draw_interface_arrays(spec, rng, len(slots), dual_lg)
+        band_cities = {
+            band: self._cities_within(ixp.city, low, high)
+            for band, (low, high) in _BAND_DISTANCES.items()
+        }
+        for i, (network, wanted_kind, index) in enumerate(slots):
+            self._realize_interface(
+                spec, ixp, servers, network, wanted_kind, index, draws, i,
+                band_cities,
+            )
+        for asys, kind, provider_name in anchors:
+            self._add_anchor_interface(
+                spec, ixp, servers, rng, asys, kind, provider_name
+            )
+
+    def _device_from_draws(
+        self,
+        network: AutonomousSystem,
+        spec: IXPSpec,
+        behavior: str,
+        index: int,
+        d: _InterfaceDraws,
+        i: int,
+    ) -> Device:
+        ttl = TTL_LINUX if d.ttl_linux[i] else TTL_NETWORK_OS
+        kwargs: dict = {
+            "name": f"rtr-as{network.asn}-{spec.acronym.lower()}-{index}",
+            "ttl_init": ttl,
+            "processing_ms": float(d.processing[i]),
+        }
+        if behavior == RARE_TTL:
+            kwargs["ttl_init"] = int(TTL_RARE[d.rare_ttl_idx[i]])
+        elif behavior == OS_CHANGE:
+            kwargs["ttl_after_change"] = (
+                TTL_NETWORK_OS if ttl == TTL_LINUX else TTL_LINUX
+            )
+            kwargs["os_change_time"] = (
+                float(d.os_change_frac[i]) * self.config.window.duration_s
+            )
+        elif behavior == BLACKHOLE:
+            kwargs["respond_probability"] = float(d.blackhole_respond[i])
+        else:
+            kwargs["respond_probability"] = float(d.healthy_respond[i])
+        return Device(**kwargs)
+
+    def _congestion_from_draws(
+        self, behavior: str, d: _InterfaceDraws, i: int
+    ) -> CongestionProcess:
+        if behavior == CONGESTED:
+            return PersistentCongestion(
+                floor_ms=float(d.persistent_floor[i]),
+                spread_ms=float(d.persistent_spread[i]),
+            )
+        if d.transient_on[i]:
+            return TransientCongestion(
+                peak_amplitude_ms=float(d.transient_amp[i]),
+                peak_hour_utc=float(d.transient_peak[i]),
+            )
+        return self._no_congestion
+
+    def _realize_interface(
+        self,
+        spec: IXPSpec,
+        ixp: IXP,
+        servers: list[LookingGlassServer],
+        network: PooledNetwork,
+        wanted_kind: str,
+        index: int,
+        d: _InterfaceDraws,
+        i: int,
+        band_cities: dict[str, list[City]],
+    ) -> None:
+        """Assemble one interface from precomputed draws (no RNG calls)."""
+        behavior = d.behavior[i]
+        device = self._device_from_draws(network.asys, spec, behavior, index, d, i)
+        member = ixp.register(network.asys)
+
+        if behavior == STALE:
+            self._add_stale_target(
+                spec, ixp, servers, network.asys, device,
+                base_rtt_ms=float(d.stale_rtt[i]),
+                extra_hops=int(d.stale_hops[i]),
+            )
+            return
+
+        congestion = self._congestion_from_draws(behavior, d, i)
+        if wanted_kind == "direct":
+            tail = float(d.far_tail[i] if d.far_metro[i] else d.near_tail[i])
+            site = "b" if spec.sites > 1 and d.site_b[i] else "main"
+            iface = ixp.add_interface(
+                member, device, PortKind.DIRECT,
+                tail_rtt_ms=tail, congestion=congestion, site=site,
+            )
+            base_rtt, km, is_remote = tail, 0.0, False
+        else:
+            iface, base_rtt, km = self._attach_remote_from_draws(
+                spec, ixp, member, device, congestion, wanted_kind,
+                network.home_city, d, i, band_cities,
+            )
+            is_remote = True
+
+        if behavior == LG_BIASED:
+            operator = "RIPE" if d.bias_ripe[i] else "PCH"
+            bias = max(6.0, 0.12 * base_rtt) + float(d.bias_extra[i])
+            iface.port.operator_bias[operator] = bias
+
+        asn_change = None
+        if behavior == ASN_CHANGED:
+            asn_change = (
+                self.pool.networks[int(d.asn_other[i])].asn,
+                float(d.asn_change_frac[i]) * self.config.window.duration_s,
+            )
+        self._publish(
+            spec, ixp, network.asys, iface.address, behavior,
+            asn_change=asn_change,
+        )
+        self._record_truth(
+            spec, iface.address, network.asn, is_remote, behavior, base_rtt, km,
+        )
+
+    def _attach_remote_from_draws(
+        self,
+        spec: IXPSpec,
+        ixp: IXP,
+        member,
+        device: Device,
+        congestion: CongestionProcess,
+        band: str,
+        home_city: City,
+        d: _InterfaceDraws,
+        i: int,
+        band_cities: dict[str, list[City]],
+    ) -> tuple[MemberInterface, float, float]:
+        provider = self.providers[
+            _MEMBER_PROVIDER_CHOICES[int(d.provider_pick[i])]
+        ]
+        if band.startswith("partner:"):
+            home_city = self.city_db.get(band.split(":", 1)[1])
+            km = home_city.distance_km(ixp.city)
+            wire = self._provision_partner_wire(
+                provider, home_city, ixp, overhead_ms=float(d.partner_overhead[i])
+            )
+        else:
+            low, high = _BAND_DISTANCES[band]
+            km = home_city.distance_km(ixp.city)
+            if not low <= km <= high:
+                # The member's circuit enters from a provider PoP in the band.
+                candidates = band_cities[band]
+                if candidates:
+                    pick = min(
+                        int(d.relocation_u[i] * len(candidates)),
+                        len(candidates) - 1,
+                    )
+                    home_city = candidates[pick]
+                    km = home_city.distance_km(ixp.city)
+            wire = provider.provision(home_city, ixp.city)
+        iface = ixp.add_interface(
+            member, device, PortKind.REMOTE,
+            pseudowire=wire, congestion=congestion,
+        )
+        return iface, wire.base_rtt_ms(), km

@@ -6,6 +6,19 @@ from 1 to 18 with a heavy skew toward 1), what business they run
 networks), their advertised peering policy, and where they live.  The pool
 generator encodes those distributions once so that the detection and
 offload worlds draw from consistent populations.
+
+Two generation engines produce the same distributions:
+
+* ``"vectorized"`` (default) draws every attribute as one array over the
+  whole pool — continent, city-within-continent, kind, policy,
+  bicontinental coin + partner continent, address space, in that fixed
+  order — so a 5,600-network pool costs a handful of numpy calls;
+* ``"scalar"`` replays the seed implementation's per-network loop and is
+  kept as the statistical reference.
+
+The engines consume the same seed in different orders, so pools agree in
+distribution (continent/kind/policy mixes, propensity law, scope law) but
+not network-for-network.
 """
 
 from __future__ import annotations
@@ -50,6 +63,17 @@ _POLICY_WEIGHTS = {
     PeeringPolicy.RESTRICTIVE: 0.10,
 }
 
+#: Mean announced log2(address space) by business type.
+_ADDRESS_SPACE_MEANS = {
+    NetworkKind.ACCESS: 15.0,      # ~ a /17
+    NetworkKind.TRANSIT: 16.0,
+    NetworkKind.CONTENT: 12.0,
+    NetworkKind.HOSTING: 13.0,
+    NetworkKind.CDN: 14.0,
+    NetworkKind.ENTERPRISE: 10.0,
+    NetworkKind.NREN: 16.0,
+}
+
 
 @dataclass(frozen=True, slots=True)
 class NetworkPoolConfig:
@@ -64,6 +88,8 @@ class NetworkPoolConfig:
     global_scope_fraction: float = 0.04
     #: Fraction with a two-continent scope.
     bicontinental_fraction: float = 0.18
+    #: ``"vectorized"`` (array draws, default) or ``"scalar"`` (reference).
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -72,6 +98,8 @@ class NetworkPoolConfig:
             raise ConfigurationError("first ASN must be positive")
         if not 0 <= self.global_scope_fraction <= 1:
             raise ConfigurationError("fractions must be in [0, 1]")
+        if self.engine not in ("vectorized", "scalar"):
+            raise ConfigurationError(f"unknown pool engine {self.engine!r}")
 
 
 @dataclass(slots=True)
@@ -100,6 +128,7 @@ class NetworkPool:
 
     networks: list[PooledNetwork]
     _by_asn: dict[ASN, PooledNetwork] = field(default_factory=dict)
+    _eligible_cache: dict[str, list[PooledNetwork]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self._by_asn:
@@ -116,9 +145,17 @@ class NetworkPool:
             raise ConfigurationError(f"AS{asn} not in pool") from None
 
     def eligible_for(self, continent: str) -> list[PooledNetwork]:
-        """Networks whose scope includes ``continent``, ASN-sorted."""
-        found = [n for n in self.networks if continent in n.scope]
-        return sorted(found, key=lambda n: n.asn)
+        """Networks whose scope includes ``continent``, ASN-sorted.
+
+        Pools are treated as immutable after generation, so the result is
+        cached per continent (world builders ask once per IXP).
+        """
+        cached = self._eligible_cache.get(continent)
+        if cached is None:
+            found = [n for n in self.networks if continent in n.scope]
+            cached = sorted(found, key=lambda n: n.asn)
+            self._eligible_cache[continent] = cached
+        return cached
 
     def sample_members(
         self,
@@ -142,9 +179,37 @@ class NetworkPool:
                 f"cannot draw {count} members from {len(pool)} eligible networks"
             )
         weights = np.array([n.propensity for n in pool], dtype=float)
-        weights /= weights.sum()
-        idx = rng.choice(len(pool), size=count, replace=False, p=weights)
+        idx = weighted_index_sample(rng, weights, count)
         return [pool[i] for i in idx]
+
+
+def weighted_index_sample(
+    rng: np.random.Generator,
+    weights: np.ndarray,
+    count: int,
+    indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """``count`` distinct draws from ``indices``, weighted by ``weights``.
+
+    ``indices`` defaults to ``arange(len(weights))``; ``weights`` is
+    aligned with it.  The draw law matches the scalar engines' one-at-a-
+    time loop: positive-weight entries are drawn (weighted) before any
+    zero-weight entry, zero-weight entries are drawn uniformly once the
+    positives are exhausted, and an all-zero vector falls back to a fully
+    uniform draw — a bare ``rng.choice(p=...)`` would produce NaN weights
+    or raise when the positives are fewer than ``count``.
+    """
+    if indices is None:
+        indices = np.arange(len(weights))
+    total = weights.sum()
+    if total <= 0:  # all zero: uniform
+        return rng.choice(indices, size=count, replace=False)
+    nonzero = indices[weights > 0]
+    if count > len(nonzero):
+        zeros = indices[weights <= 0]
+        extra = rng.choice(zeros, size=count - len(nonzero), replace=False)
+        return np.concatenate([nonzero, extra])
+    return rng.choice(indices, size=count, replace=False, p=weights / total)
 
 
 def _weighted_choice(rng: np.random.Generator, table: dict) -> object:
@@ -159,6 +224,102 @@ def generate_network_pool(
 ) -> NetworkPool:
     """Generate the network pool deterministically from ``config.seed``."""
     config = config or NetworkPoolConfig()
+    if config.engine == "scalar":
+        return _generate_scalar(city_db, config)
+    return _generate_vectorized(city_db, config)
+
+
+def _make_network(
+    asn: ASN,
+    city: City,
+    kind: NetworkKind,
+    policy: PeeringPolicy,
+    propensity: float,
+    scope: frozenset[str],
+    address_space: int,
+) -> PooledNetwork:
+    asys = AutonomousSystem(
+        asn=asn,
+        name=f"{kind}-{city.name.lower().replace(' ', '')}-{asn}",
+        kind=kind,
+        home_city=city,
+        policy=policy,
+        address_space=address_space,
+    )
+    return PooledNetwork(asys=asys, propensity=propensity, scope=scope)
+
+
+def _generate_vectorized(
+    city_db: CityDB, config: NetworkPoolConfig
+) -> NetworkPool:
+    """Array-draw engine: one draw per attribute over the whole pool.
+
+    Draw order (fixed; see the module docstring): rank permutation,
+    continent, city-within-continent, kind, policy, bicontinental coin,
+    partner continent, address-space normal deviates.
+    """
+    rng = make_rng(config.seed)
+    size = config.size
+    continents = list(_CONTINENT_WEIGHTS)
+    continent_w = np.array([_CONTINENT_WEIGHTS[c] for c in continents])
+    continent_w /= continent_w.sum()
+    kinds = list(_KIND_WEIGHTS)
+    kind_w = np.array([_KIND_WEIGHTS[k] for k in kinds], dtype=float)
+    kind_w /= kind_w.sum()
+    policies = list(_POLICY_WEIGHTS)
+    policy_w = np.array([_POLICY_WEIGHTS[p] for p in policies], dtype=float)
+    policy_w /= policy_w.sum()
+    #: Name-sorted per-continent city lists — the same population the
+    #: scalar engine's ``city_db.sample`` draws from uniformly.
+    cities_by_continent = {c: city_db.by_continent(c) for c in continents}
+    for continent, cities in cities_by_continent.items():
+        if not cities:
+            raise ConfigurationError(f"no cities on continent {continent!r}")
+
+    ranks = rng.permutation(size)
+    continent_idx = rng.choice(len(continents), size=size, p=continent_w)
+    city_counts = np.array(
+        [len(cities_by_continent[continents[i]]) for i in continent_idx]
+    )
+    city_idx = rng.integers(0, city_counts)
+    kind_idx = rng.choice(len(kinds), size=size, p=kind_w)
+    policy_idx = rng.choice(len(policies), size=size, p=policy_w)
+    bicontinental = rng.random(size) < config.bicontinental_fraction
+    other_idx = rng.choice(len(continents), size=size, p=continent_w)
+    space_z = rng.normal(loc=0.0, scale=1.0, size=size)
+
+    propensity = (1.0 + ranks) ** (-config.propensity_exponent)
+    means = np.array([_ADDRESS_SPACE_MEANS[kinds[i]] for i in kind_idx])
+    log2_size = np.clip(means + 1.5 * space_z, 8.0, 22.0)
+    address_space = (2.0**log2_size).astype(np.int64)
+
+    top_global = int(config.global_scope_fraction * size)
+    global_scope = frozenset(continents)
+    networks: list[PooledNetwork] = []
+    for i in range(size):
+        continent = continents[continent_idx[i]]
+        if ranks[i] < top_global:
+            scope = global_scope
+        elif bicontinental[i]:
+            scope = frozenset({continent, continents[other_idx[i]]})
+        else:
+            scope = frozenset({continent})
+        networks.append(
+            _make_network(
+                asn=ASN(config.first_asn + i),
+                city=cities_by_continent[continent][city_idx[i]],
+                kind=kinds[kind_idx[i]],
+                policy=policies[policy_idx[i]],
+                propensity=float(propensity[i]),
+                scope=scope,
+                address_space=int(address_space[i]),
+            )
+        )
+    return NetworkPool(networks=networks)
+
+
+def _generate_scalar(city_db: CityDB, config: NetworkPoolConfig) -> NetworkPool:
+    """Per-network loop engine: the seed implementation, kept as reference."""
     rng = make_rng(config.seed)
     continents = list(_CONTINENT_WEIGHTS)
     continent_w = np.array([_CONTINENT_WEIGHTS[c] for c in continents])
@@ -169,22 +330,23 @@ def generate_network_pool(
     ranks = rng.permutation(config.size)
     networks: list[PooledNetwork] = []
     for i in range(config.size):
-        asn = ASN(config.first_asn + i)
         continent = str(_weighted_choice(rng, _CONTINENT_WEIGHTS))
         city = city_db.sample(rng, 1, continent=continent)[0]
         kind = _weighted_choice(rng, _KIND_WEIGHTS)
         policy = _weighted_choice(rng, _POLICY_WEIGHTS)
         propensity = float((1 + ranks[i]) ** (-config.propensity_exponent))
         scope = _draw_scope(rng, continent, ranks[i], config, continents, continent_w)
-        asys = AutonomousSystem(
-            asn=asn,
-            name=f"{kind}-{city.name.lower().replace(' ', '')}-{asn}",
-            kind=kind,  # type: ignore[arg-type]
-            home_city=city,
-            policy=policy,  # type: ignore[arg-type]
-            address_space=_draw_address_space(rng, kind),  # type: ignore[arg-type]
+        networks.append(
+            _make_network(
+                asn=ASN(config.first_asn + i),
+                city=city,
+                kind=kind,  # type: ignore[arg-type]
+                policy=policy,  # type: ignore[arg-type]
+                propensity=propensity,
+                scope=scope,
+                address_space=_draw_address_space(rng, kind),  # type: ignore[arg-type]
+            )
         )
-        networks.append(PooledNetwork(asys=asys, propensity=propensity, scope=scope))
     return NetworkPool(networks=networks)
 
 
@@ -208,15 +370,6 @@ def _draw_scope(
 
 def _draw_address_space(rng: np.random.Generator, kind: NetworkKind) -> int:
     """Announced IPv4 space by business type (log-normal within type)."""
-    means = {
-        NetworkKind.ACCESS: 15.0,      # ~ a /17
-        NetworkKind.TRANSIT: 16.0,
-        NetworkKind.CONTENT: 12.0,
-        NetworkKind.HOSTING: 13.0,
-        NetworkKind.CDN: 14.0,
-        NetworkKind.ENTERPRISE: 10.0,
-        NetworkKind.NREN: 16.0,
-    }
-    log2_size = rng.normal(loc=means[kind], scale=1.5)
+    log2_size = rng.normal(loc=_ADDRESS_SPACE_MEANS[kind], scale=1.5)
     log2_size = float(np.clip(log2_size, 8.0, 22.0))
     return int(2 ** log2_size)

@@ -164,3 +164,57 @@ class TestPipeline:
             FilterConfig(min_replies_per_lg=0)
         with pytest.raises(ConfigurationError):
             FilterConfig(accepted_ttls=frozenset())
+
+
+class TestPipelineEdgeCases:
+    """Degenerate inputs the campaign can hand the pipeline."""
+
+    def test_zero_operator_measurement_discarded_as_sample_size(self, pipeline):
+        """A measurement no LG ever probed carries no evidence: discarded
+        by the sample-size stage, not silently passed."""
+        empty = measurement()  # no operators at all
+        report = pipeline.run([empty])
+        assert report.passed == []
+        assert report.discard_counts["sample-size"] == 1
+        key = (empty.ixp_acronym, empty.address.value)
+        assert report.discard_reason[key] == "sample-size"
+
+    def test_duplicate_keys_double_count_but_keep_last_reason(self, pipeline):
+        """Two measurements of the same (IXP, address) are counted once
+        each in discard_counts, while discard_reason (keyed by identity)
+        keeps only the last outcome.  Documented behaviour: the campaign
+        never produces duplicates (IXPDirectory rejects them), so the
+        pipeline does not pay for dedup."""
+        first = measurement(pch_rtts=GOOD[:3])           # sample-size discard
+        second = measurement(pch_rtts=GOOD, pch_ttl=128)  # ttl-match discard
+        assert (first.ixp_acronym, first.address.value) == (
+            second.ixp_acronym, second.address.value
+        )
+        report = pipeline.run([first, second])
+        assert report.total_discarded() == 2  # both counted
+        key = (first.ixp_acronym, first.address.value)
+        assert report.discard_reason[key] == "ttl-match"  # last one wins
+        assert len(report.discard_reason) == 1
+
+    def test_single_lg_world_passes_lg_consistent_vacuously(self, pipeline):
+        """At single-LG IXPs the cross-LG check has nothing to compare:
+        every interface passes it, however biased the one LG's view is."""
+        biased = measurement(pch_rtts=[r + 40.0 for r in GOOD])
+        report = pipeline.run([biased])
+        assert report.passed  # survived the whole pipeline
+        assert report.discard_counts["lg-consistent"] == 0
+
+    def test_operator_with_batch_and_zero_replies_discarded(self, pipeline):
+        """An operator that probed but got nothing back (empty ReplyBatch,
+        the batch engine's representation) trips the per-LG floor."""
+        import numpy as np
+
+        from repro.net.icmp import ReplyBatch
+
+        m = measurement(pch_rtts=GOOD)
+        m.replies_by_operator["RIPE"] = ReplyBatch(
+            rtt_ms=np.zeros(0), ttl=np.zeros(0, dtype=np.int64),
+            sent_at_s=np.zeros(0),
+        )
+        report = pipeline.run([m])
+        assert report.discard_counts["sample-size"] == 1

@@ -1,0 +1,233 @@
+"""The ensemble subsystem: config grids, trial runner, aggregates, CLI."""
+
+import pytest
+
+from repro.core.detection.campaign import CampaignConfig
+from repro.errors import AnalysisError, ConfigurationError
+from repro.experiments import (
+    ConfigVariant,
+    EnsembleConfig,
+    MeanCI,
+    grid_variants,
+    mean_ci,
+    render_ensemble_report,
+    run_ensemble,
+    run_trial,
+)
+from repro.ixp.catalog import spec_by_acronym
+from repro.sim.detection_world import DetectionWorldConfig
+
+#: One small IXP: trials build in well under a second.
+TORIX = (spec_by_acronym("TorIX"),)
+
+
+def tiny_config(seeds=(0, 1), workers=1, **variant_kwargs):
+    variants = variant_kwargs.pop("variants", None) or (
+        ConfigVariant(
+            name="tiny", world=DetectionWorldConfig(specs=TORIX),
+        ),
+    )
+    return EnsembleConfig(seeds=tuple(seeds), variants=variants, workers=workers)
+
+
+class TestMeanCI:
+    def test_single_value_zero_width(self):
+        ci = mean_ci([4.0])
+        assert ci.mean == 4.0 and ci.half_width == 0.0 and ci.n == 1
+
+    def test_known_sample(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        # s = 1, se = 1/sqrt(3), t_0.975(df=2) = 4.303
+        assert ci.half_width == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+        assert ci.low < 2.0 < ci.high
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            mean_ci([])
+
+    def test_large_sample_uses_normal(self):
+        ci = mean_ci([0.0, 1.0] * 40)
+        assert ci.n == 80
+        assert ci.half_width == pytest.approx(
+            1.96 * (0.25 * 80 / 79) ** 0.5 / 80**0.5, rel=1e-3
+        )
+
+
+class TestGridVariants:
+    def test_no_axes_single_base_variant(self):
+        variants = grid_variants()
+        assert len(variants) == 1 and variants[0].name == "base"
+
+    def test_cartesian_product_and_names(self):
+        variants = grid_variants(
+            axes={
+                "campaign.remoteness_threshold_ms": (5.0, 10.0),
+                "filters.min_replies_per_lg": (6, 8),
+            },
+        )
+        assert len(variants) == 4
+        names = {v.name for v in variants}
+        assert "remoteness_threshold_ms=5.0|min_replies_per_lg=6" in names
+        thresholds = {v.campaign.remoteness_threshold_ms for v in variants}
+        assert thresholds == {5.0, 10.0}
+        floors = {v.campaign.filters.min_replies_per_lg for v in variants}
+        assert floors == {6, 8}
+
+    def test_world_axis(self):
+        variants = grid_variants(axes={"world.far_metro_fraction": (0.0, 0.2)})
+        assert {v.world.far_metro_fraction for v in variants} == {0.0, 0.2}
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_variants(axes={"bogus.path": (1,)})
+        with pytest.raises(ConfigurationError):
+            grid_variants(axes={"campaign": (1,)})
+
+    def test_unknown_field_rejected(self):
+        # Typos must fail loudly as config errors, not TypeErrors mid-grid.
+        with pytest.raises(ConfigurationError):
+            grid_variants(axes={"campaign.remoteness_treshold_ms": (5.0,)})
+
+    def test_seed_axis_rejected(self):
+        # Seeds are per-trial (EnsembleConfig.seeds); sweeping them here
+        # would be silently overwritten, so it is rejected.
+        with pytest.raises(ConfigurationError):
+            grid_variants(axes={"world.seed": (1, 2)})
+        with pytest.raises(ConfigurationError):
+            grid_variants(axes={"campaign.seed": (1, 2)})
+
+
+class TestEnsembleConfig:
+    def test_trials_are_seeds_times_variants(self):
+        config = tiny_config(
+            seeds=(3, 4, 5),
+            variants=(
+                ConfigVariant(name="a", world=DetectionWorldConfig(specs=TORIX)),
+                ConfigVariant(name="b", world=DetectionWorldConfig(specs=TORIX)),
+            ),
+        )
+        trials = config.trials()
+        assert len(trials) == 6
+        assert [t.trial_id for t in trials] == list(range(6))
+        assert {t.world.seed for t in trials} == {3, 4, 5}
+        # Campaign seeds are derived, not equal to the world seed, and
+        # identical for the same trial seed across variants.
+        by_seed = {}
+        for t in trials:
+            assert t.campaign.seed != t.seed
+            by_seed.setdefault(t.seed, set()).add(t.campaign.seed)
+        assert all(len(s) == 1 for s in by_seed.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleConfig(seeds=())
+        with pytest.raises(ConfigurationError):
+            EnsembleConfig(seeds=(1, 1))
+        with pytest.raises(ConfigurationError):
+            EnsembleConfig(
+                seeds=(1,),
+                variants=(ConfigVariant(name="x"), ConfigVariant(name="x")),
+            )
+        with pytest.raises(ConfigurationError):
+            EnsembleConfig(seeds=(1,), workers=-1)
+
+
+class TestRunTrial:
+    def test_single_trial_metrics(self):
+        spec = tiny_config(seeds=(0,)).trials()[0]
+        result = run_trial(spec)
+        assert result.variant == "tiny" and result.seed == 0
+        assert 0 < result.analyzed_count <= result.candidate_count
+        assert set(result.discard_counts) == {
+            "sample-size", "ttl-switch", "ttl-match", "rtt-consistent",
+            "lg-consistent", "asn-change",
+        }
+        assert result.precision is None or 0.0 <= result.precision <= 1.0
+        assert result.recall is None or 0.0 <= result.recall <= 1.0
+        assert "TorIX" in result.remote_fraction_by_ixp
+        assert result.build_s > 0 and result.collect_s > 0
+
+
+class TestRunEnsemble:
+    def test_inline_run_and_summaries(self):
+        result = run_ensemble(tiny_config(seeds=(0, 1, 2), workers=1))
+        assert [t.seed for t in result.trials] == [0, 1, 2]
+        (summary,) = result.summaries()
+        assert summary.variant == "tiny" and summary.trials == 3
+        assert summary.precision is not None
+        assert 0.9 <= summary.precision.mean <= 1.0
+        assert summary.recall is not None and summary.recall.mean > 0.5
+        assert summary.analyzed.n == 3
+        assert set(summary.discards) == {
+            "sample-size", "ttl-switch", "ttl-match", "rtt-consistent",
+            "lg-consistent", "asn-change",
+        }
+        assert "TorIX" in summary.remote_fraction_by_ixp
+
+    def test_report_renders(self):
+        result = run_ensemble(tiny_config(seeds=(0, 1), workers=1))
+        text = render_ensemble_report(result, per_ixp=True)
+        assert "precision" in text and "tiny" in text
+        assert "Per-filter discards" in text
+        assert "TorIX" in text
+
+    def test_variant_grid_changes_outcomes(self):
+        variants = grid_variants(
+            world=DetectionWorldConfig(specs=TORIX),
+            axes={"campaign.remoteness_threshold_ms": (5.0, 20.0)},
+        )
+        result = run_ensemble(
+            EnsembleConfig(seeds=(0, 1), variants=variants, workers=1)
+        )
+        summaries = {s.variant: s for s in result.summaries()}
+        assert len(summaries) == 2
+        loose, tight = (
+            summaries["remoteness_threshold_ms=20.0"],
+            summaries["remoteness_threshold_ms=5.0"],
+        )
+        # Lower thresholds call at least as many interfaces remote.
+        tight_fraction = tight.remote_fraction_by_ixp["TorIX"].mean
+        loose_fraction = loose.remote_fraction_by_ixp["TorIX"].mean
+        assert tight_fraction >= loose_fraction
+
+
+@pytest.mark.slow
+class TestRunEnsembleParallel:
+    def test_process_pool_matches_inline(self):
+        config_inline = tiny_config(seeds=(0, 1), workers=1)
+        config_pool = tiny_config(seeds=(0, 1), workers=2)
+        inline = run_ensemble(config_inline)
+        pooled = run_ensemble(config_pool)
+        assert [t.seed for t in pooled.trials] == [t.seed for t in inline.trials]
+        for a, b in zip(inline.trials, pooled.trials):
+            assert a.analyzed_count == b.analyzed_count
+            assert a.discard_counts == b.discard_counts
+            assert a.precision == b.precision
+
+
+class TestEnsembleCLI:
+    def test_mini_run(self, capsys):
+        from repro.cli import ensemble_main
+
+        assert ensemble_main(
+            ["--scenario", "mini3", "--seeds", "2", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "Ensemble" in out
+
+    def test_ixps_override(self, capsys):
+        from repro.cli import ensemble_main
+
+        assert ensemble_main(
+            ["--ixps", "TorIX", "--seeds", "2", "--workers", "1", "--per-ixp"]
+        ) == 0
+        assert "TorIX" in capsys.readouterr().out
+
+    def test_dispatcher(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["ensemble", "--ixps", "TorIX", "--seeds", "1", "--workers", "1"]
+        ) == 0
+        assert "Ensemble" in capsys.readouterr().out

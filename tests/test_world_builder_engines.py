@@ -1,0 +1,364 @@
+"""The vectorized world builder, its scalar reference, and the world-
+builder bug batch (zero band weights, silent member drops, zero
+propensities).
+
+Engine equivalence is statistical: the two builders consume the same
+per-(seed, "ixp", acronym) streams in different orders, so worlds agree
+in distribution — remote fractions, behaviour-class counts, band
+histograms and (on the full world, under a shared campaign) per-filter
+discard counts — not member-for-member.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import CampaignConfig, FilterPipeline, ProbeCampaign
+from repro.errors import ConfigurationError
+from repro.geo.cities import default_city_db
+from repro.geo.distances import CityDistanceMatrix
+from repro.ixp.catalog import IXPSpec, paper_catalog
+from repro.sim.detection_world import (
+    DetectionWorldConfig,
+    build_detection_world,
+    NORMAL,
+)
+from repro.sim.netpool import NetworkPoolConfig, generate_network_pool
+
+
+def _spec(**overrides) -> IXPSpec:
+    """A small custom IXP spec with sensible defaults."""
+    values = dict(
+        acronym="T-IX", full_name="Test IXP", city_name="Amsterdam",
+        country="NL", peak_traffic_tbps=0.1, member_count=60,
+        analyzed_interfaces=60, remote_fraction=0.15,
+        band_weights=(0.4, 0.4, 0.2), has_pch_lg=True, has_ripe_lg=False,
+    )
+    values.update(overrides)
+    return IXPSpec(**values)
+
+
+class TestCityDistanceMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return CityDistanceMatrix.build(default_city_db())
+
+    def test_matches_scalar_haversine(self, matrix):
+        db = default_city_db()
+        ams, tokyo = db.get("Amsterdam"), db.get("Tokyo")
+        assert matrix.distance_km("Amsterdam", "Tokyo") == pytest.approx(
+            ams.distance_km(tokyo), abs=1e-6
+        )
+        assert matrix.distance_km("Amsterdam", "Amsterdam") == 0.0
+
+    def test_within_band(self, matrix):
+        db = default_city_db()
+        ams = db.get("Amsterdam")
+        cities = matrix.within("Amsterdam", 150.0, 560.0)
+        assert cities
+        for city in cities:
+            assert 150.0 <= ams.distance_km(city) <= 560.0
+
+    def test_unknown_city_raises(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.row("Atlantis")
+
+
+class TestEngineSelection:
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DetectionWorldConfig(engine="quantum")
+        with pytest.raises(ConfigurationError):
+            NetworkPoolConfig(engine="quantum")
+
+    def test_vectorized_is_default_and_deterministic(self):
+        specs = (_spec(),)
+        a = build_detection_world(DetectionWorldConfig(seed=3, specs=specs))
+        b = build_detection_world(DetectionWorldConfig(seed=3, specs=specs))
+        assert a.config.engine == "vectorized"
+        assert set(a.truth) == set(b.truth)
+        for key in a.truth:
+            assert a.truth[key].base_rtt_ms == b.truth[key].base_rtt_ms
+
+    def test_scalar_engine_uses_scalar_pool(self):
+        world = build_detection_world(
+            DetectionWorldConfig(seed=3, specs=(_spec(),), engine="scalar")
+        )
+        reference = generate_network_pool(
+            default_city_db(), NetworkPoolConfig(seed=3, engine="scalar")
+        )
+        assert [n.asn for n in world.pool.networks[:50]] == [
+            n.asn for n in reference.networks[:50]
+        ]
+        assert [n.home_city.name for n in world.pool.networks[:50]] == [
+            n.home_city.name for n in reference.networks[:50]
+        ]
+
+
+class TestPoolEngineEquivalence:
+    """The two pool generators agree in distribution."""
+
+    @pytest.fixture(scope="class")
+    def pools(self):
+        db = default_city_db()
+        return (
+            generate_network_pool(db, NetworkPoolConfig(size=2000, seed=7)),
+            generate_network_pool(
+                db, NetworkPoolConfig(size=2000, seed=7, engine="scalar")
+            ),
+        )
+
+    def test_continent_mix_close(self, pools):
+        vec, sca = pools
+        for continent in ("EU", "NA", "AS"):
+            v = sum(1 for n in vec.networks if n.home_city.continent == continent)
+            s = sum(1 for n in sca.networks if n.home_city.continent == continent)
+            assert v == pytest.approx(s, rel=0.15, abs=30)
+
+    def test_propensity_law_identical(self, pools):
+        vec, sca = pools
+        assert sorted(n.propensity for n in vec.networks) == pytest.approx(
+            sorted(n.propensity for n in sca.networks)
+        )
+
+    def test_scope_sizes_close(self, pools):
+        vec, sca = pools
+        for size in (1, 2, 6):
+            v = sum(1 for n in vec.networks if len(n.scope) == size)
+            s = sum(1 for n in sca.networks if len(n.scope) == size)
+            assert v == pytest.approx(s, rel=0.2, abs=40)
+
+    def test_invariants_hold_for_vectorized(self, pools):
+        vec, _ = pools
+        for n in vec.networks:
+            assert n.home_city.continent in n.scope
+            assert n.asys.address_space >= 256
+
+
+class TestMiniEngineEquivalence:
+    """Fast cross-engine checks on a 3-IXP world."""
+
+    @pytest.fixture(scope="class")
+    def worlds(self):
+        specs = tuple(
+            s for s in paper_catalog()
+            if s.acronym in ("Netnod", "TOP-IX", "TorIX")
+        )
+        return (
+            build_detection_world(DetectionWorldConfig(seed=11, specs=specs)),
+            build_detection_world(
+                DetectionWorldConfig(seed=11, specs=specs, engine="scalar")
+            ),
+        )
+
+    def test_candidate_counts_close(self, worlds):
+        vec, sca = worlds
+        assert vec.candidate_count() == pytest.approx(
+            sca.candidate_count(), rel=0.05
+        )
+
+    def test_remote_fractions_close(self, worlds):
+        vec, sca = worlds
+        for acr in vec.ixps:
+            v = vec.remote_truth_count(acr)
+            s = sca.remote_truth_count(acr)
+            assert v == pytest.approx(s, abs=max(6, 0.35 * max(v, s)))
+
+    def test_partner_members_present_in_both(self, worlds):
+        for world in worlds:
+            partners = [
+                t for t in world.truth.values()
+                if t.ixp_acronym == "TOP-IX" and t.is_remote
+                and t.circuit_km < 600
+            ]
+            assert len(partners) >= 4
+
+    def test_anchor_interfaces_in_both(self, worlds):
+        for world in worlds:
+            anchors = [
+                t for t in world.truth.values() if 64_600 <= t.asn < 64_650
+            ]
+            assert anchors
+
+
+@pytest.mark.slow
+class TestFullScaleEngineEquivalence:
+    """Full 22-IXP worlds + a shared campaign: the PR 1 suite's pattern."""
+
+    @pytest.fixture(scope="class")
+    def worlds(self):
+        return (
+            build_detection_world(DetectionWorldConfig(seed=42)),
+            build_detection_world(DetectionWorldConfig(seed=42, engine="scalar")),
+        )
+
+    def test_candidate_counts_close(self, worlds):
+        vec, sca = worlds
+        assert vec.candidate_count() == pytest.approx(
+            sca.candidate_count(), rel=0.02
+        )
+
+    def test_remote_fraction_close(self, worlds):
+        vec, sca = worlds
+        v = vec.remote_truth_count() / vec.candidate_count()
+        s = sca.remote_truth_count() / sca.candidate_count()
+        assert v == pytest.approx(s, abs=0.02)
+
+    def test_behavior_class_counts_close(self, worlds):
+        vec, sca = worlds
+
+        def class_counts(world):
+            counts: dict[str, int] = {}
+            for t in world.truth.values():
+                counts[t.behavior] = counts.get(t.behavior, 0) + 1
+            return counts
+
+        vc, sc = class_counts(vec), class_counts(sca)
+        assert set(vc) == set(sc)
+        for behavior in vc:
+            if behavior == NORMAL:
+                assert vc[behavior] == pytest.approx(sc[behavior], rel=0.02)
+            else:
+                # Rare classes: counts are tens, allow Poisson-scale slack.
+                assert abs(vc[behavior] - sc[behavior]) <= max(
+                    10, 0.5 * max(vc[behavior], sc[behavior])
+                )
+
+    def test_band_histograms_close(self, worlds):
+        """Ground-truth base-RTT band mix of remote interfaces."""
+        vec, sca = worlds
+        edges = np.array([10.0, 20.0, 50.0])
+
+        def histogram(world):
+            rtts = np.array([
+                t.base_rtt_ms for t in world.truth.values() if t.is_remote
+            ])
+            return np.bincount(np.searchsorted(edges, rtts), minlength=4)
+
+        hv, hs = histogram(vec), histogram(sca)
+        for v, s in zip(hv, hs):
+            assert v == pytest.approx(s, rel=0.25, abs=15)
+
+    def test_filter_discard_counts_close(self, worlds):
+        vec, sca = worlds
+        pipeline = FilterPipeline()
+        reports = {}
+        for name, world in (("vec", vec), ("sca", sca)):
+            measurements = ProbeCampaign(
+                world, CampaignConfig(seed=7)
+            ).collect()
+            reports[name] = pipeline.run(measurements)
+        for name, count in reports["sca"].discard_counts.items():
+            measured = reports["vec"].discard_counts[name]
+            assert max(count, 1) / 2 <= max(measured, 1) <= max(count, 1) * 2, name
+
+    def test_no_shortfall_on_paper_catalog(self, worlds):
+        for world in worlds:
+            assert world.total_shortfall() <= 8
+
+
+class TestZeroBandWeights:
+    """Regression: all-zero ``band_weights`` used to crash ``rng.choice``."""
+
+    def test_direct_only_spec_builds(self):
+        spec = _spec(remote_fraction=0.0, band_weights=(0.0, 0.0, 0.0))
+        for engine in ("vectorized", "scalar"):
+            world = build_detection_world(
+                DetectionWorldConfig(seed=2, specs=(spec,), engine=engine)
+            )
+            assert world.candidate_count() > 0
+            assert world.remote_truth_count("T-IX") == 0
+
+    def test_zero_weights_with_remotes_fall_back_to_uniform(self):
+        spec = _spec(remote_fraction=0.3, band_weights=(0.0, 0.0, 0.0))
+        for engine in ("vectorized", "scalar"):
+            world = build_detection_world(
+                DetectionWorldConfig(seed=2, specs=(spec,), engine=engine)
+            )
+            assert world.remote_truth_count("T-IX") > 0
+
+
+class TestShortfall:
+    """Regression: exhausted candidate pools used to drop members silently."""
+
+    def test_tiny_pool_widens_instead_of_dropping(self):
+        # 25 networks cannot cover every distance band of a 60-interface
+        # all-remote IXP: the nominal bands run dry, draws widen, and every
+        # network the pool *can* supply still becomes a member instead of
+        # being silently dropped.
+        spec = _spec(remote_fraction=1.0)
+        for engine in ("vectorized", "scalar"):
+            config = DetectionWorldConfig(
+                seed=4, specs=(spec,),
+                pool=NetworkPoolConfig(
+                    size=25, seed=4,
+                    engine="scalar" if engine == "scalar" else "vectorized",
+                ),
+                with_anchors=False, engine=engine,
+            )
+            world = build_detection_world(config)
+            assert world.shortfall["T-IX"] > 0
+            assert world.candidate_count() >= 25
+
+    def test_paper_mini_world_has_no_shortfall(self):
+        specs = tuple(
+            s for s in paper_catalog()
+            if s.acronym in ("Netnod", "TOP-IX", "TorIX")
+        )
+        world = build_detection_world(DetectionWorldConfig(seed=11, specs=specs))
+        assert world.total_shortfall() == 0
+
+    def test_zero_propensity_pool_sampling_uniform(self):
+        """All-zero propensities must not produce NaN weights."""
+        db = default_city_db()
+        pool = generate_network_pool(db, NetworkPoolConfig(size=50, seed=1))
+        for network in pool.networks:
+            network.propensity = 0.0
+        rng = np.random.default_rng(0)
+        members = pool.sample_members(rng, "EU", 5)
+        assert len({m.asn for m in members}) == 5
+
+    def test_mixed_propensity_sampling_tops_up_from_zeros(self):
+        """Fewer positive-propensity candidates than draws: the positives
+        are all taken and the rest come uniformly from the zeros (the
+        naive weighted choice raises ValueError here)."""
+        db = default_city_db()
+        pool = generate_network_pool(db, NetworkPoolConfig(size=50, seed=1))
+        eligible = pool.eligible_for("EU")
+        positive = {n.asn for n in eligible[:3]}
+        for network in pool.networks:
+            network.propensity = 1.0 if network.asn in positive else 0.0
+        rng = np.random.default_rng(0)
+        members = pool.sample_members(rng, "EU", 10)
+        drawn = {m.asn for m in members}
+        assert len(drawn) == 10
+        assert positive <= drawn  # every positive candidate was taken
+
+    def test_vector_builder_sampler_with_mixed_propensities(self):
+        """_weighted_sample_idx must top up from zero-propensity candidates
+        instead of raising when the positives run out."""
+        from repro.geo.distances import CityDistanceMatrix
+        from repro.registry.records import IXPDirectory
+        from repro.sim.detection_world import (
+            _make_providers,
+            _VectorWorldBuilder,
+        )
+
+        db = default_city_db()
+        pool = generate_network_pool(db, NetworkPoolConfig(size=30, seed=2))
+        for i, network in enumerate(pool.networks):
+            network.propensity = 1.0 if i < 4 else 0.0
+        specs = (_spec(),)
+        builder = _VectorWorldBuilder(
+            config=DetectionWorldConfig(seed=2, specs=specs),
+            specs=specs,
+            city_db=db,
+            matrix=CityDistanceMatrix.build(db),
+            pool=pool,
+            directory=IXPDirectory(),
+            providers=_make_providers(2, specs, db),
+        )
+        rng = np.random.default_rng(0)
+        chosen = builder._weighted_sample_idx(rng, np.arange(30), 12)
+        assert len(chosen) == 12
+        assert len(set(int(i) for i in chosen)) == 12
+        assert set(range(4)) <= {int(i) for i in chosen}
