@@ -2,14 +2,19 @@
 
 Times the hot paths of both studies — detection-world build under the
 vectorized *and* the scalar engine, the probing campaign under the batch
-*and* the scalar engine, the filter pipeline, a 16-trial mini-world
-ensemble, and the offload greedy expansion — and writes
-``BENCH_speed.json`` (schema ``bench_speed/v2``) at the repo root so the
-perf trajectory is tracked across PRs.
+*and* the scalar engine, the filter pipeline (array-stat pass), a
+16-trial mini-world detection ensemble, the offload-world build under the
+vectorized *and* the scalar engine, the peer-group/bitset setup, the
+greedy IXP expansion, and a 16-trial paper-scale offload ensemble — and
+writes ``BENCH_speed.json`` (schema ``bench_speed/v3``) at the repo root
+so the perf trajectory is tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_speed.py
+
+``benchmarks/check_regression.py`` reruns these stages and fails when any
+of them regresses more than 2x against the committed baseline.
 """
 
 from __future__ import annotations
@@ -32,11 +37,25 @@ def _timed(fn):
     return value, time.perf_counter() - start
 
 
-def main() -> None:
+def collect_payload() -> dict:
+    """Run every timed stage and assemble the BENCH payload."""
     from repro.core.detection import CampaignConfig, FilterPipeline, ProbeCampaign
     from repro.core.offload import OffloadEstimator, PeerGroups, greedy_expansion
-    from repro.experiments import ConfigVariant, EnsembleConfig, run_ensemble
-    from repro.sim import DetectionWorldConfig, build_detection_world, scenarios
+    from repro.experiments import (
+        ConfigVariant,
+        EnsembleConfig,
+        OffloadEnsembleConfig,
+        OffloadVariant,
+        run_ensemble,
+        run_offload_ensemble,
+    )
+    from repro.sim import (
+        DetectionWorldConfig,
+        OffloadWorldConfig,
+        build_detection_world,
+        build_offload_world,
+        scenarios,
+    )
     from repro.sim.scenarios import mini_specs
 
     timings: dict[str, float] = {}
@@ -84,13 +103,35 @@ def main() -> None:
     offload_world, timings["offload_world_build"] = _timed(
         lambda: scenarios.rediris(seed=WORLD_SEED)
     )
-    estimator = OffloadEstimator(offload_world, PeerGroups.build(offload_world))
+    _, timings["offload_world_build_scalar"] = _timed(
+        lambda: build_offload_world(
+            OffloadWorldConfig(seed=WORLD_SEED, engine="scalar")
+        )
+    )
+    (groups, estimator), timings["offload_groups_build"] = _timed(
+        lambda: (
+            (g := PeerGroups.build(offload_world)),
+            OffloadEstimator(offload_world, g),
+        )
+    )
     steps, timings["greedy_expansion"] = _timed(
         lambda: greedy_expansion(estimator, 4, max_ixps=8)
     )
+    all_ixps = estimator.reachable_ixps()
+    max_in, max_out = estimator.offload_fractions(all_ixps, 4)
 
-    payload = {
-        "schema": "bench_speed/v2",
+    offload_ensemble, timings["offload_ensemble_16trials"] = _timed(
+        lambda: run_offload_ensemble(
+            OffloadEnsembleConfig(
+                seeds=tuple(range(16)),
+                variants=(OffloadVariant(name="paper65"),),
+            )
+        )
+    )
+    (offload_summary,) = offload_ensemble.summaries()
+
+    return {
+        "schema": "bench_speed/v3",
         "python": platform.python_version(),
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
         "timings_s": {name: round(value, 4) for name, value in timings.items()},
@@ -100,6 +141,10 @@ def main() -> None:
         "world_build_speedup_vectorized_vs_scalar": round(
             timings["detection_world_build_scalar"]
             / timings["detection_world_build"], 2
+        ),
+        "offload_build_speedup_vectorized_vs_scalar": round(
+            timings["offload_world_build_scalar"]
+            / timings["offload_world_build"], 2
         ),
         "detection": {
             "candidates": len(batch_measurements),
@@ -113,8 +158,36 @@ def main() -> None:
             "recall_mean": round(ensemble_summary.recall.mean, 4),
             "recall_ci95": round(ensemble_summary.recall.half_width, 4),
         },
-        "offload": {"expansion_steps": [s.ixp for s in steps]},
+        "offload": {
+            "expansion_steps": [s.ixp for s in steps],
+            "candidates": groups.candidate_count(),
+            "max_offload_inbound": round(max_in, 4),
+            "max_offload_outbound": round(max_out, 4),
+        },
+        "offload_ensemble": {
+            "trials": offload_summary.trials,
+            "inbound_mean": round(offload_summary.inbound_fraction.mean, 4),
+            "inbound_ci95": round(
+                offload_summary.inbound_fraction.half_width, 4
+            ),
+            "outbound_mean": round(offload_summary.outbound_fraction.mean, 4),
+            "outbound_ci95": round(
+                offload_summary.outbound_fraction.half_width, 4
+            ),
+            "rank1_ixp": (
+                offload_summary.expansion_consensus[0].ixp
+                if offload_summary.expansion_consensus else None
+            ),
+            "rank1_agreement": (
+                round(offload_summary.expansion_consensus[0].agreement, 4)
+                if offload_summary.expansion_consensus else None
+            ),
+        },
     }
+
+
+def main() -> None:
+    payload = collect_payload()
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
 

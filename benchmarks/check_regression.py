@@ -1,0 +1,98 @@
+"""Perf regression guard: rerun the BENCH stages, compare to the baseline.
+
+Reruns every timed stage of :mod:`benchmarks.bench_speed` and fails (exit
+code 1) when any stage shared with the committed ``BENCH_speed.json`` is
+slower than ``--factor`` times its baseline (default 2x — wide enough for
+machine noise, tight enough to catch a vectorized path silently falling
+back to a scalar loop).  Stages present on only one side are reported but
+never fail the check, so adding or retiring stages does not break CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline BENCH_speed.json --factor 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_regression",
+        description="Fail when any timed stage regresses vs BENCH_speed.json.",
+    )
+    parser.add_argument(
+        "--baseline", default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="baseline BENCH file (default: the committed one)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="failure threshold: fresh > factor * baseline (default: 2.0)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="compare a previously captured payload instead of rerunning "
+        "the benchmark (path to a BENCH-schema JSON file)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        parser.error("--factor must be greater than 1")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} missing; nothing to compare")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from bench_speed import collect_payload
+
+        fresh = collect_payload()
+
+    base_timings: dict[str, float] = baseline.get("timings_s", {})
+    fresh_timings: dict[str, float] = fresh.get("timings_s", {})
+    shared = sorted(base_timings.keys() & fresh_timings.keys())
+    regressions: list[str] = []
+    width = max((len(name) for name in fresh_timings), default=10)
+    print(f"{'stage':{width}}  {'baseline':>9}  {'fresh':>9}  ratio")
+    for name in shared:
+        base = base_timings[name]
+        now = fresh_timings[name]
+        if base <= 0:
+            # A stage fast enough to round to zero in the baseline cannot
+            # be compared by ratio; report it but never fail on it.
+            print(f"{name:{width}}  {base:9.4f}  {now:9.4f}  (zero baseline)")
+            continue
+        regressed = now > args.factor * base
+        flag = "  <-- REGRESSION" if regressed else ""
+        print(f"{name:{width}}  {base:9.4f}  {now:9.4f}  {now / base:5.2f}x{flag}")
+        if regressed:
+            regressions.append(name)
+    for name in sorted(fresh_timings.keys() - base_timings.keys()):
+        print(f"{name:{width}}  {'-':>9}  {fresh_timings[name]:9.4f}  (new)")
+    for name in sorted(base_timings.keys() - fresh_timings.keys()):
+        print(f"{name:{width}}  {base_timings[name]:9.4f}  {'-':>9}  (retired)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} stage(s) regressed more than "
+            f"{args.factor}x: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nOK: no stage regressed more than {args.factor}x "
+          f"({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.bgp.asys import AutonomousSystem
 from repro.errors import TopologyError
@@ -28,6 +31,11 @@ class ASGraph:
     Customer-provider edges are stored once (customer -> provider) and
     indexed both ways; peer edges are symmetric.  The graph enforces basic
     sanity: no self-edges, no duplicate contradictory relationships.
+
+    Adjacency sets are allocated lazily: a node without edges of a given
+    kind has no entry in the corresponding dict (the accessors treat a
+    missing entry as empty).  On ~30k-AS worlds, eagerly allocating three
+    empty sets per AS dominated node insertion.
     """
 
     _ases: dict[ASN, AutonomousSystem] = field(default_factory=dict)
@@ -55,10 +63,104 @@ class ASGraph:
         if asys.asn in self._ases:
             raise TopologyError(f"duplicate ASN {asys.asn}")
         self._ases[asys.asn] = asys
-        self._providers[asys.asn] = set()
-        self._customers[asys.asn] = set()
-        self._peers[asys.asn] = set()
         return asys
+
+    def add_ases_bulk(self, ases: Iterable[AutonomousSystem]) -> None:
+        """Register many ASes at once (the vectorized builders' fast path).
+
+        Equivalent to calling :meth:`add_as` per AS but with the duplicate
+        check amortized over the whole batch.
+        """
+        batch = list(ases)
+        new = {asys.asn: asys for asys in batch}
+        if len(new) != len(batch):
+            raise TopologyError("duplicate ASN inside bulk add")
+        clash = new.keys() & self._ases.keys()
+        if clash:
+            raise TopologyError(f"duplicate ASN {min(clash)}")
+        self._ases.update(new)
+
+    def add_customer_provider_bulk(
+        self, pairs: Iterable[tuple[ASN, ASN]]
+    ) -> None:
+        """Record many customer→provider edges at once.
+
+        The fast path behind the vectorized world builders: nodes must
+        already exist and each (customer, provider) pair must be fresh and
+        non-contradictory — callers pass pre-deduplicated draws, and the
+        engine-equivalence suites check the result against the scalar
+        builder, which inserts every edge through the fully-checked
+        :meth:`add_customer_provider`.  Only self-edges are rejected here.
+        """
+        providers, customers = self._providers, self._customers
+        for customer, provider in pairs:
+            if customer == provider:
+                raise TopologyError(f"self-relationship on ASN {customer}")
+            held = providers.get(customer)
+            if held is None:
+                held = providers[customer] = set()
+            held.add(provider)
+            held = customers.get(provider)
+            if held is None:
+                held = customers[provider] = set()
+            held.add(customer)
+        self._provider_views.clear()
+        self._customer_views.clear()
+
+    def add_customer_provider_arrays(
+        self, customers: "np.ndarray", providers: "np.ndarray"
+    ) -> None:
+        """Array fast path for :meth:`add_customer_provider_bulk`.
+
+        ``customers`` and ``providers`` are aligned integer arrays with one
+        row per edge.  Additional contract on top of the bulk method's:
+        rows for one customer must be contiguous and that customer must
+        have **no pre-existing provider entries** (both hold for the
+        vectorized builders, whose edge arrays come out of ``np.repeat``
+        over freshly created nodes).  Provider-side rows may appear in any
+        order and may extend existing customer sets.  Adjacency sets are
+        assembled per group from array slices instead of per-edge adds.
+        """
+        if np.any(customers == providers):
+            bad = int(customers[customers == providers][0])
+            raise TopologyError(f"self-relationship on ASN {bad}")
+        customer_list = customers.tolist()
+        provider_list = providers.tolist()
+        edge_count = len(customer_list)
+        if not edge_count:
+            return
+        provider_sets = self._providers
+        starts = np.flatnonzero(customers[1:] != customers[:-1]) + 1
+        bounds = [0, *starts.tolist(), edge_count]
+        for g in range(len(bounds) - 1):
+            lo = bounds[g]
+            customer = customer_list[lo]
+            if customer in provider_sets:
+                # Catches both precondition violations: pre-existing
+                # provider edges and non-contiguous rows for one customer.
+                raise TopologyError(
+                    f"AS{customer} already holds provider edges "
+                    "(bulk array insert requires fresh, contiguous customers)"
+                )
+            provider_sets[customer] = set(provider_list[lo:bounds[g + 1]])
+        order = np.argsort(providers, kind="stable")
+        sorted_providers = providers[order]
+        sorted_customers = customers[order].tolist()
+        starts = np.flatnonzero(sorted_providers[1:] != sorted_providers[:-1]) + 1
+        bounds = [0, *starts.tolist(), edge_count]
+        head_of_group = sorted_providers[
+            np.array(bounds[:-1], dtype=np.intp)
+        ].tolist()
+        customer_sets = self._customers
+        for g, provider in enumerate(head_of_group):
+            group = sorted_customers[bounds[g]:bounds[g + 1]]
+            held = customer_sets.get(provider)
+            if held is None:
+                customer_sets[provider] = set(group)
+            else:
+                held.update(group)
+        self._provider_views.clear()
+        self._customer_views.clear()
 
     def get(self, asn: ASN) -> AutonomousSystem:
         """The AS object for ``asn``; unknown ASNs are topology errors."""
@@ -83,6 +185,30 @@ class ASGraph:
 
     # --- edge management -------------------------------------------------------
 
+    @staticmethod
+    def _edge_set(table: dict[ASN, set[ASN]], asn: ASN) -> set[ASN]:
+        """The (lazily created) adjacency set of ``asn`` in ``table``."""
+        held = table.get(asn)
+        if held is None:
+            held = table[asn] = set()
+        return held
+
+    def customer_sets(self) -> dict[ASN, set[ASN]]:
+        """The raw customer adjacency, keyed by provider ASN.
+
+        Nodes without customers are absent.  Exposed for hot paths (route
+        computation, cone closures) that would otherwise pay a frozenset
+        view per node; callers must treat it as read-only.
+        """
+        return self._customers
+
+    def provider_sets(self) -> dict[ASN, set[ASN]]:
+        """The raw provider adjacency, keyed by customer ASN.
+
+        Same read-only contract as :meth:`customer_sets`.
+        """
+        return self._providers
+
     def _check_nodes(self, a: ASN, b: ASN) -> None:
         if a == b:
             raise TopologyError(f"self-relationship on ASN {a}")
@@ -93,9 +219,9 @@ class ASGraph:
 
     def _check_fresh(self, a: ASN, b: ASN) -> None:
         related = (
-            b in self._providers[a]
-            or b in self._customers[a]
-            or b in self._peers[a]
+            b in self._providers.get(a, ())
+            or b in self._customers.get(a, ())
+            or b in self._peers.get(a, ())
         )
         if related:
             raise TopologyError(f"AS{a} and AS{b} already related")
@@ -104,8 +230,8 @@ class ASGraph:
         """Record that ``customer`` buys transit from ``provider``."""
         self._check_nodes(customer, provider)
         self._check_fresh(customer, provider)
-        self._providers[customer].add(provider)
-        self._customers[provider].add(customer)
+        self._edge_set(self._providers, customer).add(provider)
+        self._edge_set(self._customers, provider).add(customer)
         self._provider_views.pop(customer, None)
         self._customer_views.pop(provider, None)
 
@@ -113,8 +239,8 @@ class ASGraph:
         """Record a settlement-free peering between ``a`` and ``b``."""
         self._check_nodes(a, b)
         self._check_fresh(a, b)
-        self._peers[a].add(b)
-        self._peers[b].add(a)
+        self._edge_set(self._peers, a).add(b)
+        self._edge_set(self._peers, b).add(a)
         self._peer_views.pop(a, None)
         self._peer_views.pop(b, None)
 
@@ -125,7 +251,7 @@ class ASGraph:
         view = self._provider_views.get(asn)
         if view is None:
             self.get(asn)
-            view = frozenset(self._providers[asn])
+            view = frozenset(self._providers.get(asn, ()))
             self._provider_views[asn] = view
         return view
 
@@ -134,7 +260,7 @@ class ASGraph:
         view = self._customer_views.get(asn)
         if view is None:
             self.get(asn)
-            view = frozenset(self._customers[asn])
+            view = frozenset(self._customers.get(asn, ()))
             self._customer_views[asn] = view
         return view
 
@@ -143,7 +269,7 @@ class ASGraph:
         view = self._peer_views.get(asn)
         if view is None:
             self.get(asn)
-            view = frozenset(self._peers[asn])
+            view = frozenset(self._peers.get(asn, ()))
             self._peer_views[asn] = view
         return view
 
@@ -151,11 +277,11 @@ class ASGraph:
         """Relationship of ``b`` from ``a``'s viewpoint, or None."""
         self.get(a)
         self.get(b)
-        if b in self._customers[a]:
+        if b in self._customers.get(a, ()):
             return Relationship.CUSTOMER
-        if b in self._providers[a]:
+        if b in self._providers.get(a, ()):
             return Relationship.PROVIDER
-        if b in self._peers[a]:
+        if b in self._peers.get(a, ()):
             return Relationship.PEER
         return None
 
@@ -163,14 +289,14 @@ class ASGraph:
         """Total number of neighbours of ``asn``."""
         self.get(asn)
         return (
-            len(self._providers[asn])
-            + len(self._customers[asn])
-            + len(self._peers[asn])
+            len(self._providers.get(asn, ()))
+            + len(self._customers.get(asn, ()))
+            + len(self._peers.get(asn, ()))
         )
 
     def provider_free(self) -> list[ASN]:
         """ASes with no providers (the tier-1 clique, typically)."""
-        return sorted(a for a in self._ases if not self._providers[a])
+        return sorted(a for a in self._ases if not self._providers.get(a))
 
     # --- validation ---------------------------------------------------------------
 
@@ -185,7 +311,9 @@ class ASGraph:
         for start in self._ases:
             if start in state:
                 continue
-            stack: list[tuple[ASN, iter]] = [(start, iter(self._providers[start]))]
+            stack: list[tuple[ASN, iter]] = [
+                (start, iter(self._providers.get(start, ())))
+            ]
             state[start] = 0
             while stack:
                 node, neighbours = stack[-1]
@@ -197,7 +325,7 @@ class ASGraph:
                         )
                     if nxt not in state:
                         state[nxt] = 0
-                        stack.append((nxt, iter(self._providers[nxt])))
+                        stack.append((nxt, iter(self._providers.get(nxt, ()))))
                         advanced = True
                         break
                 if not advanced:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-from collections import deque
 from dataclasses import dataclass
 
 from repro.bgp.relationships import ASGraph
@@ -157,29 +156,67 @@ class RouteComputation:
 
         # Pass 3 — provider routes cascade down customer edges from every
         # routed AS.  Any route is exportable to customers, so this is a
-        # multi-source Dijkstra over provider->customer edges.
-        frontier = []
-        for exporter, path in sorted(best.items()):
-            for customer in sorted(graph.customers_of(exporter)):
-                if customer not in best:
-                    heapq.heappush(
-                        frontier, (path.length + 1, exporter, customer)
+        # multi-source shortest-path over provider->customer edges.  All
+        # edges weigh 1, so a level-synchronous BFS replaces the heap: a
+        # node settles at 1 + the minimum length of its routed providers,
+        # via the lowest-ASN provider achieving that minimum whose own path
+        # does not already contain the node — exactly the (length, via)
+        # pop order of the Dijkstra this replaces, at a fraction of the
+        # cost on Internet-scale worlds (no per-node heap churn, no
+        # re-sorting of large customer sets, no per-path loop validation —
+        # construction is loop-free by the explicit containment guard).
+        customer_sets = graph.customer_sets()
+        no_customers: frozenset[ASN] = frozenset()
+        levels: dict[int, list[ASN]] = {}
+        for exporter, path in best.items():
+            levels.setdefault(path.length, []).append(exporter)
+        while levels:
+            length = min(levels)
+            exporters = levels.pop(length)
+            candidates: dict[ASN, ASN] = {}  # node -> lowest-ASN via
+            for via in exporters:
+                for node in customer_sets.get(via, no_customers):
+                    if node not in best:
+                        incumbent = candidates.get(node)
+                        if incumbent is None or via < incumbent:
+                            candidates[node] = via
+            settled_now: list[ASN] = []
+            for node, via in candidates.items():
+                base = best[via]
+                if node in base.asns:
+                    # Rare containment miss: fall back to the remaining
+                    # vias in ascending-ASN order, as the heap would.
+                    fallbacks = sorted(
+                        v for v in exporters
+                        if v != via and node in customer_sets.get(v, no_customers)
                     )
-        provider_routed: dict[ASN, ASPath] = {}
-        while frontier:
-            length, via, node = heapq.heappop(frontier)
-            if node in best or node in provider_routed:
-                continue
-            base = best.get(via) or provider_routed[via]
-            if node in base.asns:
-                continue
-            path = ASPath((node, *base.asns), RouteKind.PROVIDER)
-            provider_routed[node] = path
-            for customer in sorted(graph.customers_of(node)):
-                if customer not in best and customer not in provider_routed:
-                    heapq.heappush(frontier, (length + 1, node, customer))
-        best.update(provider_routed)
+                    for fallback in fallbacks:
+                        base = best[fallback]
+                        if node not in base.asns:
+                            break
+                    else:
+                        continue  # unreachable at this length
+                best[node] = _unchecked_path(
+                    (node, *base.asns), RouteKind.PROVIDER
+                )
+                settled_now.append(node)
+            if settled_now:
+                levels.setdefault(length + 1, []).extend(settled_now)
         return best
+
+
+def _unchecked_path(asns: tuple[ASN, ...], kind: RouteKind) -> ASPath:
+    """Build an :class:`ASPath` without the loop-free validation.
+
+    Only for construction sites that guarantee loop-freedom structurally
+    (the BFS passes check containment before extending a path); the
+    per-path set materialization in ``__post_init__`` dominates route
+    computation on ~30k-AS worlds.
+    """
+    path = object.__new__(ASPath)
+    object.__setattr__(path, "asns", asns)
+    object.__setattr__(path, "kind", kind)
+    return path
 
 
 def _beats(challenger: ASPath, incumbent: ASPath) -> bool:

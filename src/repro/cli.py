@@ -1,9 +1,14 @@
 """Command-line entry points: ``repro-detect``, ``repro-offload``,
-``repro-econ``, ``repro-ensemble`` — and the ``repro <command>``
-dispatcher that fronts them all (``repro ensemble ...``).
+``repro-econ``, ``repro-ensemble``, ``repro-offload-ensemble`` — and the
+``repro <command>`` dispatcher that fronts them all
+(``repro ensemble ...``, ``repro offload-ensemble ...``).
 
 Each command builds the corresponding synthetic world, runs the study, and
-prints the paper-shaped report as plain text.
+prints the paper-shaped report as plain text.  ``repro offload-ensemble``
+runs the Section 4 study across a seed × config grid (16 seeds by
+default) and reports mean ± 95% CI offload fractions plus the greedy
+IXP-expansion consensus; ``--scenario paper65`` (default) replicates the
+full 29,570-network world, ``--scenario small`` the ~3k-network one.
 """
 
 from __future__ import annotations
@@ -312,10 +317,117 @@ def ensemble_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def offload_ensemble_main(argv: list[str] | None = None) -> int:
+    """Run a multi-seed (optionally multi-config) offload ensemble."""
+    parser = argparse.ArgumentParser(
+        prog="repro-offload-ensemble",
+        description="Multi-seed ensemble of the Section 4 offload study: "
+        "mean ± 95% CI offload fractions, offloadable-network counts and "
+        "the greedy IXP expansion consensus across seeds × config grid.",
+    )
+    parser.add_argument(
+        "--scenario", choices=("small", "paper65"), default="paper65",
+        help="world scale: the full 29,570-network paper world (default) "
+        "or the ~3k-network small world",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16,
+        help="number of trial seeds (default: 16)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    parser.add_argument(
+        "--groups", type=int, nargs="*", default=(4,), choices=(1, 2, 3, 4),
+        help="peer groups to study (default: group 4)",
+    )
+    parser.add_argument(
+        "--member-tier2-fraction", type=float, nargs="*", default=None,
+        help="grid axis over OffloadWorldConfig.member_tier2_fraction",
+    )
+    parser.add_argument(
+        "--tier1-only-stub-fraction", type=float, nargs="*", default=None,
+        help="grid axis over OffloadWorldConfig.tier1_only_stub_fraction",
+    )
+    parser.add_argument(
+        "--max-ixps", type=int, default=8, help="greedy expansion depth"
+    )
+    parser.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default="vectorized",
+        help="offload-world engine (default: vectorized)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+    if args.max_ixps < 1:
+        parser.error("--max-ixps must be at least 1")
+    if not args.groups:
+        parser.error("--groups needs at least one group")
+
+    from dataclasses import replace
+
+    from repro.experiments import (
+        OffloadEnsembleConfig,
+        offload_grid_variants,
+        render_offload_ensemble_report,
+        run_offload_ensemble,
+    )
+
+    world = OffloadWorldConfig(engine=args.engine)
+    if args.scenario == "small":
+        world = replace(
+            world,
+            contributing_count=3000,
+            tier2_count=80,
+            nren_count=8,
+            tier1_count=6,
+            mega_carrier_count=8,
+            big_eyeball_count=30,
+            head_pin_count=40,
+        )
+    axes = {}
+    if args.member_tier2_fraction:
+        axes["world.member_tier2_fraction"] = tuple(
+            dict.fromkeys(args.member_tier2_fraction)
+        )
+    if args.tier1_only_stub_fraction:
+        axes["world.tier1_only_stub_fraction"] = tuple(
+            dict.fromkeys(args.tier1_only_stub_fraction)
+        )
+    from repro.errors import ConfigurationError
+
+    try:
+        # Grid values feed straight into OffloadWorldConfig validation;
+        # surface bad fractions as argparse errors, not tracebacks.
+        config = OffloadEnsembleConfig(
+            seeds=tuple(range(args.seed_offset, args.seed_offset + args.seeds)),
+            variants=offload_grid_variants(
+                world=world,
+                axes=axes,
+                groups=tuple(dict.fromkeys(args.groups)),
+                max_ixps=args.max_ixps,
+            ),
+            workers=args.workers,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    result = run_offload_ensemble(config)
+    print(render_offload_ensemble_report(result))
+    return 0
+
+
 #: Subcommands of the ``repro`` dispatcher.
 _COMMANDS = {
     "detect": detect_main,
     "offload": offload_main,
+    "offload-ensemble": offload_ensemble_main,
     "econ": econ_main,
     "report": report_main,
     "ensemble": ensemble_main,

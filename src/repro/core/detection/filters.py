@@ -198,15 +198,37 @@ class FilterPipeline:
         self,
         measurements: list[InterfaceMeasurement],
         skip: str | None = None,
+        batched: bool | None = None,
     ) -> FilterReport:
         """Apply all six filters in the paper's order.
 
         ``skip`` omits one named stage — the drop-one-filter ablation.
         Because stages are non-mutating, the same raw measurements can be
         passed to many ``run`` calls without copying.
+
+        When every reply set is a struct-of-arrays :class:`ReplyBatch`
+        (what the batch campaign engine produces), the pipeline runs as
+        array-stat passes over one concatenated reply table instead of a
+        Python stage loop per interface; the two paths produce identical
+        reports (the equivalence suite asserts it).  ``batched`` forces a
+        path — ``None`` auto-detects.
         """
         if skip is not None and skip not in FILTER_ORDER:
             raise ConfigurationError(f"unknown filter {skip!r}")
+        if batched is None:
+            batched = all(
+                isinstance(replies, ReplyBatch)
+                for m in measurements
+                for replies in m.replies_by_operator.values()
+            )
+        if batched and measurements:
+            return self._run_arrays(measurements, skip)
+        return self._run_scalar(measurements, skip)
+
+    def _run_scalar(
+        self, measurements: list[InterfaceMeasurement], skip: str | None
+    ) -> FilterReport:
+        """Reference path: the per-interface stage loop."""
         report = FilterReport()
         stages = self.stages()
         for measurement in measurements:
@@ -222,4 +244,200 @@ class FilterPipeline:
                     break
             if survivor is not None:
                 report.passed.append(survivor)
+        return report
+
+    def _run_arrays(
+        self, measurements: list[InterfaceMeasurement], skip: str | None
+    ) -> FilterReport:
+        """Array path: every filter statistic in a handful of vector passes.
+
+        All replies live in one concatenated table ordered by
+        (measurement, operator, probe) — the same order the scalar
+        accessors produce — with two index levels: *segments* (one
+        (measurement, operator) reply run) and measurements.  Per-segment
+        and per-measurement statistics come from ``bincount``/``reduceat``
+        reductions; each stage yields a per-measurement failure flag, and
+        the first failing stage in the paper's order is charged, exactly
+        as the scalar loop does.
+        """
+        config = self.config
+        meas_count = len(measurements)
+        seg_meas_list: list[int] = []
+        seg_batches: list[ReplyBatch] = []
+        for mi, m in enumerate(measurements):
+            for op in sorted(m.replies_by_operator):
+                seg_meas_list.append(mi)
+                seg_batches.append(m.replies_by_operator[op])  # type: ignore[arg-type]
+        seg_count = len(seg_batches)
+        seg_len = np.array([len(b) for b in seg_batches], dtype=np.int64)
+        meas_of_seg = np.array(seg_meas_list, dtype=np.intp)
+        segs_per_meas = np.bincount(meas_of_seg, minlength=meas_count)
+        total = int(seg_len.sum())
+        if seg_count:
+            rtt = np.concatenate([b.rtt_ms for b in seg_batches])
+            ttl = np.concatenate([b.ttl for b in seg_batches])
+        else:
+            rtt = np.zeros(0)
+            ttl = np.zeros(0, dtype=np.int64)
+        seg_starts = np.zeros(seg_count, dtype=np.intp)
+        if seg_count:
+            np.cumsum(seg_len[:-1], out=seg_starts[1:])
+        seg_id = np.repeat(np.arange(seg_count, dtype=np.intp), seg_len)
+        meas_id = meas_of_seg[seg_id]
+        replies_per_meas = np.bincount(meas_id, minlength=meas_count)
+        meas_starts = np.zeros(meas_count, dtype=np.intp)
+        np.cumsum(replies_per_meas[:-1], out=meas_starts[1:])
+
+        def any_over_segs(seg_flags: np.ndarray) -> np.ndarray:
+            return np.bincount(
+                meas_of_seg, weights=seg_flags, minlength=meas_count
+            ) > 0
+
+        def any_over_replies(flags: np.ndarray) -> np.ndarray:
+            return np.bincount(
+                meas_id, weights=flags, minlength=meas_count
+            ) > 0
+
+        def segment_min(values: np.ndarray) -> np.ndarray:
+            """Per-segment minimum (``inf`` for empty segments)."""
+            out = np.full(seg_count, np.inf)
+            nonempty = seg_len > 0
+            if total and nonempty.any():
+                out[nonempty] = np.minimum.reduceat(
+                    values, seg_starts[nonempty]
+                )
+            return out
+
+        # sample-size: every probing LG needs >= the reply floor, and at
+        # least one LG must have probed.
+        fail_sample = (
+            any_over_segs(seg_len < config.min_replies_per_lg)
+            | (segs_per_meas == 0)
+        )
+
+        # ttl-switch: any reply TTL differing from the measurement's first.
+        first_ttl = np.zeros(meas_count, dtype=ttl.dtype)
+        has_replies = replies_per_meas > 0
+        first_ttl[has_replies] = ttl[meas_starts[has_replies]]
+        fail_switch = any_over_replies(ttl != first_ttl[meas_id])
+
+        # ttl-match: trim replies with unexpected TTLs; an LG falling below
+        # the floor discards the interface.
+        if skip == "ttl-match":
+            kept = np.ones(total, dtype=bool)
+            kept_per_seg = seg_len.astype(float)
+            fail_match = np.zeros(meas_count, dtype=bool)
+        else:
+            kept = self._accepted_mask(ttl)
+            kept_per_seg = np.bincount(
+                seg_id, weights=kept, minlength=seg_count
+            )
+            fail_match = any_over_segs(
+                kept_per_seg < config.min_replies_per_lg
+            )
+        seg_trimmed = kept_per_seg < seg_len
+
+        # rtt-consistent: >= 4 kept replies inside max(5 ms, 10%) of the
+        # kept minimum.
+        kept_per_meas = np.bincount(meas_id, weights=kept, minlength=meas_count)
+        masked_rtt = np.where(kept, rtt, np.inf)
+        floor = np.full(meas_count, np.inf)
+        if total and has_replies.any():
+            floor[has_replies] = np.minimum.reduceat(
+                masked_rtt, meas_starts[has_replies]
+            )
+        with np.errstate(invalid="ignore"):
+            ceiling = floor + np.maximum(
+                config.consistency_abs_ms, config.consistency_frac * floor
+            )
+        within = kept & (rtt <= ceiling[meas_id]) if total else kept
+        fail_rtt = (kept_per_meas == 0) | (
+            np.bincount(meas_id, weights=within, minlength=meas_count) < 4
+        )
+
+        # lg-consistent: per-LG kept minima of dual-LG interfaces agree.
+        seg_min = segment_min(masked_rtt)
+        seg_has_kept = kept_per_seg > 0
+        lg_count = np.bincount(
+            meas_of_seg, weights=seg_has_kept, minlength=meas_count
+        )
+        meas_seg_starts = np.zeros(meas_count, dtype=np.intp)
+        np.cumsum(segs_per_meas[:-1], out=meas_seg_starts[1:])
+        has_segs = segs_per_meas > 0
+        low = np.full(meas_count, np.inf)
+        high = np.full(meas_count, -np.inf)
+        if seg_count and has_segs.any():
+            low[has_segs] = np.minimum.reduceat(
+                np.where(seg_has_kept, seg_min, np.inf),
+                meas_seg_starts[has_segs],
+            )
+            high[has_segs] = np.maximum.reduceat(
+                np.where(seg_has_kept, seg_min, -np.inf),
+                meas_seg_starts[has_segs],
+            )
+        with np.errstate(invalid="ignore"):
+            fail_lg = (lg_count >= 2) & (
+                high > low + np.maximum(
+                    config.consistency_abs_ms, config.consistency_frac * low
+                )
+            )
+
+        # asn-change: scalar metadata, cheap Python pass.
+        fail_asn = np.fromiter(
+            (
+                m.asn_at_start is not None
+                and m.asn_at_end is not None
+                and m.asn_at_start != m.asn_at_end
+                for m in measurements
+            ),
+            dtype=bool,
+            count=meas_count,
+        )
+
+        stage_fails = [
+            ("sample-size", fail_sample),
+            ("ttl-switch", fail_switch),
+            ("ttl-match", fail_match),
+            ("rtt-consistent", fail_rtt),
+            ("lg-consistent", fail_lg),
+            ("asn-change", fail_asn),
+        ]
+        active = [(name, flags) for name, flags in stage_fails if name != skip]
+        fail_matrix = np.stack([flags for _, flags in active])
+        failed_any = fail_matrix.any(axis=0)
+        first_fail = np.argmax(fail_matrix, axis=0)
+
+        trim_ran = skip != "ttl-match"
+        meas_trimmed = (
+            any_over_segs(seg_trimmed)
+            if trim_ran
+            else np.zeros(meas_count, dtype=bool)
+        )
+
+        report = FilterReport()
+        failed_list = failed_any.tolist()
+        first_list = first_fail.tolist()
+        trimmed_list = meas_trimmed.tolist()
+        names = [name for name, _ in active]
+        for mi, m in enumerate(measurements):
+            if failed_list[mi]:
+                name = names[first_list[mi]]
+                report.discard_counts[name] += 1
+                report.discard_reason[(m.ixp_acronym, m.address.value)] = name
+                continue
+            if not trimmed_list[mi]:
+                report.passed.append(m)
+                continue
+            lo = int(meas_seg_starts[mi])
+            hi = lo + int(segs_per_meas[mi])
+            operators = sorted(m.replies_by_operator)
+            trimmed: dict[str, list[EchoReply] | ReplyBatch] = {}
+            for seg in range(lo, hi):
+                op = operators[seg - lo]
+                batch = seg_batches[seg]
+                if seg_trimmed[seg]:
+                    start = int(seg_starts[seg])
+                    batch = batch.select(kept[start:start + int(seg_len[seg])])
+                trimmed[op] = batch
+            report.passed.append(m.with_replies(trimmed))
         return report

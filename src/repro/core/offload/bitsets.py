@@ -1,0 +1,105 @@
+"""Shared cone-bitset machinery for the offload estimators.
+
+Both reachability metrics — transit traffic (:mod:`.potential` /
+:mod:`.greedy`) and address space (:mod:`.reachability`) — run on the
+same two kernels:
+
+* :func:`assemble_bitset` COO-assembles one boolean (row × column)
+  cone-membership matrix from per-row index arrays;
+* :func:`greedy_cover_rows` drives a greedy set-cover expansion over such
+  a matrix: one gain matrix-vector product and one argmax per rank, with
+  the chosen row zeroing the uncovered-weight vector in place.
+
+Keeping them here means tie-break, dtype and empty-input behaviour cannot
+drift between the two metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def assemble_bitset(
+    shape: tuple[int, int],
+    row_arrays: Iterable[tuple[int, list[np.ndarray]]],
+) -> np.ndarray:
+    """COO-assemble a read-only boolean matrix from per-row index arrays.
+
+    ``row_arrays`` yields ``(row, arrays)`` pairs where each array holds
+    column indices to set in that row (duplicates are fine).  One
+    concatenated scatter replaces a fancy assignment per array, which is
+    what makes cold greedy expansions cheap.
+    """
+    matrix = np.zeros(shape, dtype=bool)
+    row_chunks: list[np.ndarray] = []
+    col_chunks: list[np.ndarray] = []
+    for row, arrays in row_arrays:
+        if not arrays:
+            continue
+        columns = np.concatenate(arrays)
+        col_chunks.append(columns)
+        row_chunks.append(np.full(len(columns), row, dtype=np.int32))
+    if col_chunks:
+        matrix[np.concatenate(row_chunks), np.concatenate(col_chunks)] = True
+    matrix.setflags(write=False)
+    return matrix
+
+
+def cached_group_bitset(
+    cache: dict[int, np.ndarray],
+    group: int,
+    valid_groups: Iterable[int],
+    shape: tuple[int, int],
+    row_arrays: Callable[[], Iterable[tuple[int, list[np.ndarray]]]],
+) -> np.ndarray:
+    """Validate-and-cache wrapper around :func:`assemble_bitset`.
+
+    Both per-group matrix holders (the traffic estimator and the
+    address-space metric) share this: unknown groups raise, hits return
+    the cached read-only matrix, misses assemble and store it.
+    ``row_arrays`` is called lazily so cache hits pay nothing.
+    """
+    cached = cache.get(group)
+    if cached is not None:
+        return cached
+    if group not in valid_groups:
+        raise ConfigurationError(f"unknown peer group {group}")
+    matrix = assemble_bitset(shape, row_arrays())
+    cache[group] = matrix
+    return matrix
+
+
+def greedy_cover_rows(
+    bitset: np.ndarray,
+    gain_matrix: np.ndarray,
+    uncovered: np.ndarray,
+    limit: int,
+) -> Iterator[tuple[int, int, np.ndarray]]:
+    """Greedy set-cover order over a cone bitset.
+
+    Yields ``(rank, row, covered)`` per step: ``row`` is the first (i.e.
+    lowest-index — ties resolve to the first row, which is alphabetical
+    for acronym-sorted matrices) argmax of ``gain_matrix @ uncovered``
+    among the still-active rows; ``covered`` is the running column
+    coverage after adding it.  ``uncovered`` is zeroed in place on the
+    chosen row's columns (incremental coverage), so callers pass a
+    selection-grade working copy.  Stops after ``limit`` steps or when no
+    active row remains; callers ``break`` on their own no-gain condition.
+    """
+    covered = np.zeros(bitset.shape[1], dtype=bool)
+    active = np.ones(bitset.shape[0], dtype=bool)
+    for rank in range(1, limit + 1):
+        if not active.any():
+            return
+        gains = gain_matrix @ uncovered
+        gains[~active] = -np.inf
+        best = int(np.argmax(gains))
+        row = bitset[best]
+        covered |= row
+        uncovered[row] = 0
+        active[best] = False
+        yield rank, best, covered

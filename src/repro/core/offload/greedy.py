@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.offload.bitsets import greedy_cover_rows
 from repro.core.offload.potential import OffloadEstimator
 from repro.errors import ConfigurationError
 
@@ -46,6 +47,13 @@ def greedy_expansion(
 
     Ties (including the all-zero tail) resolve alphabetically, which keeps
     runs deterministic.
+
+    Each rank is one matrix-vector product over the group's precomputed
+    cone-membership bitset followed by an argmax: row ``k`` of the product
+    is candidate ``k``'s fresh gain against the not-yet-covered traffic
+    vector, which the chosen row then zeroes out (incremental coverage).
+    The pre-bitset implementation recomputed every candidate's masked
+    traffic sums in a Python loop per rank.
     """
     world = estimator.world
     matrix = world.matrix
@@ -56,40 +64,37 @@ def greedy_expansion(
     if limit <= 0:
         raise ConfigurationError("max_ixps must be positive")
 
-    covered = np.zeros(len(world.contributing), dtype=bool)
+    bitset = estimator.group_matrix(group)
+    gain_matrix = estimator.group_matrix_float(group)
+    # Same (selection-grade) dtype as the gain matrix: argmax picks the
+    # winner, the step's reported numbers come from float64 masked sums.
+    uncovered_total = (matrix.inbound_bps + matrix.outbound_bps).astype(
+        np.float32
+    )
+    offl_in = offl_out = 0.0
     steps: list[GreedyStep] = []
-    remaining_candidates = list(candidates)
-    for rank in range(1, limit + 1):
-        best_ixp = None
-        best_gain_in = best_gain_out = 0.0
-        best_gain = -1.0
-        for acronym in remaining_candidates:
-            mask = estimator.ixp_mask(acronym, group)
-            fresh = mask & ~covered
-            gain_in = float(matrix.inbound_bps[fresh].sum())
-            gain_out = float(matrix.outbound_bps[fresh].sum())
-            gain = gain_in + gain_out
-            if gain > best_gain:
-                best_gain = gain
-                best_ixp = acronym
-                best_gain_in, best_gain_out = gain_in, gain_out
-        if best_ixp is None:
-            break
-        covered |= estimator.ixp_mask(best_ixp, group)
-        remaining_candidates.remove(best_ixp)
+    for rank, best, covered in greedy_cover_rows(
+        bitset, gain_matrix, uncovered_total, limit
+    ):
+        best_ixp = candidates[best]
+        previous_in, previous_out = offl_in, offl_out
         offl_in = float(matrix.inbound_bps[covered].sum())
         offl_out = float(matrix.outbound_bps[covered].sum())
+        # The fresh gain is exactly the coverage delta (the row's fresh
+        # indices are disjoint from the previous coverage).
+        gain_in = offl_in - previous_in
+        gain_out = offl_out - previous_out
         steps.append(
             GreedyStep(
                 rank=rank,
                 ixp=best_ixp,
-                gained_inbound_bps=best_gain_in,
-                gained_outbound_bps=best_gain_out,
+                gained_inbound_bps=gain_in,
+                gained_outbound_bps=gain_out,
                 remaining_inbound_bps=total_in - offl_in,
                 remaining_outbound_bps=total_out - offl_out,
             )
         )
-        if best_gain <= 0:
+        if gain_in + gain_out <= 0:
             break
     return steps
 

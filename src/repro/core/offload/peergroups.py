@@ -83,15 +83,18 @@ class PeerGroups:
         customer cone (itself included), combined inbound + outbound.
         """
         world = self.world
+        total_bps = world.matrix.total_bps
         scored: list[tuple[float, ASN]] = []
         for asn in self.candidates:
+            # Cone membership comes from the world's precomputed index
+            # tables: one array reduction per candidate instead of a
+            # Python walk over its cone.  Touching every candidate (not
+            # just the selective ones) also warms the per-member index
+            # arrays the estimator's group matrices are assembled from.
+            indices = world.cone_contrib_indices(asn)
             if world.policy_of(asn) is not PeeringPolicy.SELECTIVE:
                 continue
-            potential = 0.0
-            for member in world.cone(asn):
-                idx = world.contributing_index(member)
-                if idx is not None:
-                    potential += float(world.matrix.total_bps[idx])
+            potential = float(total_bps[indices].sum())
             scored.append((potential, asn))
         scored.sort(key=lambda pair: (-pair[0], pair[1]))
         return frozenset(asn for _, asn in scored[:TOP_SELECTIVE_COUNT])

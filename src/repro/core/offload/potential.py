@@ -15,6 +15,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.offload.bitsets import cached_group_bitset
 from repro.core.offload.peergroups import ALL_GROUPS, PeerGroups
 from repro.errors import ConfigurationError
 from repro.sim.offload_world import OffloadWorld
@@ -52,55 +53,89 @@ class ContributorShare:
 
 
 class OffloadEstimator:
-    """Offload arithmetic over a built world and its peer groups."""
+    """Offload arithmetic over a built world and its peer groups.
+
+    All reachability queries run off one precomputed boolean
+    *cone-membership matrix* per peer group: row ``k`` is the offloadable
+    mask of the ``k``-th reachable IXP (sorted by acronym), column ``i``
+    the ``i``-th contributing network.  Masks, unions and traffic sums are
+    then row reductions instead of per-member Python loops, which is what
+    makes many-seed offload ensembles and the greedy expansion cheap.
+    """
 
     def __init__(self, world: OffloadWorld, groups: PeerGroups | None = None):
         self.world = world
         self.groups = groups or PeerGroups.build(world)
-        self._member_cone_idx: dict[ASN, np.ndarray] = {}
-        self._mask_cache: dict[tuple[str, int], np.ndarray] = {}
+        self._ixp_row: dict[str, int] = {
+            acronym: row
+            for row, acronym in enumerate(sorted(world.memberships))
+        }
+        self._matrices: dict[int, np.ndarray] = {}
+        self._matrices_float: dict[int, np.ndarray] = {}
         self._transient: dict[str, np.ndarray] | None = None
 
     # -- masks -------------------------------------------------------------------
 
-    def _cone_indices(self, member: ASN) -> np.ndarray:
-        """Contributing-array indices covered by one member's cone."""
-        cached = self._member_cone_idx.get(member)
-        if cached is not None:
-            return cached
-        indices = [
-            idx
-            for asn in self.world.cone(member)
-            if (idx := self.world.contributing_index(asn)) is not None
-        ]
-        array = np.array(sorted(indices), dtype=np.int32)
-        self._member_cone_idx[member] = array
-        return array
+    def group_matrix(self, group: int) -> np.ndarray:
+        """The (IXP × contributing) cone-membership bitset for one group.
+
+        Rows follow :meth:`reachable_ixps` order.  The array is cached and
+        marked read-only — callers operate on row views.
+        """
+        world = self.world
+
+        def row_arrays():
+            in_group = self.groups.group_members(group)
+            return (
+                (
+                    row,
+                    [
+                        world.cone_contrib_indices(member)
+                        for member in world.memberships[acronym] & in_group
+                    ],
+                )
+                for acronym, row in self._ixp_row.items()
+            )
+
+        return cached_group_bitset(
+            self._matrices, group, ALL_GROUPS,
+            (len(self._ixp_row), len(world.contributing)), row_arrays,
+        )
+
+    def group_matrix_float(self, group: int) -> np.ndarray:
+        """Float32 view of :meth:`group_matrix` for gain products.
+
+        Selection-grade precision only: greedy argmaxes run on it, while
+        every reported traffic number comes from float64 masked sums.
+        """
+        cached = self._matrices_float.get(group)
+        if cached is None:
+            cached = self.group_matrix(group).astype(np.float32)
+            cached.setflags(write=False)
+            self._matrices_float[group] = cached
+        return cached
+
+    def _row_of(self, ixp_acronym: str) -> int:
+        row = self._ixp_row.get(ixp_acronym)
+        if row is None:
+            raise ConfigurationError(f"unknown IXP {ixp_acronym!r}")
+        return row
 
     def ixp_mask(self, ixp_acronym: str, group: int) -> np.ndarray:
         """Offloadable-contributor mask for one IXP and peer group."""
-        key = (ixp_acronym, group)
-        cached = self._mask_cache.get(key)
-        if cached is not None:
-            return cached
-        mask = np.zeros(len(self.world.contributing), dtype=bool)
-        for member in self.groups.ixp_group_members(ixp_acronym, group):
-            mask[self._cone_indices(member)] = True
-        self._mask_cache[key] = mask
-        return mask
+        return self.group_matrix(group)[self._row_of(ixp_acronym)]
 
     def mask_for(self, ixps: Iterable[str], group: int) -> np.ndarray:
         """Offloadable mask for a set of reached IXPs."""
-        if group not in ALL_GROUPS:
-            raise ConfigurationError(f"unknown peer group {group}")
-        mask = np.zeros(len(self.world.contributing), dtype=bool)
-        for acronym in ixps:
-            mask |= self.ixp_mask(acronym, group)
-        return mask
+        matrix = self.group_matrix(group)
+        rows = [self._row_of(acronym) for acronym in ixps]
+        if not rows:
+            return np.zeros(len(self.world.contributing), dtype=bool)
+        return matrix[rows].any(axis=0)
 
     def reachable_ixps(self) -> list[str]:
         """All IXPs in the study's reachable set, sorted."""
-        return sorted(self.world.memberships)
+        return sorted(self._ixp_row)
 
     # -- traffic -------------------------------------------------------------------
 
@@ -132,10 +167,13 @@ class OffloadEstimator:
 
     def single_ixp_ranking(self, group: int, top: int = 10) -> list[tuple[str, float]]:
         """IXPs ranked by single-IXP offload potential (Figure 7's x-axis)."""
-        scored = []
-        for acronym in self.reachable_ixps():
-            inbound, outbound = self.offload_bps([acronym], group)
-            scored.append((acronym, inbound + outbound))
+        matrix = self.group_matrix(group)
+        world_matrix = self.world.matrix
+        totals = world_matrix.inbound_bps + world_matrix.outbound_bps
+        scored = [
+            (acronym, float(totals[matrix[row]].sum()))
+            for acronym, row in self._ixp_row.items()
+        ]
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
         return scored[:top]
 
@@ -156,24 +194,33 @@ class OffloadEstimator:
     # -- figure 6: contributor decomposition -------------------------------------------
 
     def _transient_arrays(self) -> dict[str, np.ndarray]:
-        """Per-AS transient traffic, from the AS paths of every flow."""
+        """Per-AS transient traffic, from the AS paths of every flow.
+
+        One pass collects (hop, contributor) pairs; the per-hop sums are
+        then two weighted bincounts instead of ~100k scalar additions.
+        """
         if self._transient is not None:
             return self._transient
         world = self.world
         size = len(world.graph)
         index = {asn: i for i, asn in enumerate(world.graph.asns())}
-        transient_in = np.zeros(size)
-        transient_out = np.zeros(size)
+        hop_rows: list[int] = []
+        contrib_rows: list[int] = []
         for contrib_idx, asn in enumerate(world.contributing):
             path = world.inbound_paths.get(asn)
             if path is None:
                 continue
-            inbound = float(world.matrix.inbound_bps[contrib_idx])
-            outbound = float(world.matrix.outbound_bps[contrib_idx])
-            for hop in path.intermediaries():
-                hop_idx = index[hop]
-                transient_in[hop_idx] += inbound
-                transient_out[hop_idx] += outbound
+            intermediaries = path.intermediaries()
+            hop_rows.extend(index[hop] for hop in intermediaries)
+            contrib_rows.extend([contrib_idx] * len(intermediaries))
+        hops = np.asarray(hop_rows, dtype=np.intp)
+        contribs = np.asarray(contrib_rows, dtype=np.intp)
+        transient_in = np.bincount(
+            hops, weights=world.matrix.inbound_bps[contribs], minlength=size
+        ).astype(float)
+        transient_out = np.bincount(
+            hops, weights=world.matrix.outbound_bps[contribs], minlength=size
+        ).astype(float)
         self._transient = {
             "in": transient_in,
             "out": transient_out,

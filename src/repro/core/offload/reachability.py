@@ -5,6 +5,12 @@ traffic, the paper switches the metric to *the number of IP interfaces
 reachable only through transit providers*: ~2.6 billion addresses sit
 behind the transit hierarchy, and reaching IXPs moves the cones of their
 members (per peer group) into peering reach.
+
+Like the traffic-side estimator, the implementation precomputes one
+boolean cone-membership matrix per peer group — here (IXP × *all* ASes),
+since the metric counts every announced address, not just the contributing
+networks' — and answers coverage queries with masked reductions over the
+per-AS address-space vector.
 """
 
 from __future__ import annotations
@@ -14,10 +20,10 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.offload.peergroups import PeerGroups
+from repro.core.offload.bitsets import cached_group_bitset, greedy_cover_rows
+from repro.core.offload.peergroups import ALL_GROUPS, PeerGroups
 from repro.errors import ConfigurationError
 from repro.sim.offload_world import OffloadWorld
-from repro.types import ASN
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,39 +40,49 @@ class ReachabilityStep:
         return self.remaining_addresses / 1e9
 
 
-class _AddressMasks:
-    """Per-(IXP, group) address-space masks over *all* ASes."""
+class _AddressMatrix:
+    """Per-group (IXP × all-AS) cone bitsets plus the address-space vector."""
 
     def __init__(self, world: OffloadWorld, groups: PeerGroups) -> None:
         self.world = world
         self.groups = groups
         self.asns = world.graph.asns()
-        self.index = {asn: i for i, asn in enumerate(self.asns)}
+        self.candidates = sorted(world.memberships)
         self.space = np.array(
             [world.graph.get(a).address_space for a in self.asns], dtype=float
         )
-        self._cone_idx: dict[ASN, np.ndarray] = {}
-        self._masks: dict[tuple[str, int], np.ndarray] = {}
+        self._matrices: dict[int, np.ndarray] = {}
 
-    def cone_indices(self, member: ASN) -> np.ndarray:
-        cached = self._cone_idx.get(member)
-        if cached is None:
-            cached = np.array(
-                sorted(self.index[a] for a in self.world.cone(member)),
-                dtype=np.int32,
+    def _member_arrays(self, acronym: str, in_group) -> list[np.ndarray]:
+        world = self.world
+        members = world.memberships.get(acronym)
+        if members is None:
+            raise ConfigurationError(f"unknown IXP {acronym!r}")
+        return [world.cone_all_indices(m) for m in members & in_group]
+
+    def matrix(self, group: int) -> np.ndarray:
+        def row_arrays():
+            in_group = self.groups.group_members(group)
+            return (
+                (row, self._member_arrays(acronym, in_group))
+                for row, acronym in enumerate(self.candidates)
             )
-            self._cone_idx[member] = cached
-        return cached
 
-    def mask(self, ixp_acronym: str, group: int) -> np.ndarray:
-        key = (ixp_acronym, group)
-        cached = self._masks.get(key)
-        if cached is None:
-            cached = np.zeros(len(self.asns), dtype=bool)
-            for member in self.groups.ixp_group_members(ixp_acronym, group):
-                cached[self.cone_indices(member)] = True
-            self._masks[key] = cached
-        return cached
+        return cached_group_bitset(
+            self._matrices, group, ALL_GROUPS,
+            (len(self.candidates), len(self.asns)), row_arrays,
+        )
+
+    def combined_mask(self, ixps: Iterable[str], group: int) -> np.ndarray:
+        """Coverage of just the requested IXPs (no full-matrix assembly)."""
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {group}")
+        in_group = self.groups.group_members(group)
+        combined = np.zeros(len(self.asns), dtype=bool)
+        for acronym in ixps:
+            for indices in self._member_arrays(acronym, in_group):
+                combined[indices] = True
+        return combined
 
 
 def total_address_space(world: OffloadWorld) -> float:
@@ -81,11 +97,9 @@ def reachable_via_peering(
     group: int,
 ) -> float:
     """Addresses covered by the cones of reachable group members."""
-    masks = _AddressMasks(world, groups)
-    combined = np.zeros(len(masks.asns), dtype=bool)
-    for acronym in ixps:
-        combined |= masks.mask(acronym, group)
-    return float(masks.space[combined].sum())
+    matrices = _AddressMatrix(world, groups)
+    combined = matrices.combined_mask(ixps, group)
+    return float(matrices.space[combined].sum())
 
 
 def greedy_reachability(
@@ -97,37 +111,34 @@ def greedy_reachability(
     """Greedy expansion minimising transit-only reachable addresses.
 
     Mirrors Figure 10: at each step add the IXP whose members' cones cover
-    the most not-yet-covered address space.
+    the most not-yet-covered address space — one matrix-vector product and
+    an argmax per rank, with the chosen row zeroing the address vector.
     """
-    masks = _AddressMasks(world, groups)
-    candidates = sorted(world.memberships)
+    matrices = _AddressMatrix(world, groups)
+    candidates = matrices.candidates
     limit = len(candidates) if max_ixps is None else min(max_ixps, len(candidates))
     if limit <= 0:
         raise ConfigurationError("max_ixps must be positive")
-    total = float(masks.space.sum())
-    covered = np.zeros(len(masks.asns), dtype=bool)
+    bitset = matrices.matrix(group)
+    gain_matrix = bitset.astype(np.float32)
+    total = float(matrices.space.sum())
+    uncovered_space = matrices.space.astype(np.float32)
     steps: list[ReachabilityStep] = []
-    remaining_candidates = list(candidates)
-    for rank in range(1, limit + 1):
-        best_ixp = None
-        best_gain = -1.0
-        for acronym in remaining_candidates:
-            fresh = masks.mask(acronym, group) & ~covered
-            gain = float(masks.space[fresh].sum())
-            if gain > best_gain:
-                best_gain = gain
-                best_ixp = acronym
-        if best_ixp is None:
-            break
-        covered |= masks.mask(best_ixp, group)
-        remaining_candidates.remove(best_ixp)
+    for rank, best, covered in greedy_cover_rows(
+        bitset, gain_matrix, uncovered_space, limit
+    ):
+        remaining = total - float(matrices.space[covered].sum())
+        fresh_gain = (
+            (total - remaining) if not steps
+            else steps[-1].remaining_addresses - remaining
+        )
         steps.append(
             ReachabilityStep(
                 rank=rank,
-                ixp=best_ixp,
-                remaining_addresses=total - float(masks.space[covered].sum()),
+                ixp=candidates[best],
+                remaining_addresses=remaining,
             )
         )
-        if best_gain <= 0:
+        if fresh_gain <= 0:
             break
     return steps

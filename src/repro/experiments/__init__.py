@@ -51,6 +51,12 @@ is derived from its world seed via :func:`repro.rand.derive_seed`, so
 ensembles are fully reproducible and adding variants never perturbs
 existing trials.  The CLI front end is ``repro ensemble`` (see
 ``repro.cli``); ``examples/ensemble_study.py`` is a worked example.
+
+The *offload* study has its own ensemble runner
+(:mod:`repro.experiments.offload`): seeds × ``OffloadWorldConfig`` grids
+(× peer groups), reporting mean ± 95% CI maximum offload fractions,
+offloadable-network counts and the greedy IXP-expansion consensus.  Its
+CLI front end is ``repro offload-ensemble``.
 """
 
 from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
@@ -64,19 +70,45 @@ from repro.experiments.ensemble import (
     run_ensemble,
     run_trial,
 )
-from repro.experiments.report import render_ensemble_report
+from repro.experiments.offload import (
+    OffloadEnsembleConfig,
+    OffloadEnsembleResult,
+    OffloadTrialResult,
+    OffloadTrialSpec,
+    OffloadVariant,
+    OffloadVariantSummary,
+    RankConsensus,
+    offload_grid_variants,
+    run_offload_ensemble,
+    run_offload_trial,
+)
+from repro.experiments.report import (
+    render_ensemble_report,
+    render_offload_ensemble_report,
+)
 
 __all__ = [
     "ConfigVariant",
     "EnsembleConfig",
     "EnsembleResult",
     "MeanCI",
+    "OffloadEnsembleConfig",
+    "OffloadEnsembleResult",
+    "OffloadTrialResult",
+    "OffloadTrialSpec",
+    "OffloadVariant",
+    "OffloadVariantSummary",
+    "RankConsensus",
     "TrialResult",
     "TrialSpec",
     "VariantSummary",
     "grid_variants",
     "mean_ci",
+    "offload_grid_variants",
     "render_ensemble_report",
+    "render_offload_ensemble_report",
     "run_ensemble",
+    "run_offload_ensemble",
+    "run_offload_trial",
     "run_trial",
 ]

@@ -1,0 +1,333 @@
+"""Multi-seed, multi-configuration *offload* ensembles (Section 4 at scale).
+
+Mirrors :mod:`repro.experiments.ensemble` for the offload study: a trial
+builds one offload world under a (seed, variant) pair, applies the peer-
+group exclusions, and measures the maximum offload fractions plus the
+greedy IXP expansion; the runner fans trials out over a process pool and
+aggregates mean ± 95% CI offload fractions and an expansion-order
+consensus per variant.  This is the many-seed sensitivity study the
+uncovering-remote-peering and peering-economics follow-ups both need —
+"how stable is the ~30% offload ceiling and the AMS-IX-first ordering
+across worlds?" — and it only became affordable with the vectorized
+offload world builder and the bitset-matrix estimator.
+
+Usage::
+
+    from repro.experiments.offload import (
+        OffloadEnsembleConfig, OffloadVariant, run_offload_ensemble,
+    )
+    config = OffloadEnsembleConfig(
+        seeds=tuple(range(16)),
+        variants=(OffloadVariant(name="paper65"),),  # full-scale preset
+    )
+    result = run_offload_ensemble(config)
+    print(render_offload_ensemble_report(result))
+
+Grids sweep any :class:`OffloadWorldConfig` field via dotted
+``world.<field>`` axes (:func:`offload_grid_variants`), plus the peer
+``group`` of the study itself.  The CLI front end is
+``repro offload-ensemble`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Sequence
+
+from repro.core.offload import (
+    ALL_GROUPS,
+    OffloadEstimator,
+    PeerGroups,
+    greedy_expansion,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import MeanCI, mean_ci
+from repro.sim.offload_world import OffloadWorldConfig, build_offload_world
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadVariant:
+    """One named cell of the offload configuration grid."""
+
+    name: str
+    world: OffloadWorldConfig = OffloadWorldConfig()
+    group: int = 4
+    max_ixps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {self.group}")
+        if self.max_ixps <= 0:
+            raise ConfigurationError("max_ixps must be positive")
+
+
+def offload_grid_variants(
+    world: OffloadWorldConfig | None = None,
+    axes: Mapping[str, Sequence] | None = None,
+    groups: Sequence[int] = (4,),
+    max_ixps: int = 8,
+) -> tuple[OffloadVariant, ...]:
+    """Cartesian product of ``world.<field>`` axes × peer groups.
+
+    ``axes`` maps dotted paths (``"world.<field>"`` over
+    :class:`OffloadWorldConfig`) to value sequences; ``groups`` adds the
+    peer group as an outer axis.  Variant names join the swept assignments
+    (``member_tier2_fraction=0.4|group=4`` style).
+    """
+    world = world or OffloadWorldConfig()
+    axes = dict(axes or {})
+    world_fields = {f.name for f in fields(OffloadWorldConfig)}
+    for path in axes:
+        scope, _, fname = path.partition(".")
+        if scope != "world" or fname not in world_fields:
+            raise ConfigurationError(
+                f"grid axis {path!r} must be world.<field> naming an "
+                "existing OffloadWorldConfig field"
+            )
+        if fname == "seed":
+            raise ConfigurationError(
+                f"grid axis {path!r} is not sweepable: trial seeds come "
+                "from OffloadEnsembleConfig.seeds"
+            )
+    if not groups:
+        raise ConfigurationError("need at least one peer group")
+    for group in groups:
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {group}")
+    paths = list(axes)
+    variants = []
+    for combo in itertools.product(*(axes[p] for p in paths)):
+        w = world
+        parts = []
+        for path, value in zip(paths, combo):
+            fname = path.partition(".")[2]
+            w = replace(w, **{fname: value})
+            parts.append(f"{fname}={value}")
+        for group in groups:
+            name_parts = [*parts]
+            if len(groups) > 1 or not parts:
+                name_parts.append(f"group={group}")
+            variants.append(
+                OffloadVariant(
+                    name="|".join(name_parts) or "base",
+                    world=w,
+                    group=group,
+                    max_ixps=max_ixps,
+                )
+            )
+    return tuple(variants)
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadTrialSpec:
+    """One fully-resolved trial: picklable input of :func:`run_offload_trial`."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    world: OffloadWorldConfig
+    group: int
+    max_ixps: int
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadEnsembleConfig:
+    """Seed list × offload variant grid, plus parallelism.
+
+    ``workers=1`` runs trials inline in this process (what tests use);
+    ``workers=0`` uses one process per core, capped at the trial count.
+    """
+
+    seeds: tuple[int, ...]
+    variants: tuple[OffloadVariant, ...] = (OffloadVariant(name="base"),)
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("an ensemble needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("ensemble seeds must be distinct")
+        if not self.variants:
+            raise ConfigurationError("an ensemble needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
+
+    def trials(self) -> list[OffloadTrialSpec]:
+        """The fully-resolved trial list, variant-major, in a stable order."""
+        specs: list[OffloadTrialSpec] = []
+        for variant in self.variants:
+            for seed in self.seeds:
+                specs.append(
+                    OffloadTrialSpec(
+                        trial_id=len(specs),
+                        variant=variant.name,
+                        seed=seed,
+                        world=replace(variant.world, seed=seed),
+                        group=variant.group,
+                        max_ixps=variant.max_ixps,
+                    )
+                )
+        return specs
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadTrialResult:
+    """Per-trial offload metrics (picklable output of :func:`run_offload_trial`)."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    candidate_count: int
+    offloadable_networks: int
+    inbound_fraction: float   # max offload, all IXPs reached
+    outbound_fraction: float
+    expansion: tuple[str, ...]  # greedy order, best first
+    five_ixp_share: float     # share of the expansion's gain from 5 IXPs
+    build_s: float
+    study_s: float
+
+    @property
+    def total_fraction_mean(self) -> float:
+        """Average of the two directional offload fractions."""
+        return 0.5 * (self.inbound_fraction + self.outbound_fraction)
+
+
+def run_offload_trial(spec: OffloadTrialSpec) -> OffloadTrialResult:
+    """Execute one trial: build world → peer groups → estimator → greedy."""
+    t0 = time.perf_counter()
+    world = build_offload_world(spec.world)
+    t1 = time.perf_counter()
+    estimator = OffloadEstimator(world, PeerGroups.build(world))
+    all_ixps = estimator.reachable_ixps()
+    inbound, outbound = estimator.offload_fractions(all_ixps, spec.group)
+    steps = greedy_expansion(estimator, spec.group, max_ixps=spec.max_ixps)
+    gains = [s.gained_total_bps for s in steps]
+    total_gain = sum(gains)
+    five_share = sum(gains[:5]) / total_gain if total_gain > 0 else 0.0
+    t2 = time.perf_counter()
+    return OffloadTrialResult(
+        trial_id=spec.trial_id,
+        variant=spec.variant,
+        seed=spec.seed,
+        candidate_count=estimator.groups.candidate_count(),
+        offloadable_networks=estimator.offloadable_network_count(
+            all_ixps, spec.group
+        ),
+        inbound_fraction=inbound,
+        outbound_fraction=outbound,
+        expansion=tuple(s.ixp for s in steps),
+        five_ixp_share=five_share,
+        build_s=t1 - t0,
+        study_s=t2 - t1,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RankConsensus:
+    """Agreement on one greedy rank across a variant's trials."""
+
+    rank: int            # 1-based expansion position
+    ixp: str             # modal IXP at this rank
+    agreement: float     # fraction of trials picking the modal IXP here
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadVariantSummary:
+    """Aggregated offload metrics for one variant."""
+
+    variant: str
+    trials: int
+    group: int
+    inbound_fraction: MeanCI
+    outbound_fraction: MeanCI
+    offloadable_networks: MeanCI
+    candidate_count: MeanCI
+    five_ixp_share: MeanCI
+    expansion_consensus: tuple[RankConsensus, ...]
+
+
+@dataclass
+class OffloadEnsembleResult:
+    """All trial results plus the config that produced them."""
+
+    config: OffloadEnsembleConfig
+    trials: list[OffloadTrialResult]
+    wall_s: float = 0.0
+    _by_variant: dict[str, list[OffloadTrialResult]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self._by_variant:
+            grouped: dict[str, list[OffloadTrialResult]] = {}
+            for trial in self.trials:
+                grouped.setdefault(trial.variant, []).append(trial)
+            self._by_variant = grouped
+
+    def by_variant(self) -> dict[str, list[OffloadTrialResult]]:
+        """Trials grouped by variant name, in config order."""
+        return dict(self._by_variant)
+
+    def summaries(self) -> list[OffloadVariantSummary]:
+        """Mean ± 95% CI aggregates, one per variant."""
+        group_of = {v.name: v.group for v in self.config.variants}
+        out = []
+        for variant, trials in self._by_variant.items():
+            out.append(_summarize(variant, group_of.get(variant, 4), trials))
+        return out
+
+
+def _summarize(
+    variant: str, group: int, trials: list[OffloadTrialResult]
+) -> OffloadVariantSummary:
+    depth = max((len(t.expansion) for t in trials), default=0)
+    consensus = []
+    for rank in range(depth):
+        picks = Counter(
+            t.expansion[rank] for t in trials if len(t.expansion) > rank
+        )
+        ixp, count = picks.most_common(1)[0]
+        consensus.append(
+            RankConsensus(
+                rank=rank + 1, ixp=ixp, agreement=count / len(trials)
+            )
+        )
+    return OffloadVariantSummary(
+        variant=variant,
+        trials=len(trials),
+        group=group,
+        inbound_fraction=mean_ci([t.inbound_fraction for t in trials]),
+        outbound_fraction=mean_ci([t.outbound_fraction for t in trials]),
+        offloadable_networks=mean_ci([t.offloadable_networks for t in trials]),
+        candidate_count=mean_ci([t.candidate_count for t in trials]),
+        five_ixp_share=mean_ci([t.five_ixp_share for t in trials]),
+        expansion_consensus=tuple(consensus),
+    )
+
+
+def run_offload_ensemble(
+    config: OffloadEnsembleConfig,
+) -> OffloadEnsembleResult:
+    """Run every trial of ``config``, in parallel unless ``workers=1``.
+
+    Results come back in trial order regardless of completion order, so
+    ensembles are reproducible artifacts: same config, same report.
+    """
+    specs = config.trials()
+    workers = config.workers or min(os.cpu_count() or 1, len(specs))
+    t0 = time.perf_counter()
+    if workers <= 1 or len(specs) == 1:
+        trials = [run_offload_trial(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+            trials = list(pool.map(run_offload_trial, specs))
+    return OffloadEnsembleResult(
+        config=config, trials=trials, wall_s=time.perf_counter() - t0
+    )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.tables import render_table
 from repro.experiments.aggregate import MeanCI
 from repro.experiments.ensemble import EnsembleResult
+from repro.experiments.offload import OffloadEnsembleResult
 
 
 def _ci(value: MeanCI | None, as_percent: bool = False) -> str:
@@ -66,5 +67,52 @@ def render_ensemble_report(
                 rows,
                 title=f"Detected remote fraction — {s.variant}",
             ))
+
+    return "\n\n".join(blocks)
+
+
+def render_offload_ensemble_report(result: OffloadEnsembleResult) -> str:
+    """Render the offload ensemble: fractions table + expansion consensus.
+
+    The headline table reports mean ± 95% CI maximum offload fractions
+    (inbound/outbound at all reachable IXPs), offloadable-network and
+    candidate counts, and the share of the greedy expansion's gain its
+    first five IXPs realize; one consensus table per variant shows the
+    modal greedy order with per-rank agreement across seeds.
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.group,
+            s.trials,
+            _ci(s.inbound_fraction, as_percent=True),
+            _ci(s.outbound_fraction, as_percent=True),
+            _ci(s.offloadable_networks),
+            _ci(s.candidate_count),
+            _ci(s.five_ixp_share, as_percent=True),
+        ])
+    blocks.append(render_table(
+        ["variant", "group", "trials", "inbound offload", "outbound offload",
+         "offloadable nets", "candidates", "5-IXP share"],
+        headline_rows,
+        title=f"Offload ensemble: {len(result.trials)} trials "
+              f"({len(summaries)} variant(s) x {len(result.config.seeds)} "
+              f"seed(s), {result.wall_s:.1f} s wall)",
+    ))
+
+    for s in summaries:
+        rows = [
+            [c.rank, c.ixp, f"{c.agreement:.0%}"]
+            for c in s.expansion_consensus
+        ]
+        blocks.append(render_table(
+            ["#", "modal IXP", "agreement"],
+            rows,
+            title=f"Greedy expansion consensus — {s.variant}",
+        ))
 
     return "\n\n".join(blocks)

@@ -213,14 +213,18 @@ def run_sweeps(
     sent_t = np.ascontiguousarray(sent.transpose(1, 0, 2)).reshape(n, flat)
     answered_t = np.ascontiguousarray(answered.transpose(1, 0, 2)).reshape(n, flat)
 
-    batches = []
-    for j in range(n):
-        mask = answered_t[j]
-        batches.append(
-            ReplyBatch(
-                rtt_ms=rtt_t[j, mask],
-                ttl=ttl_t[j, mask],
-                sent_at_s=sent_t[j, mask],
-            )
-        )
-    return batches
+    if n == 0:
+        return []
+    # One concatenated gather for the whole sweep: boolean indexing a 2-D
+    # array walks row-major, so the answered replies come out grouped by
+    # target in probe order; per-target batches are then views into the
+    # three flat arrays (no per-target masking pass).
+    counts = answered_t.sum(axis=1)
+    boundaries = np.cumsum(counts)[:-1]
+    rtt_parts = np.split(rtt_t[answered_t], boundaries)
+    ttl_parts = np.split(ttl_t[answered_t], boundaries)
+    sent_parts = np.split(sent_t[answered_t], boundaries)
+    return [
+        ReplyBatch(rtt_ms=r, ttl=t, sent_at_s=s)
+        for r, t, s in zip(rtt_parts, ttl_parts, sent_parts)
+    ]

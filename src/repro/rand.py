@@ -61,6 +61,23 @@ def child_rng(root_seed: int, *labels: str | int) -> np.random.Generator:
     return make_rng(derive_seed(root_seed, *labels))
 
 
+def weighted_top_k(
+    rng: np.random.Generator, weights: np.ndarray, k: int
+) -> np.ndarray:
+    """Weighted sample of ``k`` indices without replacement.
+
+    Exponential-key (Efraimidis–Spirakis) selection: draw one uniform per
+    item, rank by ``u ** (1 / w)`` descending, take the top ``k`` —
+    distributionally identical to sequential weighted draws without
+    replacement, realized as a single vectorized draw plus one argsort.
+    Consumes exactly ``len(weights)`` uniforms from ``rng``; weights must
+    be positive (a zero weight makes its key collapse to 0, i.e. the item
+    is only drawn once everything else is exhausted).
+    """
+    keys = rng.random(len(weights)) ** (1.0 / weights)
+    return np.argsort(keys)[::-1][:k]
+
+
 def zipf_weights(count: int, exponent: float) -> np.ndarray:
     """Normalised Zipf rank weights ``w_i ∝ (i+1)^-exponent`` of length count."""
     if count <= 0:

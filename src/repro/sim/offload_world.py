@@ -22,10 +22,52 @@ Calibration levers and what they buy:
   drop from 2.6 B to ~1 B addresses after the first IXP;
 * the CDN rank list — places the named content analogues among the top
   transit contributors, making Figure 6's top-30 content-heavy.
+
+Engines and the draw order
+--------------------------
+``OffloadWorldConfig(engine=...)`` selects how the world is materialized:
+
+* ``"vectorized"`` (default) builds struct-of-arrays per tier and inserts
+  networks and edges through the bulk :class:`~repro.bgp.relationships.
+  ASGraph` APIs;
+* ``"scalar"`` is the reference engine: it materializes one network at a
+  time through the fully-checked ``add_as``/``add_customer_provider``
+  calls.
+
+Both engines consume **identical random draws**: every stage draws its
+arrays from a dedicated child stream in a fixed, documented order, so the
+two engines produce bit-identical worlds (the engine-equivalence suite
+asserts graphs, memberships, traffic and the greedy IXP expansion order
+all match).  Stage streams and their draw order:
+
+* ``(seed, "offload", "giants")`` — provider keys ``U(G, T)``; each giant
+  takes the two lowest-key tier-1s of its row.
+* ``(seed, "offload", "tier2s")`` — region uniforms ``U(n2)`` (inverse-CDF
+  over the regional weights), policy uniforms ``U(n2)``, uplink-count
+  uniforms ``U(n2, 2)``, uplink keys ``U(n2, T)`` (lowest ``count`` keys).
+* ``(seed, "offload", "stubs")`` — region ``U(n)``, kind ``U(n)``,
+  tier-1-only ``U(n)``, IXP-goer ``U(n)``, policy ``U(n)``, big-eyeball
+  slot keys ``U(n)`` (the ``big_eyeball_count`` lowest keys become
+  eyeballs), provider-count ``U(n, 2)``, homing-pool ``U(n)``, propensity
+  ``U(n)``; then per category, in this order: eyeball provider keys
+  ``U(B, T)``, eyeball mega-homing ``U(B)``, eyeball mega picks ``U(B)``,
+  tier-1-only provider keys ``U(K1, T)``, and normal-stub provider picks
+  ``U(K2, 3)`` (index = ``floor(u * len(pool))`` into the mega / regional /
+  global tier-2 pool selected by the homing-pool uniform).
+* ``(seed, "traffic")`` — the Figure 5a rank-profile pipeline (unchanged
+  from the start: totals, permutation, in/out split, head pinning).
+* ``(seed, "offload", "globals")`` — which member tier-2s are global
+  IXP-goers; ``(seed, "membership", acronym)`` — one stream per IXP whose
+  member draw is a weighted sample without replacement realized as
+  exponential-key (Efraimidis–Spirakis) top-``k`` selection.
+* ``(seed, "offload", "addrspace")`` — access-network multipliers
+  ``U(10, 80)`` then tier-1/transit multipliers ``U(4, 40)`` (each in
+  ascending-ASN order), then big-eyeball log-normal share weights.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,7 +86,7 @@ from repro.netflow.traffic import (
     rank_profile_totals,
     split_totals_by_kind,
 )
-from repro.rand import child_rng, make_rng, zipf_weights
+from repro.rand import child_rng, weighted_top_k
 from repro.types import ASN, NetworkKind, PeeringPolicy
 
 _REGIONS = ("europe", "north_america", "latin_america", "asia", "africa")
@@ -113,6 +155,21 @@ _IXP_POOL_OVERRIDES: dict[str, tuple[str, ...]] = {
     "CoreSite": ("north_america", "asia"),
 }
 
+#: Stub business-type mix (percent slots, drawn by ``floor(u * 100)``).
+_STUB_KINDS = (
+    [NetworkKind.ACCESS] * 40 + [NetworkKind.HOSTING] * 18
+    + [NetworkKind.CONTENT] * 14 + [NetworkKind.ENTERPRISE] * 22
+    + [NetworkKind.CDN] * 2 + [NetworkKind.TRANSIT] * 4
+)
+
+#: Tier-2 policy mix (percent slots).
+_TIER2_POLICIES = (
+    [PeeringPolicy.OPEN] * 62 + [PeeringPolicy.SELECTIVE] * 26
+    + [PeeringPolicy.RESTRICTIVE] * 12
+)
+
+_ENGINES = ("vectorized", "scalar")
+
 
 @dataclass(frozen=True, slots=True)
 class OffloadWorldConfig:
@@ -145,6 +202,9 @@ class OffloadWorldConfig:
     big_eyeball_space_share: float = 0.68
     #: Probability a big eyeball buys from a mega-carrier (else tier-1-only).
     big_eyeball_mega_homed: float = 0.75
+    #: World materialization engine; both consume identical draws (see the
+    #: module docstring).
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         giants = len(_GIANTS)
@@ -159,6 +219,10 @@ class OffloadWorldConfig:
         ):
             if not 0.0 <= fraction <= 1.0:
                 raise ConfigurationError("fractions must be in [0, 1]")
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown offload-world engine {self.engine!r}"
+            )
 
 
 @dataclass
@@ -183,6 +247,15 @@ class OffloadWorld:
     region_of: dict[ASN, str]
     _contrib_index: dict[ASN, int] = field(default_factory=dict)
     _cone_cache: dict[ASN, frozenset[ASN]] = field(default_factory=dict)
+    _cone_tables: tuple[dict, dict] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _cone_contrib_arrays: dict[ASN, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _cone_all_arrays: dict[ASN, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self._contrib_index:
@@ -210,6 +283,81 @@ class OffloadWorld:
         """Business type of a network."""
         return self.graph.get(asn).kind
 
+    # -- cone index tables (the offload bitsets' raw material) -------------------
+
+    def _cone_index_tables(self) -> tuple[dict, dict]:
+        """Per-AS cone membership as index lists, built bottom-up.
+
+        Returns ``(contrib_table, all_table)``: ``contrib_table[a]`` holds
+        the indices (into :attr:`contributing`) of the contributing
+        networks inside ``a``'s customer cone; ``all_table[a]`` the indices
+        into the sorted :meth:`all_asns` list.  Instead of one BFS per
+        member (the pre-bitset implementation), a single pass computes
+        every AS's *provider closure* (itself plus transitive providers —
+        the inverted cone relation: ``i ∈ cone(a)  ⇔  a ∈ closure(i)``)
+        and scatters each network's index to all of its ancestors.  Values
+        are plain lists; the public accessors convert to numpy arrays
+        lazily (only a few thousand members are ever queried).
+        """
+        if self._cone_tables is None:
+            provider_sets = self.graph.provider_sets()
+            closures: dict[ASN, frozenset[ASN]] = {}
+            shared_union: dict[frozenset, frozenset] = {}
+            empty: frozenset[ASN] = frozenset()
+
+            def closure_of(asn: ASN) -> frozenset[ASN]:
+                got = closures.get(asn)
+                if got is not None:
+                    return got
+                providers = provider_sets.get(asn)
+                if not providers:
+                    union = empty
+                else:
+                    key = frozenset(providers)
+                    union = shared_union.get(key)
+                    if union is None:
+                        union = frozenset().union(*map(closure_of, key))
+                        shared_union[key] = union
+                got = union | {asn}
+                closures[asn] = got
+                return got
+
+            contrib_index = self._contrib_index
+            all_lists: dict[ASN, list[int]] = {}
+            contrib_lists: dict[ASN, list[int]] = {}
+            for v, asn in enumerate(self.graph.asns()):
+                ci = contrib_index.get(asn)
+                for ancestor in closure_of(asn):
+                    held = all_lists.get(ancestor)
+                    if held is None:
+                        held = all_lists[ancestor] = []
+                    held.append(v)
+                    if ci is not None:
+                        held = contrib_lists.get(ancestor)
+                        if held is None:
+                            held = contrib_lists[ancestor] = []
+                        held.append(ci)
+            self._cone_tables = (contrib_lists, all_lists)
+        return self._cone_tables
+
+    def cone_contrib_indices(self, asn: ASN) -> np.ndarray:
+        """Contributing-array indices covered by ``asn``'s customer cone."""
+        got = self._cone_contrib_arrays.get(asn)
+        if got is None:
+            table = self._cone_index_tables()[0]
+            got = np.asarray(table.get(asn, ()), dtype=np.int32)
+            self._cone_contrib_arrays[asn] = got
+        return got
+
+    def cone_all_indices(self, asn: ASN) -> np.ndarray:
+        """Sorted-ASN-array indices covered by ``asn``'s customer cone."""
+        got = self._cone_all_arrays.get(asn)
+        if got is None:
+            table = self._cone_index_tables()[1]
+            got = np.asarray(table.get(asn, ()), dtype=np.int32)
+            self._cone_all_arrays[asn] = got
+        return got
+
     def contributing_mask_for_members(self, members: frozenset[ASN]) -> np.ndarray:
         """Boolean mask over contributing networks offloadable via ``members``.
 
@@ -218,10 +366,7 @@ class OffloadWorld:
         """
         mask = np.zeros(len(self.contributing), dtype=bool)
         for member in members:
-            for asn in self.cone(member):
-                idx = self._contrib_index.get(asn)
-                if idx is not None:
-                    mask[idx] = True
+            mask[self.cone_contrib_indices(member)] = True
         return mask
 
     def all_asns(self) -> list[ASN]:
@@ -243,21 +388,46 @@ class OffloadWorld:
 def build_offload_world(config: OffloadWorldConfig | None = None) -> OffloadWorld:
     """Generate the offload world deterministically from ``config.seed``."""
     config = config or OffloadWorldConfig()
-    builder = _OffloadBuilder(config)
-    return builder.build()
+    if config.engine == "scalar":
+        builder: _OffloadBuilderBase = _ScalarOffloadBuilder(config)
+    else:
+        builder = _VectorOffloadBuilder(config)
+    # The build allocates ~100k long-lived objects (ASes, paths, sets);
+    # generational collections triggered mid-build scan them repeatedly and
+    # cost ~25% wall time while reclaiming nothing.  Suspend collection for
+    # the allocation burst.
+    resume_gc = gc.isenabled()
+    if resume_gc:
+        gc.disable()
+    try:
+        return builder.build()
+    finally:
+        if resume_gc:
+            gc.enable()
 
 
-class _OffloadBuilder:
+class _OffloadBuilderBase:
+    """Shared scaffolding + the stage-array draw program (see module doc).
+
+    Subclasses implement :meth:`_materialize_tier2s` and
+    :meth:`_materialize_stubs` — everything else (scaffold tiers, traffic,
+    memberships, address space, routing) is engine-independent and already
+    array-native.
+    """
+
     def __init__(self, config: OffloadWorldConfig) -> None:
         self.config = config
         self.graph = ASGraph()
-        self.rng = make_rng(config.seed)
         self.region_of: dict[ASN, str] = {}
         self.ixp_propensity: dict[ASN, float] = {}
         self.tier1_only_stubs: list[ASN] = []
         self.tier1_only_stubs_set: set[ASN] = set()
         self.mega_carriers: list[ASN] = []
         self.big_eyeballs: list[ASN] = []
+        # Business kinds recorded as the tiers materialize, so the traffic
+        # split never re-derives (and can never disagree with) the graph.
+        self._giant_kinds: list[NetworkKind] = []
+        self._stub_kinds: list[NetworkKind] = []
 
     # -- AS creation helpers ------------------------------------------------------
 
@@ -283,6 +453,10 @@ class _OffloadBuilder:
         self.region_of[value] = region
         return value
 
+    def _stage_rng(self, stage: str) -> np.random.Generator:
+        """The child stream for one build stage."""
+        return child_rng(self.config.seed, "offload", stage)
+
     # -- build ------------------------------------------------------------------------
 
     def build(self) -> OffloadWorld:
@@ -299,8 +473,10 @@ class _OffloadBuilder:
         geant, nrens = self._build_geant(rediris, tier1s)
         giants = self._build_giants(tier1s)
         direct_cdns = self._build_direct_peer_cdns(rediris, tier1s)
-        tier2s = self._build_tier2s(tier1s)
-        stubs = self._build_stubs(tier1s, tier2s)
+        self._tier2_draws = _Tier2Draws.draw(self)
+        tier2s = self._materialize_tier2s(tier1s, self._tier2_draws)
+        self._stub_draws = _StubDraws.draw(self, tier1s)
+        stubs = self._materialize_stubs(tier1s, tier2s, self._stub_draws)
 
         contributing = self._contributing_list(giants, tier2s, stubs)
         matrix = self._build_traffic(contributing)
@@ -337,7 +513,7 @@ class _OffloadBuilder:
             region_of=self.region_of,
         )
 
-    # -- tiers ------------------------------------------------------------------------
+    # -- deterministic scaffold tiers ---------------------------------------------
 
     def _build_tier1s(self) -> list[ASN]:
         tier1s = [
@@ -374,16 +550,18 @@ class _OffloadBuilder:
         return geant, nrens
 
     def _build_giants(self, tier1s: list[ASN]) -> list[ASN]:
+        keys = self._stage_rng("giants").random((len(_GIANTS), len(tier1s)))
+        provider_picks = np.argsort(keys, axis=1)[:, :2]
         giants = []
         for i, (name, policy) in enumerate(_GIANTS):
+            kind = NetworkKind.CDN if i % 2 else NetworkKind.CONTENT
             giant = self._add(
-                2001 + i, name, NetworkKind.CDN if i % 2 else NetworkKind.CONTENT,
-                policy, "north_america", 2 ** 19,
+                2001 + i, name, kind, policy, "north_america", 2 ** 19,
             )
-            providers = self.rng.choice(len(tier1s), size=2, replace=False)
-            for p in providers:
+            for p in provider_picks[i]:
                 self.graph.add_customer_provider(giant, tier1s[int(p)])
             self.ixp_propensity[giant] = 50.0  # giants are at every big IXP
+            self._giant_kinds.append(kind)
             giants.append(giant)
         return giants
 
@@ -400,137 +578,29 @@ class _OffloadBuilder:
             cdns.append(cdn)
         return cdns
 
-    def _build_tier2s(self, tier1s: list[ASN]) -> list[ASN]:
+    # -- engine-specific tiers ------------------------------------------------------
+
+    def _materialize_tier2s(
+        self, tier1s: list[ASN], draws: "_Tier2Draws"
+    ) -> list[ASN]:
+        raise NotImplementedError
+
+    def _materialize_stubs(
+        self, tier1s: list[ASN], tier2s: list[ASN], draws: "_StubDraws"
+    ) -> list[ASN]:
+        raise NotImplementedError
+
+    def _tier2_propensity(self, i: int) -> float | None:
+        """Deterministic IXP propensity of tier-2 number ``i`` (or None)."""
         cfg = self.config
-        policies = (
-            [PeeringPolicy.OPEN] * 62 + [PeeringPolicy.SELECTIVE] * 26
-            + [PeeringPolicy.RESTRICTIVE] * 12
-        )
-        tier2s = []
-        member_cut = int(cfg.member_tier2_fraction * cfg.tier2_count)
-        for i in range(cfg.tier2_count):
-            region = _REGIONS[int(self.rng.choice(5, p=np.array(_STUB_REGION_WEIGHTS)))]
-            if i < cfg.mega_carrier_count:
-                # Large carriers peer selectively or restrictively; none of
-                # them shows up behind an open-policy route server.
-                policy = (
-                    PeeringPolicy.SELECTIVE
-                    if i % 3
-                    else PeeringPolicy.RESTRICTIVE
-                )
-            else:
-                policy = policies[int(self.rng.integers(0, len(policies)))]
-            tier2 = self._add(
-                3001 + i, f"transit-{region}-{i}", NetworkKind.TRANSIT,
-                policy, region, 2 ** 16,
-            )
-            count = 1 + int(self.rng.random() < 0.65) + int(self.rng.random() < 0.2)
-            uplinks = self.rng.choice(len(tier1s), size=count, replace=False)
-            for u in uplinks:
-                self.graph.add_customer_provider(tier2, tier1s[int(u)])
-            if i < cfg.mega_carrier_count:
-                # Global mega-carriers: everywhere, with worldwide cones.
-                self.ixp_propensity[tier2] = 45.0
-                self.mega_carriers.append(tier2)
-            elif i < member_cut:
-                # Transit networks reliably show up at their region's
-                # exchanges (floor), and the biggest ones dominate the draw.
-                self.ixp_propensity[tier2] = 8.0 + float((1 + i) ** -0.7) * 30.0
-            tier2s.append(tier2)
-        return tier2s
-
-    def _build_stubs(self, tier1s: list[ASN], tier2s: list[ASN]) -> list[ASN]:
-        cfg = self.config
-        stub_count = (
-            cfg.contributing_count - len(_GIANTS) - cfg.tier2_count
-        )
-        kinds = (
-            [NetworkKind.ACCESS] * 40 + [NetworkKind.HOSTING] * 18
-            + [NetworkKind.CONTENT] * 14 + [NetworkKind.ENTERPRISE] * 22
-            + [NetworkKind.CDN] * 2 + [NetworkKind.TRANSIT] * 4
-        )
-        region_weights = np.array(_STUB_REGION_WEIGHTS)
-        # Pre-draw arrays for speed: 29k python Device-free AS creations.
-        regions = self.rng.choice(5, size=stub_count, p=region_weights)
-        kind_idx = self.rng.integers(0, len(kinds), size=stub_count)
-        tier1_only = self.rng.random(stub_count) < cfg.tier1_only_stub_fraction
-        ixpgoer = self.rng.random(stub_count) < cfg.ixpgoer_stub_fraction
-        policy_draw = self.rng.random(stub_count)
-        big_eyeball_slots = set(
-            int(i)
-            for i in self.rng.choice(
-                stub_count, size=min(cfg.big_eyeball_count, stub_count),
-                replace=False,
-            )
-        )
-        # Group tier-2s by region for affine homing.
-        tier2_by_region: dict[str, list[ASN]] = {r: [] for r in _REGIONS}
-        for t in tier2s:
-            tier2_by_region[self.region_of[t]].append(t)
-        stubs = []
-        for i in range(stub_count):
-            region = _REGIONS[int(regions[i])]
-            big_eyeball = i in big_eyeball_slots
-            kind = NetworkKind.ACCESS if big_eyeball else kinds[int(kind_idx[i])]
-            if policy_draw[i] < 0.62:
-                policy = PeeringPolicy.OPEN
-            elif policy_draw[i] < 0.90:
-                policy = PeeringPolicy.SELECTIVE
-            else:
-                policy = PeeringPolicy.RESTRICTIVE
-            stub = self._add(
-                10_001 + i, f"stub-{region}-{i}", kind, policy, region,
-            )
-            if big_eyeball:
-                self._home_big_eyeball(stub, tier1s)
-                self.graph.get(stub).tags.add("big-eyeball")
-                self.big_eyeballs.append(stub)
-            else:
-                self._home_stub(
-                    stub, region, bool(tier1_only[i]), tier1s, tier2_by_region
-                )
-                if tier1_only[i]:
-                    self.tier1_only_stubs.append(stub)
-                elif ixpgoer[i]:
-                    self.ixp_propensity[stub] = float(self.rng.uniform(0.2, 3.0))
-            stubs.append(stub)
-        self.tier1_only_stubs_set = set(self.tier1_only_stubs)
-        return stubs
-
-    def _home_big_eyeball(self, stub, tier1s) -> None:
-        """Big eyeballs multihome to tier-1s, often plus one mega-carrier."""
-        picks = self.rng.choice(len(tier1s), size=2, replace=False)
-        for p in picks:
-            self.graph.add_customer_provider(stub, tier1s[int(p)])
-        homed_via_mega = (
-            self.mega_carriers
-            and self.rng.random() < self.config.big_eyeball_mega_homed
-        )
-        if homed_via_mega:
-            mega = self.mega_carriers[
-                int(self.rng.integers(0, len(self.mega_carriers)))
-            ]
-            self.graph.add_customer_provider(stub, mega)
-
-    def _home_stub(self, stub, region, tier1_only, tier1s, tier2_by_region) -> None:
-        provider_count = 1 + int(self.rng.random() < 0.45) + int(self.rng.random() < 0.12)
-        if tier1_only:
-            picks = self.rng.choice(len(tier1s), size=min(provider_count, 3), replace=False)
-            for p in picks:
-                self.graph.add_customer_provider(stub, tier1s[int(p)])
-            return
-        local = tier2_by_region[region]
-        draw = self.rng.random()
-        for _ in range(provider_count):
-            if draw < 0.15 and self.mega_carriers:
-                pool = self.mega_carriers
-            elif draw < 0.85 and local:
-                pool = local
-            else:
-                pool = [t for ts in tier2_by_region.values() for t in ts]
-            provider = pool[int(self.rng.integers(0, len(pool)))]
-            if self.graph.relationship(stub, provider) is None:
-                self.graph.add_customer_provider(stub, provider)
+        if i < cfg.mega_carrier_count:
+            # Global mega-carriers: everywhere, with worldwide cones.
+            return 45.0
+        if i < int(cfg.member_tier2_fraction * cfg.tier2_count):
+            # Transit networks reliably show up at their region's
+            # exchanges (floor), and the biggest ones dominate the draw.
+            return 8.0 + float((1 + i) ** -0.7) * 30.0
+        return None
 
     # -- traffic -----------------------------------------------------------------------
 
@@ -558,21 +628,40 @@ class _OffloadBuilder:
         count = len(contributing)
         totals = rank_profile_totals(count, traffic_cfg, rng)
         totals = totals[rng.permutation(count)]
-        multipliers = np.array(
-            [_REGION_TRAFFIC_MULTIPLIER[self.region_of[a]] for a in contributing]
-        )
-        totals = totals * multipliers
+        totals = totals * self._region_multipliers(contributing)
 
         self._pin_giants(totals)
-        self._pin_head_to_tier1_only(totals, contributing, rng)
+        kinds = self._contrib_kinds()
+        self._pin_head_to_tier1_only(totals, contributing, rng, kinds)
 
-        kinds = [self.graph.get(a).kind for a in contributing]
         return split_totals_by_kind(totals, kinds, traffic_cfg, rng)
 
+    def _contrib_kinds(self) -> list[NetworkKind]:
+        """Business types of the contributing list, recorded at build time."""
+        tier2 = [NetworkKind.TRANSIT] * self.config.tier2_count
+        return [*self._giant_kinds, *tier2, *self._stub_kinds]
+
+    def _region_multipliers(self, contributing: list[ASN]) -> np.ndarray:
+        # contributing = [giants (all north_america), tier-2s, stubs]; the
+        # tier regional codes come straight from the stage draws.
+        table = np.array([_REGION_TRAFFIC_MULTIPLIER[r] for r in _REGIONS])
+        return np.concatenate([
+            np.full(len(_GIANTS), _REGION_TRAFFIC_MULTIPLIER["north_america"]),
+            table[self._tier2_draws.region_idx],
+            table[self._stub_draws.region_idx],
+        ])
+
     def _pin_giants(self, totals: np.ndarray) -> None:
-        """Swap the giants (head of `contributing`) onto reserved ranks."""
+        """Swap the giants (head of ``contributing``) onto reserved ranks.
+
+        One descending argsort is maintained incrementally: a swap
+        exchanges two values, so only their two rank slots move — no
+        re-sort per giant.
+        """
+        order = np.argsort(totals)[::-1].copy()
+        position = np.empty_like(order)
+        position[order] = np.arange(len(order))
         for giant_idx, rank in enumerate(_GIANT_RANKS[: len(_GIANTS)]):
-            order = np.argsort(totals)[::-1]
             target_idx = int(order[rank - 1])
             if target_idx == giant_idx:
                 continue
@@ -580,9 +669,13 @@ class _OffloadBuilder:
                 totals[target_idx],
                 totals[giant_idx],
             )
+            pg, pt = int(position[giant_idx]), int(position[target_idx])
+            order[pg], order[pt] = target_idx, giant_idx
+            position[giant_idx], position[target_idx] = pt, pg
 
     def _pin_head_to_tier1_only(
-        self, totals: np.ndarray, contributing: list[ASN], rng
+        self, totals: np.ndarray, contributing: list[ASN], rng,
+        kinds: list[NetworkKind],
     ) -> None:
         """Seat tier-1-only eyeballs on the non-giant head ranks.
 
@@ -614,13 +707,22 @@ class _OffloadBuilder:
         weights = np.array(
             [
                 _REGION_TRAFFIC_MULTIPLIER[self.region_of[contributing[i]]]
-                * kind_weight[self.graph.get(contributing[i]).kind]
+                * kind_weight[kinds[i]]
                 for i in pool
             ]
         )
-        weights /= weights.sum()
-        picks = rng.choice(len(pool), size=min(cfg.head_pin_count, len(pool)),
-                           replace=False, p=weights)
+        draw_count = min(cfg.head_pin_count, len(pool))
+        picks = weighted_top_k(rng, weights, draw_count)
+        # Seat the picks content-first: the heaviest head ranks go to the
+        # most content-ish eyeballs (stable within equal kind weight).  The
+        # very top rank can hold >15% of all transit mass, so leaving its
+        # business type to chance made the in/out offload split swing
+        # wildly across seeds; Figure 6's top contributors are
+        # endpoint-dominant content networks, not broadband eyeballs.
+        picks = sorted(
+            picks.tolist(),
+            key=lambda i: -kind_weight[kinds[pool[i]]],
+        )
         chosen = iter(pool[int(i)] for i in picks)
         order = np.argsort(totals)[::-1]
         giant_rank_set = set(_GIANT_RANKS[:giant_count])
@@ -656,12 +758,14 @@ class _OffloadBuilder:
         by_region: dict[str, list[ASN]] = {r: [] for r in _REGIONS}
         for asn in goers:
             by_region[self.region_of[asn]].append(asn)
+        mega_set = set(self.mega_carriers)
+        eligible = [
+            t for t in tier2s
+            if t not in mega_set and t in self.ixp_propensity
+        ]
+        global_u = self._stage_rng("globals").random(len(eligible))
         globals_ = [*giants, *self.mega_carriers] + [
-            t
-            for t in tier2s
-            if t not in self.mega_carriers
-            and t in self.ixp_propensity
-            and self.rng.random() < 0.18
+            t for t, u in zip(eligible, global_u) if u < 0.18
         ]
         memberships: dict[str, frozenset[ASN]] = {}
         # RedIRIS's two home IXPs are small local exchanges: their members
@@ -670,20 +774,30 @@ class _OffloadBuilder:
         # the candidate set — which is neither realistic nor the paper's
         # situation.
         local_only = {"CATNIX", "ESpanix"}
+        globals_set = set(globals_)
+        # Distinct (regions, local-only) keys share one sorted pool and one
+        # propensity-weight array — the sort and the weight lookups were
+        # the membership stage's cost, and 65 IXPs use only a handful of
+        # distinct pools.
+        pool_cache: dict[tuple, tuple[list[ASN], np.ndarray]] = {}
         for spec in euroix_catalog():
             rng = child_rng(self.config.seed, "membership", spec.acronym)
             regions = _IXP_POOL_OVERRIDES.get(spec.acronym, (spec.region,))
-            local_pool = [a for r in regions for a in by_region[r]]
-            if spec.acronym in local_only:
-                pool = sorted(set(local_pool))
-            else:
-                pool = sorted(set(local_pool) | set(globals_))
-            weights = np.array(
-                [self.ixp_propensity.get(a, 1.0) for a in pool], dtype=float
-            )
-            weights /= weights.sum()
+            key = (regions, spec.acronym in local_only)
+            cached = pool_cache.get(key)
+            if cached is None:
+                members_set = {a for r in regions for a in by_region[r]}
+                if spec.acronym not in local_only:
+                    members_set |= globals_set
+                pool = sorted(members_set)
+                weights = np.array(
+                    [self.ixp_propensity.get(a, 1.0) for a in pool],
+                    dtype=float,
+                )
+                cached = pool_cache[key] = (pool, weights)
+            pool, weights = cached
             size = min(spec.member_count, len(pool))
-            picks = rng.choice(len(pool), size=size, replace=False, p=weights)
+            picks = weighted_top_k(rng, weights, size)
             members = {pool[int(i)] for i in picks}
             memberships[spec.acronym] = frozenset(members)
         # RedIRIS's own IXPs: ESpanix hosts every tier-1 (the paper's reason
@@ -704,32 +818,455 @@ class _OffloadBuilder:
         Big eyeballs end up holding ``big_eyeball_space_share`` of all
         space — the real IPv4 Internet concentrates its addresses in a few
         hundred broadband networks, and Figure 10's steep first-IXP drop
-        depends on that concentration.
+        depends on that concentration.  Multipliers are drawn as one array
+        per kind class, in the order the module docstring documents.
         """
         cfg = self.config
+        rng = self._stage_rng("addrspace")
         ases = self.graph.ases()
-        big = {asn for asn in self.big_eyeballs}
-        for asys in ases:
-            if asys.asn in big:
-                continue
-            if asys.kind is NetworkKind.ACCESS:
-                asys.address_space = int(asys.address_space * self.rng.uniform(10, 80))
-            elif asys.kind in (NetworkKind.TIER1, NetworkKind.TRANSIT):
-                asys.address_space = int(asys.address_space * self.rng.uniform(4, 40))
-        other_total = sum(a.address_space for a in ases if a.asn not in big)
+        count = len(ases)
+        big = set(self.big_eyeballs)
+        space = np.fromiter(
+            (a.address_space for a in ases), dtype=np.float64, count=count
+        )
+        big_mask = np.fromiter(
+            (a.asn in big for a in ases), dtype=bool, count=count
+        )
+        access_mask = np.fromiter(
+            (a.kind is NetworkKind.ACCESS for a in ases), dtype=bool,
+            count=count,
+        ) & ~big_mask
+        carrier_mask = np.fromiter(
+            (a.kind in (NetworkKind.TIER1, NetworkKind.TRANSIT) for a in ases),
+            dtype=bool, count=count,
+        ) & ~big_mask
+        space[access_mask] = np.floor(
+            space[access_mask]
+            * rng.uniform(10, 80, size=int(access_mask.sum()))
+        )
+        space[carrier_mask] = np.floor(
+            space[carrier_mask]
+            * rng.uniform(4, 40, size=int(carrier_mask.sum()))
+        )
+        other_total = float(space[~big_mask].sum())
         big_total_target = (
             cfg.big_eyeball_space_share
             / (1.0 - cfg.big_eyeball_space_share)
             * other_total
         )
         if big:
-            per_eyeball_weight = self.rng.lognormal(0.0, 0.8, size=len(big))
+            per_eyeball_weight = rng.lognormal(0.0, 0.8, size=len(big))
             per_eyeball_weight /= per_eyeball_weight.sum()
-            for asys_asn, weight in zip(sorted(big), per_eyeball_weight):
-                self.graph.get(asys_asn).address_space = max(
-                    1, int(big_total_target * float(weight))
-                )
-        total = sum(a.address_space for a in ases)
-        scale = cfg.total_address_space / total
-        for asys in ases:
-            asys.address_space = max(1, int(asys.address_space * scale))
+            big_positions = np.flatnonzero(big_mask)  # ascending ASN order
+            space[big_positions] = np.maximum(
+                1.0, np.floor(big_total_target * per_eyeball_weight)
+            )
+        scale = cfg.total_address_space / float(space.sum())
+        final = np.maximum(1, np.floor(space * scale).astype(np.int64)).tolist()
+        for asys, value in zip(ases, final):
+            asys.address_space = value
+
+
+# ---------------------------------------------------------------------------
+# Stage draws (shared between engines, in the documented order).
+
+
+def _region_indices(u: np.ndarray) -> np.ndarray:
+    """Inverse-CDF regional draw over ``_STUB_REGION_WEIGHTS``."""
+    cum = np.cumsum(_STUB_REGION_WEIGHTS)
+    return np.minimum(
+        np.searchsorted(cum, u, side="right"), len(_REGIONS) - 1
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class _Tier2Draws:
+    """Stage arrays for the transit tier (see module docstring)."""
+
+    region_idx: np.ndarray     # int[n2]
+    policy_u: np.ndarray       # float[n2]
+    uplink_count: np.ndarray   # int[n2] in {1, 2, 3}
+    uplink_order: np.ndarray   # int[n2, T]: tier-1 indices by ascending key
+
+    @classmethod
+    def draw(cls, builder: _OffloadBuilderBase) -> "_Tier2Draws":
+        cfg = builder.config
+        rng = builder._stage_rng("tier2s")
+        n2, t1 = cfg.tier2_count, cfg.tier1_count
+        region_u = rng.random(n2)
+        policy_u = rng.random(n2)
+        count_u = rng.random((n2, 2))
+        uplink_keys = rng.random((n2, t1))
+        return cls(
+            region_idx=_region_indices(region_u),
+            policy_u=policy_u,
+            uplink_count=(
+                1 + (count_u[:, 0] < 0.65) + (count_u[:, 1] < 0.2)
+            ).astype(np.int64),
+            uplink_order=np.argsort(uplink_keys, axis=1),
+        )
+
+    def policy(self, i: int, mega: bool) -> PeeringPolicy:
+        if mega:
+            # Large carriers peer selectively or restrictively; none of
+            # them shows up behind an open-policy route server.
+            return PeeringPolicy.SELECTIVE if i % 3 else PeeringPolicy.RESTRICTIVE
+        return _TIER2_POLICIES[
+            int(self.policy_u[i] * len(_TIER2_POLICIES))
+        ]
+
+
+@dataclass(frozen=True, slots=True)
+class _StubDraws:
+    """Stage arrays for the stub tier (see module docstring)."""
+
+    region_idx: np.ndarray        # int[n]
+    kind_idx: np.ndarray          # int[n]
+    tier1_only: np.ndarray        # bool[n] (False on big-eyeball slots)
+    ixpgoer: np.ndarray           # bool[n]
+    policy_u: np.ndarray          # float[n]
+    big_eyeball: np.ndarray       # bool[n]
+    provider_count: np.ndarray    # int[n] in {1, 2, 3}
+    pool_u: np.ndarray            # float[n]
+    propensity: np.ndarray        # float[n]: IXP-goer propensity values
+    eyeball_order: np.ndarray     # int[B, T]
+    eyeball_mega_homed: np.ndarray  # bool[B]
+    eyeball_mega_pick_u: np.ndarray  # float[B]
+    tier1_only_order: np.ndarray  # int[K1, T]
+    pick_u: np.ndarray            # float[K2, 3]
+
+    @classmethod
+    def draw(cls, builder: _OffloadBuilderBase, tier1s: list[ASN]) -> "_StubDraws":
+        cfg = builder.config
+        rng = builder._stage_rng("stubs")
+        n = cfg.contributing_count - len(_GIANTS) - cfg.tier2_count
+        t1 = len(tier1s)
+        region_u = rng.random(n)
+        kind_u = rng.random(n)
+        tier1_only_u = rng.random(n)
+        ixpgoer_u = rng.random(n)
+        policy_u = rng.random(n)
+        eyeball_keys = rng.random(n)
+        count_u = rng.random((n, 2))
+        pool_u = rng.random(n)
+        propensity_u = rng.random(n)
+
+        big = np.zeros(n, dtype=bool)
+        slots = np.argsort(eyeball_keys, kind="stable")[
+            : min(cfg.big_eyeball_count, n)
+        ]
+        big[slots] = True
+        tier1_only = (tier1_only_u < cfg.tier1_only_stub_fraction) & ~big
+        normal = ~big & ~tier1_only
+
+        b = int(big.sum())
+        k1 = int(tier1_only.sum())
+        k2 = int(normal.sum())
+        eyeball_keys2 = rng.random((b, t1))
+        eyeball_mega_u = rng.random(b)
+        eyeball_mega_pick_u = rng.random(b)
+        tier1_only_keys = rng.random((k1, t1))
+        pick_u = rng.random((k2, 3))
+        return cls(
+            region_idx=_region_indices(region_u),
+            kind_idx=(kind_u * len(_STUB_KINDS)).astype(np.int64),
+            tier1_only=tier1_only,
+            ixpgoer=ixpgoer_u < cfg.ixpgoer_stub_fraction,
+            policy_u=policy_u,
+            big_eyeball=big,
+            provider_count=(
+                1 + (count_u[:, 0] < 0.45) + (count_u[:, 1] < 0.12)
+            ).astype(np.int64),
+            pool_u=pool_u,
+            propensity=0.2 + 2.8 * propensity_u,
+            eyeball_order=np.argsort(eyeball_keys2, axis=1),
+            eyeball_mega_homed=(
+                eyeball_mega_u < cfg.big_eyeball_mega_homed
+            ),
+            eyeball_mega_pick_u=eyeball_mega_pick_u,
+            tier1_only_order=np.argsort(tier1_only_keys, axis=1),
+            pick_u=pick_u,
+        )
+
+    def policy(self, i: int) -> PeeringPolicy:
+        u = self.policy_u[i]
+        if u < 0.62:
+            return PeeringPolicy.OPEN
+        if u < 0.90:
+            return PeeringPolicy.SELECTIVE
+        return PeeringPolicy.RESTRICTIVE
+
+
+# ---------------------------------------------------------------------------
+# Scalar engine: the checked, one-network-at-a-time reference.
+
+
+class _ScalarOffloadBuilder(_OffloadBuilderBase):
+    """Materializes the drawn arrays through the fully-checked graph APIs."""
+
+    def _materialize_tier2s(
+        self, tier1s: list[ASN], draws: _Tier2Draws
+    ) -> list[ASN]:
+        cfg = self.config
+        tier2s = []
+        for i in range(cfg.tier2_count):
+            region = _REGIONS[int(draws.region_idx[i])]
+            mega = i < cfg.mega_carrier_count
+            tier2 = self._add(
+                3001 + i, f"transit-{region}-{i}", NetworkKind.TRANSIT,
+                draws.policy(i, mega), region, 2 ** 16,
+            )
+            for u in draws.uplink_order[i, : int(draws.uplink_count[i])]:
+                self.graph.add_customer_provider(tier2, tier1s[int(u)])
+            if mega:
+                self.mega_carriers.append(tier2)
+            propensity = self._tier2_propensity(i)
+            if propensity is not None:
+                self.ixp_propensity[tier2] = propensity
+            tier2s.append(tier2)
+        return tier2s
+
+    def _materialize_stubs(
+        self, tier1s: list[ASN], tier2s: list[ASN], draws: _StubDraws
+    ) -> list[ASN]:
+        cfg = self.config
+        n = len(draws.region_idx)
+        tier2_by_region: dict[str, list[ASN]] = {r: [] for r in _REGIONS}
+        for t in tier2s:
+            tier2_by_region[self.region_of[t]].append(t)
+        stubs = []
+        eyeball_row = tier1_only_row = normal_row = 0
+        for i in range(n):
+            region = _REGIONS[int(draws.region_idx[i])]
+            big_eyeball = bool(draws.big_eyeball[i])
+            kind = (
+                NetworkKind.ACCESS if big_eyeball
+                else _STUB_KINDS[int(draws.kind_idx[i])]
+            )
+            stub = self._add(
+                10_001 + i, f"stub-{region}-{i}", kind, draws.policy(i), region,
+            )
+            self._stub_kinds.append(kind)
+            if big_eyeball:
+                self._home_big_eyeball(stub, tier1s, draws, eyeball_row)
+                eyeball_row += 1
+                self.graph.get(stub).tags.add("big-eyeball")
+                self.big_eyeballs.append(stub)
+            elif draws.tier1_only[i]:
+                self._home_tier1_only(stub, tier1s, draws, tier1_only_row, i)
+                tier1_only_row += 1
+                self.tier1_only_stubs.append(stub)
+            else:
+                self._home_stub(stub, region, tier2_by_region, tier2s,
+                                draws, normal_row, i)
+                normal_row += 1
+                if draws.ixpgoer[i]:
+                    self.ixp_propensity[stub] = float(draws.propensity[i])
+            stubs.append(stub)
+        self.tier1_only_stubs_set = set(self.tier1_only_stubs)
+        return stubs
+
+    def _home_big_eyeball(self, stub, tier1s, draws: _StubDraws, row: int) -> None:
+        """Big eyeballs multihome to tier-1s, often plus one mega-carrier."""
+        for p in draws.eyeball_order[row, :2]:
+            self.graph.add_customer_provider(stub, tier1s[int(p)])
+        if self.mega_carriers and draws.eyeball_mega_homed[row]:
+            mega = self.mega_carriers[
+                int(draws.eyeball_mega_pick_u[row] * len(self.mega_carriers))
+            ]
+            self.graph.add_customer_provider(stub, mega)
+
+    def _home_tier1_only(self, stub, tier1s, draws: _StubDraws,
+                         row: int, i: int) -> None:
+        count = min(int(draws.provider_count[i]), 3)
+        for p in draws.tier1_only_order[row, :count]:
+            self.graph.add_customer_provider(stub, tier1s[int(p)])
+
+    def _home_stub(self, stub, region, tier2_by_region, tier2s,
+                   draws: _StubDraws, row: int, i: int) -> None:
+        local = tier2_by_region[region]
+        u = draws.pool_u[i]
+        if u < 0.15 and self.mega_carriers:
+            pool = self.mega_carriers
+        elif u < 0.85 and local:
+            pool = local
+        else:
+            pool = tier2s
+        for j in range(int(draws.provider_count[i])):
+            provider = pool[int(draws.pick_u[row, j] * len(pool))]
+            if self.graph.relationship(stub, provider) is None:
+                self.graph.add_customer_provider(stub, provider)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized engine: struct-of-arrays materialization + bulk insertion.
+
+
+class _VectorOffloadBuilder(_OffloadBuilderBase):
+    """Materializes each tier as arrays and bulk-inserts the results."""
+
+    def _materialize_tier2s(
+        self, tier1s: list[ASN], draws: _Tier2Draws
+    ) -> list[ASN]:
+        cfg = self.config
+        n2 = cfg.tier2_count
+        regions = [_REGIONS[i] for i in draws.region_idx.tolist()]
+        tier2s = [ASN(3001 + i) for i in range(n2)]
+        self.graph.add_ases_bulk(
+            AutonomousSystem.make_unchecked(
+                tier2s[i],
+                f"transit-{regions[i]}-{i}",
+                NetworkKind.TRANSIT,
+                draws.policy(i, i < cfg.mega_carrier_count),
+                2 ** 16,
+            )
+            for i in range(n2)
+        )
+        self.region_of.update(zip(tier2s, regions))
+        tier1_arr = np.array(tier1s, dtype=np.int64)
+        col = np.arange(draws.uplink_order.shape[1])
+        take = col[None, :] < draws.uplink_count[:, None]
+        customers = np.repeat(np.array(tier2s), draws.uplink_count)
+        providers = tier1_arr[draws.uplink_order[take]]
+        self.graph.add_customer_provider_arrays(customers, providers)
+        self.mega_carriers = tier2s[: cfg.mega_carrier_count]
+        for i, tier2 in enumerate(tier2s):
+            propensity = self._tier2_propensity(i)
+            if propensity is None:
+                break  # propensities stop at the member cut
+            self.ixp_propensity[tier2] = propensity
+        return tier2s
+
+    def _materialize_stubs(
+        self, tier1s: list[ASN], tier2s: list[ASN], draws: _StubDraws
+    ) -> list[ASN]:
+        cfg = self.config
+        n = len(draws.region_idx)
+        regions = [_REGIONS[i] for i in draws.region_idx.tolist()]
+        big = draws.big_eyeball
+        tier1_only = draws.tier1_only
+        normal = ~big & ~tier1_only
+        big_list = big.tolist()
+        kind_list = [
+            NetworkKind.ACCESS if big_list[i] else _STUB_KINDS[k]
+            for i, k in enumerate(draws.kind_idx.tolist())
+        ]
+        self._stub_kinds = kind_list
+        policy_codes = np.where(
+            draws.policy_u < 0.62, 0, np.where(draws.policy_u < 0.90, 1, 2)
+        ).tolist()
+        policy_values = (
+            PeeringPolicy.OPEN, PeeringPolicy.SELECTIVE,
+            PeeringPolicy.RESTRICTIVE,
+        )
+        stubs = list(range(10_001, 10_001 + n))
+        make = AutonomousSystem.make_unchecked
+        self.graph.add_ases_bulk(
+            make(asn, f"stub-{region}-{i}", kind, policy_values[code])
+            for i, (asn, region, kind, code) in enumerate(
+                zip(stubs, regions, kind_list, policy_codes)
+            )
+        )
+        self.region_of.update(zip(stubs, regions))
+        stub_arr = np.array(stubs, dtype=np.int64)
+
+        pairs_customers: list[np.ndarray] = []
+        pairs_providers: list[np.ndarray] = []
+
+        # Big eyeballs: two tier-1s each, often plus one mega-carrier.  All
+        # of one eyeball's edges stay contiguous (the arrays edge API
+        # assembles each customer's provider set from one run).
+        tier1_arr = np.array(tier1s, dtype=np.int64)
+        eyeball_asns = stub_arr[big]
+        if len(eyeball_asns):
+            count_b = len(eyeball_asns)
+            provider3 = np.zeros((count_b, 3), dtype=np.int64)
+            provider3[:, :2] = tier1_arr[draws.eyeball_order[:, :2]]
+            take3 = np.zeros((count_b, 3), dtype=bool)
+            take3[:, :2] = True
+            if self.mega_carriers:
+                mega_arr = np.array(self.mega_carriers, dtype=np.int64)
+                homed = draws.eyeball_mega_homed
+                mega_idx = (
+                    draws.eyeball_mega_pick_u[homed] * len(mega_arr)
+                ).astype(np.int64)
+                provider3[homed, 2] = mega_arr[mega_idx]
+                take3[:, 2] = homed
+            pairs_customers.append(
+                np.repeat(eyeball_asns, take3.sum(axis=1))
+            )
+            pairs_providers.append(provider3[take3])
+            for asn in eyeball_asns.tolist():
+                self.graph.get(ASN(asn)).tags.add("big-eyeball")
+            self.big_eyeballs = [ASN(a) for a in eyeball_asns.tolist()]
+
+        # Tier-1-only stubs: 1-3 distinct tier-1s by ascending key.
+        t1o_asns = stub_arr[tier1_only]
+        if len(t1o_asns):
+            counts = np.minimum(draws.provider_count[tier1_only], 3)
+            col = np.arange(draws.tier1_only_order.shape[1])
+            take = col[None, :] < counts[:, None]
+            pairs_customers.append(np.repeat(t1o_asns, counts))
+            pairs_providers.append(tier1_arr[draws.tier1_only_order[take]])
+            self.tier1_only_stubs = [ASN(a) for a in t1o_asns.tolist()]
+
+        # Normal stubs: providers from the mega / regional / global tier-2
+        # pool chosen by the homing-pool uniform, indices by floor(u * len).
+        normal_asns = stub_arr[normal]
+        if len(normal_asns):
+            tier2_arr = np.array(tier2s, dtype=np.int64)
+            mega_count = len(self.mega_carriers)
+            region_codes = draws.region_idx[normal]
+            tier2_regions = np.array(
+                [_REGIONS.index(self.region_of[t]) for t in tier2s]
+            )
+            local_members = [
+                tier2_arr[tier2_regions == r] for r in range(len(_REGIONS))
+            ]
+            local_sizes = np.array([len(m) for m in local_members])
+            local_concat = (
+                np.concatenate(local_members) if len(tier2_arr) else tier2_arr
+            )
+            local_offsets = np.concatenate(
+                ([0], np.cumsum(local_sizes)[:-1])
+            )
+            u = draws.pool_u[normal]
+            local_len = local_sizes[region_codes]
+            cat_mega = (u < 0.15) & (mega_count > 0)
+            cat_local = ~cat_mega & (u < 0.85) & (local_len > 0)
+            cat_global = ~cat_mega & ~cat_local
+            pool_len = np.where(
+                cat_mega, mega_count,
+                np.where(cat_local, local_len, len(tier2_arr)),
+            )
+            counts = draws.provider_count[normal]
+            idx = np.minimum(
+                (draws.pick_u * pool_len[:, None]).astype(np.int64),
+                np.maximum(pool_len[:, None] - 1, 0),
+            )
+            provider_mat = np.empty_like(idx)
+            provider_mat[cat_mega] = tier2_arr[:mega_count][idx[cat_mega]]
+            provider_mat[cat_local] = local_concat[
+                local_offsets[region_codes[cat_local], None] + idx[cat_local]
+            ]
+            provider_mat[cat_global] = tier2_arr[idx[cat_global]]
+            # Per-row dedupe (<= 3 picks): repeated draws of one provider
+            # collapse to a single edge, as the scalar relationship check
+            # does.
+            col = np.arange(3)
+            take = col[None, :] < counts[:, None]
+            take[:, 1] &= provider_mat[:, 1] != provider_mat[:, 0]
+            take[:, 2] &= (provider_mat[:, 2] != provider_mat[:, 0]) & (
+                provider_mat[:, 2] != provider_mat[:, 1]
+            )
+            pairs_customers.append(np.repeat(normal_asns, take.sum(axis=1)))
+            pairs_providers.append(provider_mat[take])
+
+        self.graph.add_customer_provider_arrays(
+            np.concatenate(pairs_customers), np.concatenate(pairs_providers)
+        )
+        goer_idx = np.flatnonzero(normal & draws.ixpgoer)
+        for i in goer_idx.tolist():
+            self.ixp_propensity[stubs[i]] = float(draws.propensity[i])
+        self.tier1_only_stubs_set = set(self.tier1_only_stubs)
+        return stubs

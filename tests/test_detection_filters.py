@@ -218,3 +218,52 @@ class TestPipelineEdgeCases:
         )
         report = pipeline.run([m])
         assert report.discard_counts["sample-size"] == 1
+
+
+class TestArrayScalarEquivalence:
+    """The array-stat pass and the per-interface stage loop are one
+    pipeline: identical reports on real batch-engine evidence, for every
+    drop-one ablation."""
+
+    @pytest.fixture(scope="class")
+    def measurements(self, mini_world):
+        from repro.core.detection import CampaignConfig, ProbeCampaign
+
+        return ProbeCampaign(
+            mini_world, CampaignConfig(seed=13, engine="batch")
+        ).collect()
+
+    @pytest.mark.parametrize("skip", (None, *FILTER_ORDER))
+    def test_reports_identical(self, measurements, skip):
+        import numpy as np
+
+        pipeline = FilterPipeline()
+        arrays = pipeline.run(measurements, skip=skip, batched=True)
+        scalar = pipeline.run(measurements, skip=skip, batched=False)
+        assert arrays.discard_counts == scalar.discard_counts
+        assert arrays.discard_reason == scalar.discard_reason
+        assert len(arrays.passed) == len(scalar.passed)
+        for a, b in zip(arrays.passed, scalar.passed):
+            assert (a.ixp_acronym, a.address.value) == (
+                b.ixp_acronym, b.address.value
+            )
+            assert a.operators() == b.operators()
+            for op in a.operators():
+                assert np.array_equal(a.rtts(op), b.rtts(op))
+                assert np.array_equal(a.ttls(op), b.ttls(op))
+
+    def test_untrimmed_survivors_keep_identity(self, measurements):
+        pipeline = FilterPipeline()
+        report = pipeline.run(measurements, batched=True)
+        originals = {id(m) for m in measurements}
+        trimmed = [m for m in report.passed if id(m) not in originals]
+        untouched = [m for m in report.passed if id(m) in originals]
+        assert untouched, "most survivors should be the original objects"
+        # Trimmed survivors are siblings, never mutated originals.
+        for sibling in trimmed:
+            assert id(sibling) not in originals
+
+    def test_mixed_reply_types_fall_back_to_scalar(self):
+        m = measurement(pch_rtts=GOOD)
+        report = FilterPipeline().run([m])  # list-based evidence
+        assert report.passed == [m]

@@ -313,3 +313,10 @@ class TestScalarBatchEquivalence:
         )
         for result in (scalar_result, batch_result):
             assert validate_against_truth(world, result).precision > 0.99
+
+
+class TestEmptyPlan:
+    def test_zero_target_sweep_returns_no_batches(self, pch):
+        plan = compile_probe_plan(pch, [])
+        batches = run_sweeps(plan, np.array([0.0]), np.random.default_rng(0))
+        assert batches == []
