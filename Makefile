@@ -1,0 +1,24 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree package on the path; no installation required.
+#
+#   make test        full tier-1 suite (what CI holds the repo to)
+#   make smoke       quick gate: fast tests + perf regression guard
+#   make bench       retime every stage and rewrite BENCH_speed.json
+#   make regression  full perf guard against the committed baseline
+
+PY := PYTHONPATH=src python
+
+.PHONY: test smoke bench regression
+
+test:
+	$(PY) -m pytest -x -q
+
+smoke:
+	$(PY) -m pytest -m "not slow" -q
+	$(PY) benchmarks/check_regression.py --quick
+
+bench:
+	$(PY) benchmarks/bench_speed.py
+
+regression:
+	$(PY) benchmarks/check_regression.py

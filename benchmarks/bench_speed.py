@@ -1,24 +1,31 @@
 """End-to-end speed benchmark: the numbers the perf work is held to.
 
-Times the hot paths of both studies — detection-world build under the
+Times the hot paths of every study — detection-world build under the
 vectorized *and* the scalar engine, the probing campaign under the batch
 *and* the scalar engine, the filter pipeline (array-stat pass), a
 16-trial mini-world detection ensemble, the offload-world build under the
-vectorized *and* the scalar engine, the peer-group/bitset setup, the
-greedy IXP expansion, and a 16-trial paper-scale offload ensemble — and
-writes ``BENCH_speed.json`` (schema ``bench_speed/v3``) at the repo root
-so the perf trajectory is tracked across PRs.
+vectorized *and* the scalar engine, the peer-group/cone-table setup, the
+greedy IXP expansion, a 16-trial paper-scale offload ensemble, and a
+16-trial small-world *economics* ensemble (Sections 3+4+5 end-to-end) —
+and writes ``BENCH_speed.json`` (schema ``bench_speed/v4``) at the repo
+root so the perf trajectory is tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_speed.py
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick  # no JSON write
 
-``benchmarks/check_regression.py`` reruns these stages and fails when any
-of them regresses more than 2x against the committed baseline.
+``--quick`` (what ``make smoke`` uses through
+``benchmarks/check_regression.py --quick``) skips the slow reference
+stages — the scalar engines and the paper-scale offload ensemble — and
+compares only the stages it ran.  ``benchmarks/check_regression.py``
+reruns these stages and fails when any of them regresses more than 2x
+against the committed baseline.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
@@ -37,15 +44,24 @@ def _timed(fn):
     return value, time.perf_counter() - start
 
 
-def collect_payload() -> dict:
-    """Run every timed stage and assemble the BENCH payload."""
+def collect_payload(quick: bool = False) -> dict:
+    """Run every timed stage and assemble the BENCH payload.
+
+    ``quick=True`` drops the scalar reference engines and the paper-scale
+    offload ensemble (the slow half of the run) — the regression guard
+    only compares stages present on both sides, so the quick payload
+    still gates every vectorized hot path.
+    """
     from repro.core.detection import CampaignConfig, FilterPipeline, ProbeCampaign
     from repro.core.offload import OffloadEstimator, PeerGroups, greedy_expansion
     from repro.experiments import (
         ConfigVariant,
+        EconomicsEnsembleConfig,
+        EconomicsVariant,
         EnsembleConfig,
         OffloadEnsembleConfig,
         OffloadVariant,
+        run_economics_ensemble,
         run_ensemble,
         run_offload_ensemble,
     )
@@ -56,7 +72,7 @@ def collect_payload() -> dict:
         build_offload_world,
         scenarios,
     )
-    from repro.sim.scenarios import mini_specs
+    from repro.sim.scenarios import mini_specs, rediris_small_config
 
     timings: dict[str, float] = {}
 
@@ -64,21 +80,23 @@ def collect_payload() -> dict:
         lambda: scenarios.paper22(seed=WORLD_SEED)
     )
 
-    _, timings["detection_world_build_scalar"] = _timed(
-        lambda: build_detection_world(
-            DetectionWorldConfig(seed=WORLD_SEED, engine="scalar")
+    if not quick:
+        _, timings["detection_world_build_scalar"] = _timed(
+            lambda: build_detection_world(
+                DetectionWorldConfig(seed=WORLD_SEED, engine="scalar")
+            )
         )
-    )
 
     batch_campaign = ProbeCampaign(
         world, CampaignConfig(seed=CAMPAIGN_SEED, engine="batch")
     )
     batch_measurements, timings["collect_batch"] = _timed(batch_campaign.collect)
 
-    scalar_campaign = ProbeCampaign(
-        world, CampaignConfig(seed=CAMPAIGN_SEED, engine="scalar")
-    )
-    _, timings["collect_scalar"] = _timed(scalar_campaign.collect)
+    if not quick:
+        scalar_campaign = ProbeCampaign(
+            world, CampaignConfig(seed=CAMPAIGN_SEED, engine="scalar")
+        )
+        _, timings["collect_scalar"] = _timed(scalar_campaign.collect)
 
     pipeline = FilterPipeline()
     report, timings["filter_pipeline"] = _timed(
@@ -103,11 +121,12 @@ def collect_payload() -> dict:
     offload_world, timings["offload_world_build"] = _timed(
         lambda: scenarios.rediris(seed=WORLD_SEED)
     )
-    _, timings["offload_world_build_scalar"] = _timed(
-        lambda: build_offload_world(
-            OffloadWorldConfig(seed=WORLD_SEED, engine="scalar")
+    if not quick:
+        _, timings["offload_world_build_scalar"] = _timed(
+            lambda: build_offload_world(
+                OffloadWorldConfig(seed=WORLD_SEED, engine="scalar")
+            )
         )
-    )
     (groups, estimator), timings["offload_groups_build"] = _timed(
         lambda: (
             (g := PeerGroups.build(offload_world)),
@@ -120,32 +139,37 @@ def collect_payload() -> dict:
     all_ixps = estimator.reachable_ixps()
     max_in, max_out = estimator.offload_fractions(all_ixps, 4)
 
-    offload_ensemble, timings["offload_ensemble_16trials"] = _timed(
-        lambda: run_offload_ensemble(
-            OffloadEnsembleConfig(
+    if not quick:
+        offload_ensemble, timings["offload_ensemble_16trials"] = _timed(
+            lambda: run_offload_ensemble(
+                OffloadEnsembleConfig(
+                    seeds=tuple(range(16)),
+                    variants=(OffloadVariant(name="paper65"),),
+                )
+            )
+        )
+        (offload_summary,) = offload_ensemble.summaries()
+
+    economics_ensemble, timings["economics_ensemble_small_16trials"] = _timed(
+        lambda: run_economics_ensemble(
+            EconomicsEnsembleConfig(
                 seeds=tuple(range(16)),
-                variants=(OffloadVariant(name="paper65"),),
+                variants=(
+                    EconomicsVariant(
+                        name="small", world=rediris_small_config()
+                    ),
+                ),
             )
         )
     )
-    (offload_summary,) = offload_ensemble.summaries()
+    (economics_summary,) = economics_ensemble.summaries()
 
-    return {
-        "schema": "bench_speed/v3",
+    payload = {
+        "schema": "bench_speed/v4",
         "python": platform.python_version(),
+        "quick": quick,
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
         "timings_s": {name: round(value, 4) for name, value in timings.items()},
-        "collect_speedup_batch_vs_scalar": round(
-            timings["collect_scalar"] / timings["collect_batch"], 2
-        ),
-        "world_build_speedup_vectorized_vs_scalar": round(
-            timings["detection_world_build_scalar"]
-            / timings["detection_world_build"], 2
-        ),
-        "offload_build_speedup_vectorized_vs_scalar": round(
-            timings["offload_world_build_scalar"]
-            / timings["offload_world_build"], 2
-        ),
         "detection": {
             "candidates": len(batch_measurements),
             "replies": sum(m.reply_count() for m in batch_measurements),
@@ -164,7 +188,29 @@ def collect_payload() -> dict:
             "max_offload_inbound": round(max_in, 4),
             "max_offload_outbound": round(max_out, 4),
         },
-        "offload_ensemble": {
+        "economics_ensemble_small": {
+            "trials": economics_summary.trials,
+            "savings_mean": round(economics_summary.savings_fraction.mean, 4),
+            "savings_ci95": round(
+                economics_summary.savings_fraction.half_width, 4
+            ),
+            "decay_rate_mean": round(economics_summary.decay_rate.mean, 4),
+            "viable_votes": economics_summary.viable_votes,
+        },
+    }
+    if not quick:
+        payload["collect_speedup_batch_vs_scalar"] = round(
+            timings["collect_scalar"] / timings["collect_batch"], 2
+        )
+        payload["world_build_speedup_vectorized_vs_scalar"] = round(
+            timings["detection_world_build_scalar"]
+            / timings["detection_world_build"], 2
+        )
+        payload["offload_build_speedup_vectorized_vs_scalar"] = round(
+            timings["offload_world_build_scalar"]
+            / timings["offload_world_build"], 2
+        )
+        payload["offload_ensemble"] = {
             "trials": offload_summary.trials,
             "inbound_mean": round(offload_summary.inbound_fraction.mean, 4),
             "inbound_ci95": round(
@@ -182,13 +228,24 @@ def collect_payload() -> dict:
                 round(offload_summary.expansion_consensus[0].agreement, 4)
                 if offload_summary.expansion_consensus else None
             ),
-        },
-    }
+        }
+    return payload
 
 
-def main() -> None:
-    payload = collect_payload()
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="bench_speed",
+        description="Time every study hot path and write BENCH_speed.json.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the scalar engines and the paper-scale offload "
+        "ensemble; print the payload without overwriting the baseline",
+    )
+    args = parser.parse_args(argv)
+    payload = collect_payload(quick=args.quick)
+    if not args.quick:
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
 
 

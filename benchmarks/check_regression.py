@@ -10,8 +10,14 @@ never fail the check, so adding or retiring stages does not break CI.
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --quick  # smoke gate
     PYTHONPATH=src python benchmarks/check_regression.py \
         --baseline BENCH_speed.json --factor 2.0
+
+``--quick`` reruns only the fast stages (no scalar engines, no
+paper-scale offload ensemble); missing stages are reported as retired
+but never fail, so the quick gate still covers every vectorized hot
+path.  ``make smoke`` chains it after ``pytest -m "not slow"``.
 """
 
 from __future__ import annotations
@@ -42,6 +48,11 @@ def main(argv: list[str] | None = None) -> int:
         help="compare a previously captured payload instead of rerunning "
         "the benchmark (path to a BENCH-schema JSON file)",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="rerun only the fast stages (skip scalar engines and the "
+        "paper-scale offload ensemble) — what `make smoke` gates on",
+    )
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
         parser.error("--factor must be greater than 1")
@@ -57,7 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         from bench_speed import collect_payload
 
-        fresh = collect_payload()
+        fresh = collect_payload(quick=args.quick)
 
     base_timings: dict[str, float] = baseline.get("timings_s", {})
     fresh_timings: dict[str, float] = fresh.get("timings_s", {})

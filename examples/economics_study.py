@@ -1,0 +1,68 @@
+"""Multi-seed economics study: Sections 3+4+5 in one command.
+
+The paper's economic argument chains three measured quantities: the
+offload potential of the candidate peers (Section 4), the decay of the
+transit fraction as IXPs are added (eq. 3, fitted from Figure 9's
+curve), and the 95th-percentile transit bill the offload would shrink
+(Section 2.1) — all feeding the equation 14 viability condition.  This
+example runs that whole chain per seed over the ~3k-network small world
+and prints mean ± 95% CI bill savings plus the viability *vote* across
+seeds: how many worlds' measured decay justified remote peering at the
+given prices.
+
+Run with::
+
+    PYTHONPATH=src python examples/economics_study.py
+
+It finishes in a few seconds; swap in the paper65 preset (or
+``repro study economics --scenario paper65``) for the full 29,570-network
+world.  Passing ``out_dir`` to ``run_economics_ensemble`` makes the run
+resumable — kill it mid-way, rerun, and only the missing trials execute.
+"""
+
+from repro.experiments import (
+    EconomicsEnsembleConfig,
+    EconomicsVariant,
+    render_economics_ensemble_report,
+    run_economics_ensemble,
+)
+from repro.sim.scenarios import rediris_small_config
+
+
+def main() -> None:
+    # Two price scenarios over the same 16 seeds: the repo's European
+    # baseline, and Section 5.2's Africa case (expensive transit, local
+    # IXPs offload little, so remote peering's fixed-cost advantage h << g
+    # is huge).  Both variants share one world build per seed — the study
+    # engine groups trials by world config.
+    config = EconomicsEnsembleConfig(
+        seeds=tuple(range(16)),
+        variants=(
+            EconomicsVariant(name="european", world=rediris_small_config()),
+            EconomicsVariant(
+                name="african",
+                world=rediris_small_config(),
+                transit_price=10.0,   # p: expensive transit
+                direct_fixed=8.0,     # g: extending own infra to Europe
+                direct_unit=1.0,      # u
+                remote_fixed=0.8,     # h: remote peering an order cheaper
+                remote_unit=3.0,      # v
+            ),
+        ),
+        workers=0,  # one process per world group
+    )
+    result = run_economics_ensemble(config)
+    print(render_economics_ensemble_report(result))
+    print()
+    print(
+        "Reading the report: both variants offload the same traffic and "
+        "save the same ~30% of the 95th-percentile bill, but the eq. 14 "
+        "votes split — the small world's measured decay is steep (most "
+        "potential sits at a handful of IXPs), so at European prices the "
+        "NREN should just peer directly, while the African fixed-cost "
+        "advantage flips nearly every seed's vote (Section 5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,17 @@
 """Command-line entry points: ``repro-detect``, ``repro-offload``,
 ``repro-econ``, ``repro-ensemble``, ``repro-offload-ensemble`` — and the
-``repro <command>`` dispatcher that fronts them all
-(``repro ensemble ...``, ``repro offload-ensemble ...``).
+``repro <command>`` dispatcher that fronts them all.
 
 Each command builds the corresponding synthetic world, runs the study, and
-prints the paper-shaped report as plain text.  ``repro offload-ensemble``
-runs the Section 4 study across a seed × config grid (16 seeds by
-default) and reports mean ± 95% CI offload fractions plus the greedy
-IXP-expansion consensus; ``--scenario paper65`` (default) replicates the
-full 29,570-network world, ``--scenario small`` the ~3k-network one.
+prints the paper-shaped report as plain text.  The unified multi-seed
+front end is ``repro study detection|offload|economics``: every study
+runs on the shared engine (seed × grid expansion, per-variant world
+caching, process-pool fan-out, resumable ``--out`` artifacts).
+``detection`` and ``offload`` are the Section 3/4 ensembles (``repro
+ensemble`` and ``repro offload-ensemble`` are their long-standing
+aliases, byte-for-byte identical reports); ``economics`` chains
+Sections 3+4+5 — measured offload curve → decay fit → 95th-percentile
+billing → eq. 14 viability vote — across seeds.
 """
 
 from __future__ import annotations
@@ -270,6 +273,11 @@ def ensemble_main(argv: list[str] | None = None) -> int:
         "--per-ixp", action="store_true",
         help="also print per-IXP detected remote fractions",
     )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable ensembles)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
@@ -284,7 +292,7 @@ def ensemble_main(argv: list[str] | None = None) -> int:
         render_ensemble_report,
         run_ensemble,
     )
-    from repro.sim.scenarios import mini_specs
+    from repro.sim.scenarios import detection_preset_specs
 
     if args.ixps:
         from repro.errors import ConfigurationError
@@ -296,10 +304,8 @@ def ensemble_main(argv: list[str] | None = None) -> int:
             specs = tuple(spec_by_acronym(name) for name in dict.fromkeys(args.ixps))
         except ConfigurationError as error:
             parser.error(str(error))
-    elif args.scenario == "mini3":
-        specs = mini_specs()
     else:
-        specs = ()  # the full catalog
+        specs = detection_preset_specs(args.scenario)
     world = DetectionWorldConfig(specs=specs, engine=args.engine)
     axes = {}
     if args.threshold_ms:
@@ -312,7 +318,7 @@ def ensemble_main(argv: list[str] | None = None) -> int:
         variants=grid_variants(world=world, axes=axes),
         workers=args.workers,
     )
-    result = run_ensemble(config)
+    result = run_ensemble(config, out_dir=args.out)
     print(render_ensemble_report(result, per_ixp=args.per_ixp))
     return 0
 
@@ -361,6 +367,11 @@ def offload_ensemble_main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=0,
         help="trial processes (0 = one per core, 1 = inline)",
     )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable ensembles)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
@@ -371,27 +382,15 @@ def offload_ensemble_main(argv: list[str] | None = None) -> int:
     if not args.groups:
         parser.error("--groups needs at least one group")
 
-    from dataclasses import replace
-
     from repro.experiments import (
         OffloadEnsembleConfig,
         offload_grid_variants,
         render_offload_ensemble_report,
         run_offload_ensemble,
     )
+    from repro.sim.scenarios import offload_preset_config
 
-    world = OffloadWorldConfig(engine=args.engine)
-    if args.scenario == "small":
-        world = replace(
-            world,
-            contributing_count=3000,
-            tier2_count=80,
-            nren_count=8,
-            tier1_count=6,
-            mega_carrier_count=8,
-            big_eyeball_count=30,
-            head_pin_count=40,
-        )
+    world = offload_preset_config(args.scenario, engine=args.engine)
     axes = {}
     if args.member_tier2_fraction:
         axes["world.member_tier2_fraction"] = tuple(
@@ -418,9 +417,127 @@ def offload_ensemble_main(argv: list[str] | None = None) -> int:
         )
     except ConfigurationError as error:
         parser.error(str(error))
-    result = run_offload_ensemble(config)
+    result = run_offload_ensemble(config, out_dir=args.out)
     print(render_offload_ensemble_report(result))
     return 0
+
+
+def economics_study_main(argv: list[str] | None = None) -> int:
+    """Run the Sections 3+4+5 economics ensemble: savings CIs + eq. 14 vote."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study-economics",
+        description="Multi-seed ensemble of the end-to-end economics "
+        "pipeline: per-seed offload world -> measured decay fit -> "
+        "95th-percentile billing -> eq. 14 viability; reports mean ± 95% "
+        "CI transit-bill savings and the viability vote across seeds.",
+    )
+    parser.add_argument(
+        "--scenario", choices=("small", "paper65"), default="small",
+        help="world scale: the ~3k-network small world (default, seconds) "
+        "or the full 29,570-network paper world",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16,
+        help="number of trial seeds (default: 16)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    parser.add_argument(
+        "--group", type=int, default=4, choices=(1, 2, 3, 4),
+        help="peer group (paper Section 4.2; default: 4)",
+    )
+    parser.add_argument(
+        "--max-ixps", type=int, default=20,
+        help="depth of the fitted remaining-traffic series (default: 20)",
+    )
+    parser.add_argument("--transit-price", "-p", type=float, default=5.0)
+    parser.add_argument("--direct-fixed", "-g", type=float, default=1.0)
+    parser.add_argument("--direct-unit", "-u", type=float, default=0.5)
+    parser.add_argument("--remote-fixed", "-H", type=float, default=0.25)
+    parser.add_argument("--remote-unit", "-v", type=float, default=1.5)
+    parser.add_argument(
+        "--price-per-mbps", type=float, default=1.0,
+        help="billing price for the NetFlow 95th-percentile bill",
+    )
+    parser.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default="vectorized",
+        help="offload-world engine (default: vectorized)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable ensembles)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+
+    from repro.errors import ConfigurationError, EconomicsError
+    from repro.experiments import (
+        EconomicsEnsembleConfig,
+        EconomicsVariant,
+        render_economics_ensemble_report,
+        run_economics_ensemble,
+    )
+    from repro.sim.scenarios import offload_preset_config
+
+    try:
+        config = EconomicsEnsembleConfig(
+            seeds=tuple(range(args.seed_offset, args.seed_offset + args.seeds)),
+            variants=(
+                EconomicsVariant(
+                    name=args.scenario,
+                    world=offload_preset_config(
+                        args.scenario, engine=args.engine
+                    ),
+                    group=args.group,
+                    max_ixps=args.max_ixps,
+                    transit_price=args.transit_price,
+                    direct_fixed=args.direct_fixed,
+                    direct_unit=args.direct_unit,
+                    remote_fixed=args.remote_fixed,
+                    remote_unit=args.remote_unit,
+                    price_per_mbps=args.price_per_mbps,
+                ),
+            ),
+            workers=args.workers,
+        )
+    except (ConfigurationError, EconomicsError) as error:
+        parser.error(str(error))
+    result = run_economics_ensemble(config, out_dir=args.out)
+    print(render_economics_ensemble_report(result))
+    return 0
+
+
+#: The ``repro study`` sub-dispatcher: one entry point per study kind.
+#: ``detection`` and ``offload`` are the existing ensemble commands (so
+#: their reports are byte-identical to ``repro ensemble`` /
+#: ``repro offload-ensemble`` on the same arguments); ``economics`` is
+#: the Sections 3+4+5 pipeline.
+_STUDIES = {}  # populated below (after the mains are defined)
+
+
+def study_main(argv: list[str] | None = None) -> int:
+    """``repro study <kind> [args...]`` — the unified study front end."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Run a multi-seed study: detection (Section 3), "
+        "offload (Section 4) or economics (Sections 3+4+5).  All studies "
+        "share the engine's seed grids, world caching, parallelism and "
+        "resumable --out artifacts.",
+    )
+    parser.add_argument("kind", choices=sorted(_STUDIES))
+    parser.add_argument("args", nargs=argparse.REMAINDER)
+    parsed = parser.parse_args(argv)
+    return _STUDIES[parsed.kind](parsed.args)
 
 
 #: Subcommands of the ``repro`` dispatcher.
@@ -431,7 +548,14 @@ _COMMANDS = {
     "econ": econ_main,
     "report": report_main,
     "ensemble": ensemble_main,
+    "study": study_main,
 }
+
+_STUDIES.update({
+    "detection": ensemble_main,
+    "offload": offload_ensemble_main,
+    "economics": economics_study_main,
+})
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -86,15 +86,12 @@ class PeerGroups:
         total_bps = world.matrix.total_bps
         scored: list[tuple[float, ASN]] = []
         for asn in self.candidates:
-            # Cone membership comes from the world's precomputed index
-            # tables: one array reduction per candidate instead of a
-            # Python walk over its cone.  Touching every candidate (not
-            # just the selective ones) also warms the per-member index
-            # arrays the estimator's group matrices are assembled from.
-            indices = world.cone_contrib_indices(asn)
             if world.policy_of(asn) is not PeeringPolicy.SELECTIVE:
                 continue
-            potential = float(total_bps[indices].sum())
+            # Cone membership comes from the world's precomputed index
+            # tables: one array reduction per selective candidate instead
+            # of a Python walk over its cone.
+            potential = float(total_bps[world.cone_contrib_indices(asn)].sum())
             scored.append((potential, asn))
         scored.sort(key=lambda pair: (-pair[0], pair[1]))
         return frozenset(asn for _, asn in scored[:TOP_SELECTIVE_COUNT])

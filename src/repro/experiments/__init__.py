@@ -1,67 +1,76 @@
-"""Multi-seed, multi-configuration ensemble experiments.
+"""Multi-seed, multi-configuration studies on one pluggable engine.
 
-Every headline number in the reproduction — precision, recall, per-filter
-discard counts, per-IXP remote fractions — was, until this subsystem, read
-off a *single* seed.  The paper (and Nomikos et al.'s "O Peer, Where Art
-Thou?" follow-up) validate detection quality against ground truth whose
-robustness only shows up across repeated trials; an *ensemble* runs the
-full detection study (build world → collect → filter → validate) over a
-grid of seeds × configuration variants and reports mean ± confidence
-intervals instead of point estimates.
+Every headline number in the reproduction — precision/recall (Section 3),
+offload fractions (Section 4), bill savings and the equation 14 verdict
+(Section 5) — is a distribution over seeds, not a point estimate.  This
+package runs those distributions through a single *study engine*:
 
-Usage
------
-Build a config, run it, render the report::
+``engine``
+    The :class:`~repro.experiments.engine.Study` protocol (``build → run
+    → measure`` per trial, typed ``TrialResult`` payloads) and the shared
+    :func:`~repro.experiments.engine.run_study` scheduler.  The engine
+    owns the seed × grid expansion, ``ProcessPoolExecutor`` fan-out,
+    per-variant world caching (trials that share a world configuration
+    reuse one build), resumable sharded execution (JSONL trial artifacts
+    under an ``out_dir``, skip-completed on rerun) and streaming
+    mean ± 95% CI aggregation.
 
-    from repro.experiments import (
-        ConfigVariant, EnsembleConfig, grid_variants,
-        render_ensemble_report, run_ensemble,
-    )
-    from repro.core.detection import CampaignConfig
+``ensemble`` / ``offload`` / ``economics``
+    The three studies: :class:`DetectionStudy` (Section 3 pipeline:
+    world → campaign → filters → ground-truth validation),
+    :class:`OffloadStudy` (Section 4: exclusions → estimator → greedy
+    expansion) and :class:`EconomicsStudy` (Sections 3+4+5 end-to-end:
+    measured offload curve → decay fit → 95th-percentile billing →
+    eq. 14 viability), each with its grid builder and a config/result
+    pair.  ``run_ensemble`` / ``run_offload_ensemble`` /
+    ``run_economics_ensemble`` are thin front ends over ``run_study``.
+
+Usage — 16 seeds × three thresholds of the 3-IXP detection world::
+
+    from repro.experiments import EnsembleConfig, grid_variants, run_ensemble
+    from repro.reporting import render_ensemble_report
+    from repro.sim.detection_world import DetectionWorldConfig
     from repro.sim.scenarios import mini_specs
 
-    # 16 seeds x one variant over the 3-IXP mini world:
     config = EnsembleConfig(
         seeds=tuple(range(16)),
-        variants=(
-            ConfigVariant(
-                name="mini3",
-                world=DetectionWorldConfig(specs=mini_specs()),
-            ),
+        variants=grid_variants(
+            world=DetectionWorldConfig(specs=mini_specs()),
+            axes={"campaign.remoteness_threshold_ms": (5.0, 10.0, 20.0)},
         ),
-        workers=0,           # 0 = one process per core (capped at #trials)
+        workers=0,          # 0 = one process per core (capped at #groups)
     )
-    result = run_ensemble(config)
-    print(render_ensemble_report(result))
+    result = run_ensemble(config)          # builds each seed's world ONCE
+    print(render_ensemble_report(result))  # mean ± 95% CI per variant
 
-Config grids sweep any DetectionWorldConfig / CampaignConfig /
-FilterConfig field via dotted axes, taking the cartesian product::
-
-    variants = grid_variants(
-        world=DetectionWorldConfig(specs=mini_specs()),
-        axes={
-            "campaign.remoteness_threshold_ms": (5.0, 10.0, 20.0),
-            "filters.min_replies_per_lg": (6, 8),
-        },
-    )   # 6 variants; x 16 seeds = 96 trials
-
-Trials are independent and run under a ``ProcessPoolExecutor``
-(``workers=1`` runs inline, which tests use).  Each trial's campaign seed
-is derived from its world seed via :func:`repro.rand.derive_seed`, so
+Grids sweep any config field via dotted axes (``world.<field>``,
+``campaign.<field>``, ``filters.<field>``); each trial's campaign seed is
+derived from its world seed via :func:`repro.rand.derive_seed`, so
 ensembles are fully reproducible and adding variants never perturbs
-existing trials.  The CLI front end is ``repro ensemble`` (see
-``repro.cli``); ``examples/ensemble_study.py`` is a worked example.
-
-The *offload* study has its own ensemble runner
-(:mod:`repro.experiments.offload`): seeds × ``OffloadWorldConfig`` grids
-(× peer groups), reporting mean ± 95% CI maximum offload fractions,
-offloadable-network counts and the greedy IXP-expansion consensus.  Its
-CLI front end is ``repro offload-ensemble``.
+existing trials.  Passing ``out_dir`` to any runner makes the run
+resumable: kill it after N trials, rerun with the same config, and only
+the remaining trials execute.  The CLI front end is ``repro study
+detection|offload|economics`` (``repro ensemble`` and ``repro
+offload-ensemble`` remain as aliases); ``examples/ensemble_study.py`` and
+``examples/economics_study.py`` are worked examples.
 """
 
-from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
+from repro.experiments.aggregate import (
+    MeanCI,
+    StreamingMeanCI,
+    VariantSummary,
+    mean_ci,
+)
+from repro.experiments.engine import (
+    Study,
+    StudyConfig,
+    StudyResult,
+    expand_trials,
+    run_study,
+)
 from repro.experiments.ensemble import (
     ConfigVariant,
+    DetectionStudy,
     EnsembleConfig,
     EnsembleResult,
     TrialResult,
@@ -73,6 +82,7 @@ from repro.experiments.ensemble import (
 from repro.experiments.offload import (
     OffloadEnsembleConfig,
     OffloadEnsembleResult,
+    OffloadStudy,
     OffloadTrialResult,
     OffloadTrialSpec,
     OffloadVariant,
@@ -82,33 +92,65 @@ from repro.experiments.offload import (
     run_offload_ensemble,
     run_offload_trial,
 )
+from repro.experiments.economics import (
+    EconomicsEnsembleConfig,
+    EconomicsEnsembleResult,
+    EconomicsStudy,
+    EconomicsTrialResult,
+    EconomicsTrialSpec,
+    EconomicsVariant,
+    EconomicsVariantSummary,
+    economics_grid_variants,
+    run_economics_ensemble,
+    run_economics_trial,
+)
 from repro.experiments.report import (
+    render_economics_ensemble_report,
     render_ensemble_report,
     render_offload_ensemble_report,
 )
 
 __all__ = [
     "ConfigVariant",
+    "DetectionStudy",
+    "EconomicsEnsembleConfig",
+    "EconomicsEnsembleResult",
+    "EconomicsStudy",
+    "EconomicsTrialResult",
+    "EconomicsTrialSpec",
+    "EconomicsVariant",
+    "EconomicsVariantSummary",
     "EnsembleConfig",
     "EnsembleResult",
     "MeanCI",
     "OffloadEnsembleConfig",
     "OffloadEnsembleResult",
+    "OffloadStudy",
     "OffloadTrialResult",
     "OffloadTrialSpec",
     "OffloadVariant",
     "OffloadVariantSummary",
     "RankConsensus",
+    "StreamingMeanCI",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
     "TrialResult",
     "TrialSpec",
     "VariantSummary",
+    "economics_grid_variants",
+    "expand_trials",
     "grid_variants",
     "mean_ci",
     "offload_grid_variants",
+    "render_economics_ensemble_report",
     "render_ensemble_report",
     "render_offload_ensemble_report",
+    "run_economics_ensemble",
+    "run_economics_trial",
     "run_ensemble",
     "run_offload_ensemble",
     "run_offload_trial",
+    "run_study",
     "run_trial",
 ]

@@ -1,0 +1,474 @@
+"""The end-to-end economics ensemble: Sections 3+4+5 in one study.
+
+Each trial runs the full measured-economics pipeline of the paper under
+one (seed, variant) pair:
+
+1. build the offload world and apply the Section 4.2 exclusion rules
+   (:class:`~repro.core.offload.PeerGroups` → ``OffloadEstimator``);
+2. measure Figure 9's remaining-transit curve
+   (:func:`~repro.core.offload.remaining_traffic_series`) and fit the
+   equation 3 decay rate ``b`` from it;
+3. synthesise the month of 5-minute NetFlow series (transit and its
+   offloadable share, peaks coinciding as in Figure 5b) and bill both
+   under Section 2.1's 95th-percentile scheme
+   (:func:`~repro.netflow.billing.offload_billing_report`);
+4. evaluate the Section 5 cost model at the *measured* decay — the
+   closed-form optima (eq. 11/13) and the equation 14 viability verdict.
+
+The ensemble then reports mean ± 95% CI transit-bill savings fractions
+and a viability *vote* across seeds — treating peering economics as a
+distribution over scenarios rather than a point estimate, the way the
+paid-peering literature (Wang–Xu–Ma 2018; Nikkhah–Jordan 2023) frames it.
+
+The billing series decompose transit into its offloadable and
+non-offloadable components, each carried by the same diurnal/weekly shape
+with independent per-bin noise; the offloadable share therefore never
+exceeds transit bin-for-bin, and the percentile savings track — but do
+not exactly equal — the average offload share.
+
+The CLI front end is ``repro study economics`` (see :mod:`repro.cli`);
+``examples/economics_study.py`` is a worked example.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.economics import (
+    CostModel,
+    CostParameters,
+    fit_exponential_decay,
+    viability_condition,
+)
+from repro.core.offload import (
+    ALL_GROUPS,
+    OffloadEstimator,
+    PeerGroups,
+    remaining_traffic_series,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import MeanCI, mean_ci
+from repro.experiments.engine import StudyConfig, run_study
+from repro.netflow.billing import offload_billing_report
+from repro.rand import derive_seed
+from repro.sim.offload_world import (
+    OffloadWorld,
+    OffloadWorldConfig,
+    build_offload_world,
+)
+from repro.types import TrafficDirection
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsVariant:
+    """One named cell of the economics grid.
+
+    Price defaults follow the repo's Section 5 baseline (the values the
+    single-run :func:`repro.reporting.economics_report` uses): transit at
+    p=5 per unit, direct peering g=1 fixed / u=0.5 per unit, remote
+    peering h=0.25 fixed / v=1.5 per unit.  The decay rate ``b`` is never
+    configured — it is fitted per trial from the measured offload curve.
+    """
+
+    name: str
+    world: OffloadWorldConfig = OffloadWorldConfig()
+    group: int = 4
+    max_ixps: int = 20          # depth of the fitted remaining-series
+    transit_price: float = 5.0  # p
+    direct_fixed: float = 1.0   # g
+    direct_unit: float = 0.5    # u
+    remote_fixed: float = 0.25  # h
+    remote_unit: float = 1.5    # v
+    price_per_mbps: float = 1.0  # billing price for the NetFlow bill
+    percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {self.group}")
+        if self.max_ixps < 2:
+            raise ConfigurationError(
+                "max_ixps must be at least 2 (the decay fit needs 3 points)"
+            )
+        if not 0 < self.percentile <= 100:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        if self.price_per_mbps < 0:
+            raise ConfigurationError("price_per_mbps cannot be negative")
+        # Validate the price structure early (u < v < p, h < g) by
+        # building a throwaway parameter set at a nominal decay.
+        CostParameters(
+            p=self.transit_price, g=self.direct_fixed, u=self.direct_unit,
+            h=self.remote_fixed, v=self.remote_unit, b=0.5,
+        )
+
+    def cost_parameters(self, b: float) -> CostParameters:
+        """The Section 5 parameter set at a fitted decay rate."""
+        return CostParameters(
+            p=self.transit_price, g=self.direct_fixed, u=self.direct_unit,
+            h=self.remote_fixed, v=self.remote_unit, b=b,
+        )
+
+
+def economics_grid_variants(
+    world: OffloadWorldConfig | None = None,
+    axes: Mapping[str, Sequence] | None = None,
+    groups: Sequence[int] = (4,),
+    **variant_kwargs,
+) -> tuple[EconomicsVariant, ...]:
+    """Cartesian product of ``world.<field>`` axes × peer groups.
+
+    Mirrors :func:`repro.experiments.offload.offload_grid_variants`;
+    ``variant_kwargs`` (prices, depth, percentile) apply to every cell.
+    """
+    world = world or OffloadWorldConfig()
+    axes = dict(axes or {})
+    world_fields = {f.name for f in fields(OffloadWorldConfig)}
+    for path in axes:
+        scope, _, fname = path.partition(".")
+        if scope != "world" or fname not in world_fields:
+            raise ConfigurationError(
+                f"grid axis {path!r} must be world.<field> naming an "
+                "existing OffloadWorldConfig field"
+            )
+        if fname == "seed":
+            raise ConfigurationError(
+                f"grid axis {path!r} is not sweepable: trial seeds come "
+                "from EconomicsEnsembleConfig.seeds"
+            )
+    if not groups:
+        raise ConfigurationError("need at least one peer group")
+    for group in groups:
+        if group not in ALL_GROUPS:
+            raise ConfigurationError(f"unknown peer group {group}")
+    paths = list(axes)
+    variants = []
+    for combo in itertools.product(*(axes[p] for p in paths)):
+        w = world
+        parts = []
+        for path, value in zip(paths, combo):
+            fname = path.partition(".")[2]
+            w = replace(w, **{fname: value})
+            parts.append(f"{fname}={value}")
+        for group in groups:
+            name_parts = [*parts]
+            if len(groups) > 1 or not parts:
+                name_parts.append(f"group={group}")
+            variants.append(
+                EconomicsVariant(
+                    name="|".join(name_parts) or "base",
+                    world=w,
+                    group=group,
+                    **variant_kwargs,
+                )
+            )
+    return tuple(variants)
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsTrialSpec:
+    """One fully-resolved trial: picklable input of the study's measure."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    world: OffloadWorldConfig
+    group: int
+    max_ixps: int
+    transit_price: float
+    direct_fixed: float
+    direct_unit: float
+    remote_fixed: float
+    remote_unit: float
+    price_per_mbps: float
+    percentile: float
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsTrialResult:
+    """Per-trial economics metrics (JSON-serializable for resume)."""
+
+    trial_id: int
+    variant: str
+    seed: int
+    candidate_count: int
+    inbound_fraction: float      # max offload, all IXPs reached
+    outbound_fraction: float
+    decay_rate: float            # fitted b (eq. 3)
+    decay_floor: float
+    fit_sse: float
+    before_bill: float           # monthly 95th-percentile transit bill
+    after_bill: float            # ... with the offloadable share removed
+    savings_fraction: float
+    viable: bool                 # eq. 14 verdict at the measured b
+    viability_ratio: float       # g(p-v)/(h(p-u))
+    viability_threshold: float   # e^b
+    optimal_direct_ixps: float   # ñ (eq. 11)
+    optimal_remote_ixps: float   # m̃ (eq. 13)
+    build_s: float
+    study_s: float
+
+
+def run_economics_trial(spec: EconomicsTrialSpec) -> EconomicsTrialResult:
+    """Execute one standalone trial (world build included)."""
+    t0 = time.perf_counter()
+    world = build_offload_world(spec.world)
+    build_s = time.perf_counter() - t0
+    return measure_economics_trial(spec, world, build_s)
+
+
+def measure_economics_trial(
+    spec: EconomicsTrialSpec, world: OffloadWorld, build_s: float
+) -> EconomicsTrialResult:
+    """Sections 4 → 2.1 → 5 against an already-built world."""
+    t1 = time.perf_counter()
+    estimator = OffloadEstimator(world, PeerGroups.build(world))
+    all_ixps = estimator.reachable_ixps()
+    inbound, outbound = estimator.offload_fractions(all_ixps, spec.group)
+
+    series = np.array(
+        remaining_traffic_series(estimator, spec.group, max_ixps=spec.max_ixps)
+    )
+    fit = fit_exponential_decay(series)
+
+    # Month of 5-minute bins: transit = offloadable + non-offloadable
+    # components, same diurnal shape, independent per-bin noise — so the
+    # offloadable share never exceeds transit and peaks coincide (Fig 5b).
+    mask = estimator.mask_for(all_ixps, spec.group)
+    collector = world.collector
+    offload_seed = derive_seed(spec.seed, "economics", "offload-series")
+    remaining_seed = derive_seed(spec.seed, "economics", "remaining-series")
+    offload_series = np.zeros(collector.bins())
+    remaining_series = np.zeros(collector.bins())
+    for direction in (TrafficDirection.INBOUND, TrafficDirection.OUTBOUND):
+        offload_series = offload_series + collector.aggregate_series(
+            direction, mask=mask, seed=offload_seed
+        )
+        remaining_series = remaining_series + collector.aggregate_series(
+            direction, mask=~mask, seed=remaining_seed
+        )
+    transit_series = offload_series + remaining_series
+    billing = offload_billing_report(
+        transit_series, offload_series,
+        price_per_mbps=spec.price_per_mbps, percentile=spec.percentile,
+    )
+
+    params = CostParameters(
+        p=spec.transit_price, g=spec.direct_fixed, u=spec.direct_unit,
+        h=spec.remote_fixed, v=spec.remote_unit, b=fit.rate,
+    )
+    model = CostModel(params)
+    verdict = viability_condition(params)
+    t2 = time.perf_counter()
+    return EconomicsTrialResult(
+        trial_id=spec.trial_id,
+        variant=spec.variant,
+        seed=spec.seed,
+        candidate_count=estimator.groups.candidate_count(),
+        inbound_fraction=inbound,
+        outbound_fraction=outbound,
+        decay_rate=fit.rate,
+        decay_floor=fit.floor,
+        fit_sse=fit.sse,
+        before_bill=billing.before_bill,
+        after_bill=billing.after_bill,
+        savings_fraction=billing.savings_fraction,
+        viable=verdict.viable,
+        viability_ratio=verdict.ratio,
+        viability_threshold=verdict.threshold,
+        optimal_direct_ixps=model.optimal_direct(),
+        optimal_remote_ixps=verdict.optimal_remote_ixps,
+        build_s=build_s,
+        study_s=t2 - t1,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsStudy:
+    """The economics ensemble as a :class:`repro.experiments.engine.Study`."""
+
+    variants: tuple[EconomicsVariant, ...] = (EconomicsVariant(name="base"),)
+
+    name = "economics"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ConfigurationError("a study needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+
+    def variant_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variants)
+
+    def resolve(
+        self, variant: str, seed: int, trial_id: int
+    ) -> EconomicsTrialSpec:
+        v = next(v for v in self.variants if v.name == variant)
+        return EconomicsTrialSpec(
+            trial_id=trial_id,
+            variant=variant,
+            seed=seed,
+            world=replace(v.world, seed=seed),
+            group=v.group,
+            max_ixps=v.max_ixps,
+            transit_price=v.transit_price,
+            direct_fixed=v.direct_fixed,
+            direct_unit=v.direct_unit,
+            remote_fixed=v.remote_fixed,
+            remote_unit=v.remote_unit,
+            price_per_mbps=v.price_per_mbps,
+            percentile=v.percentile,
+        )
+
+    def world_key(self, spec: EconomicsTrialSpec) -> OffloadWorldConfig:
+        # Price/group grids over the same world config share one build
+        # per seed — the whole point of sweeping economics cheaply.
+        return spec.world
+
+    def build(self, spec: EconomicsTrialSpec) -> OffloadWorld:
+        return build_offload_world(spec.world)
+
+    def measure(
+        self, spec: EconomicsTrialSpec, world: OffloadWorld, build_s: float
+    ) -> EconomicsTrialResult:
+        return measure_economics_trial(spec, world, build_s)
+
+    def metrics(self, result: EconomicsTrialResult) -> dict[str, float]:
+        return {
+            "savings_fraction": result.savings_fraction,
+            "decay_rate": result.decay_rate,
+            "viable": 1.0 if result.viable else 0.0,
+        }
+
+    def encode(self, result: EconomicsTrialResult) -> dict:
+        return asdict(result)
+
+    def decode(self, payload: dict) -> EconomicsTrialResult:
+        return EconomicsTrialResult(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsEnsembleConfig:
+    """Seed list × economics variant grid, plus parallelism."""
+
+    seeds: tuple[int, ...]
+    variants: tuple[EconomicsVariant, ...] = (EconomicsVariant(name="base"),)
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("an ensemble needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("ensemble seeds must be distinct")
+        if not self.variants:
+            raise ConfigurationError("an ensemble needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
+
+    def trials(self) -> list[EconomicsTrialSpec]:
+        """The fully-resolved trial list, variant-major, in a stable order."""
+        from repro.experiments.engine import expand_trials
+
+        return expand_trials(
+            EconomicsStudy(variants=self.variants), self.seeds
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EconomicsVariantSummary:
+    """Aggregated economics metrics for one variant."""
+
+    variant: str
+    trials: int
+    group: int
+    savings_fraction: MeanCI
+    decay_rate: MeanCI
+    before_bill: MeanCI
+    after_bill: MeanCI
+    inbound_fraction: MeanCI
+    outbound_fraction: MeanCI
+    optimal_direct_ixps: MeanCI
+    optimal_remote_ixps: MeanCI
+    viable_votes: int   # trials whose eq. 14 verdict came out viable
+
+    @property
+    def viability_vote(self) -> float:
+        """Fraction of trials finding remote peering viable (eq. 14)."""
+        return self.viable_votes / self.trials if self.trials else 0.0
+
+
+@dataclass
+class EconomicsEnsembleResult:
+    """All trial results plus the config that produced them."""
+
+    config: EconomicsEnsembleConfig
+    trials: list[EconomicsTrialResult]
+    wall_s: float = 0.0
+    world_builds: int = 0
+    world_reuses: int = 0
+    resumed: int = 0
+    _by_variant: dict[str, list[EconomicsTrialResult]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self._by_variant:
+            grouped: dict[str, list[EconomicsTrialResult]] = {}
+            for trial in self.trials:
+                grouped.setdefault(trial.variant, []).append(trial)
+            self._by_variant = grouped
+
+    def by_variant(self) -> dict[str, list[EconomicsTrialResult]]:
+        """Trials grouped by variant name, in config order."""
+        return dict(self._by_variant)
+
+    def summaries(self) -> list[EconomicsVariantSummary]:
+        """Mean ± 95% CI aggregates plus the viability vote, per variant."""
+        group_of = {v.name: v.group for v in self.config.variants}
+        out = []
+        for variant, trials in self._by_variant.items():
+            out.append(_summarize(variant, group_of.get(variant, 4), trials))
+        return out
+
+
+def _summarize(
+    variant: str, group: int, trials: list[EconomicsTrialResult]
+) -> EconomicsVariantSummary:
+    return EconomicsVariantSummary(
+        variant=variant,
+        trials=len(trials),
+        group=group,
+        savings_fraction=mean_ci([t.savings_fraction for t in trials]),
+        decay_rate=mean_ci([t.decay_rate for t in trials]),
+        before_bill=mean_ci([t.before_bill for t in trials]),
+        after_bill=mean_ci([t.after_bill for t in trials]),
+        inbound_fraction=mean_ci([t.inbound_fraction for t in trials]),
+        outbound_fraction=mean_ci([t.outbound_fraction for t in trials]),
+        optimal_direct_ixps=mean_ci([t.optimal_direct_ixps for t in trials]),
+        optimal_remote_ixps=mean_ci([t.optimal_remote_ixps for t in trials]),
+        viable_votes=sum(1 for t in trials if t.viable),
+    )
+
+
+def run_economics_ensemble(
+    config: EconomicsEnsembleConfig, out_dir: str | None = None
+) -> EconomicsEnsembleResult:
+    """Run every trial of ``config`` through the study engine."""
+    result = run_study(
+        EconomicsStudy(variants=config.variants),
+        StudyConfig(seeds=config.seeds, workers=config.workers,
+                    out_dir=out_dir),
+    )
+    return EconomicsEnsembleResult(
+        config=config,
+        trials=result.trials,
+        wall_s=result.wall_s,
+        world_builds=result.world_builds,
+        world_reuses=result.world_reuses,
+        resumed=result.resumed,
+    )

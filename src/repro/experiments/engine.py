@@ -1,0 +1,346 @@
+"""The generic study engine: one pluggable trial scheduler for every study.
+
+A *study* is anything that follows the ``build → run → measure`` trial
+contract of the :class:`Study` protocol: detection (Section 3), offload
+(Section 4) and the end-to-end economics pipeline (Sections 3+4+5) are all
+instances.  The engine owns everything the per-study runners used to
+duplicate:
+
+* **seed × grid expansion** — a stable, variant-major trial order, so
+  adding variants never perturbs existing trials;
+* **scheduling** — trials fan out over a ``ProcessPoolExecutor``
+  (``workers=1`` runs inline, which tests use);
+* **per-variant world caching** — trials that share a world configuration
+  are dispatched as one group and reuse a single world build (a detection
+  grid over filter thresholds builds each seed's world once, not once per
+  variant);
+* **resumable sharded execution** — with ``out_dir`` set, every finished
+  trial is appended to a JSONL artifact; a rerun with the same
+  configuration loads the completed trials and only executes the rest;
+* **streaming aggregation** — per-variant Welford accumulators over the
+  study's headline metrics, updated as trials finish, so mean ± 95% CI
+  summaries are available without a second pass over the results.
+
+Studies stay thin: they resolve variant names into picklable trial specs,
+build worlds, measure, and (for resume) encode/decode their typed
+``TrialResult`` payloads to and from JSON dictionaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Hashable, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import MeanCI, StreamingMeanCI
+
+#: Schema tag written to every artifact header line.
+ARTIFACT_SCHEMA = "study_trials/v1"
+
+
+class Study(Protocol):
+    """The build → run → measure contract one trial family implements.
+
+    Implementations are small frozen dataclasses (they are pickled to the
+    worker processes together with each trial group).  ``resolve`` turns a
+    (variant, seed) cell of the grid into a fully-specified picklable trial
+    spec; ``world_key`` names the world that spec needs, and trials whose
+    keys compare equal share one build; ``measure`` runs the study on the
+    built world and returns the typed per-trial result.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short identifier: artifact file names and report labels."""
+        ...
+
+    def variant_names(self) -> tuple[str, ...]:
+        """The grid's variant names, in configuration order."""
+        ...
+
+    def resolve(self, variant: str, seed: int, trial_id: int) -> Any:
+        """Fully-resolved picklable spec for one (variant, seed) trial."""
+        ...
+
+    def world_key(self, spec: Any) -> Hashable:
+        """Cache key of the world ``spec`` needs (equal keys share builds)."""
+        ...
+
+    def build(self, spec: Any) -> Any:
+        """Build the world for one trial group (cached across the group)."""
+        ...
+
+    def measure(self, spec: Any, world: Any, build_s: float) -> Any:
+        """Run one trial against a built world; returns the trial result."""
+        ...
+
+    def metrics(self, result: Any) -> dict[str, float]:
+        """Headline scalars for streaming aggregation (may be empty)."""
+        ...
+
+    def encode(self, result: Any) -> dict:
+        """JSON-serializable payload of one trial result (for artifacts)."""
+        ...
+
+    def decode(self, payload: dict) -> Any:
+        """Inverse of :meth:`encode` (must reproduce the result exactly)."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class StudyConfig:
+    """Seed list, parallelism and (optional) artifact directory.
+
+    ``workers=1`` runs trials inline in this process (what tests use);
+    ``workers=0`` uses one process per core, capped at the group count.
+    With ``out_dir`` set the run is resumable: completed trials are
+    appended to ``<out_dir>/<study>_trials.jsonl`` as they finish, and a
+    rerun with an identical study configuration skips them.
+    """
+
+    seeds: tuple[int, ...]
+    workers: int = 0
+    out_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("a study needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("study seeds must be distinct")
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
+
+
+@dataclass
+class StudyResult:
+    """All trial results (trial-id order) plus execution accounting."""
+
+    study: str
+    config: StudyConfig
+    trials: list[Any]
+    wall_s: float = 0.0
+    world_builds: int = 0   # worlds actually built this run
+    world_reuses: int = 0   # trials served from a shared build
+    resumed: int = 0        # trials loaded from artifacts instead of run
+    streaming: dict[str, dict[str, MeanCI]] = field(default_factory=dict)
+
+    def by_variant(self) -> dict[str, list[Any]]:
+        """Trials grouped by variant name, in trial order."""
+        grouped: dict[str, list[Any]] = {}
+        for trial in self.trials:
+            grouped.setdefault(trial.variant, []).append(trial)
+        return grouped
+
+
+def expand_trials(study: Study, seeds: Sequence[int]) -> list[Any]:
+    """The fully-resolved trial list: variant-major, stable trial ids."""
+    specs: list[Any] = []
+    for variant in study.variant_names():
+        for seed in seeds:
+            specs.append(study.resolve(variant, seed, trial_id=len(specs)))
+    return specs
+
+
+def _fingerprint(study: Study, specs: Sequence[Any]) -> str:
+    """Configuration fingerprint guarding artifact reuse.
+
+    Dataclass reprs are deterministic and cover every resolved field, so
+    any change to seeds, variants or study knobs invalidates old artifacts
+    instead of silently mixing two configurations in one file.
+    """
+    payload = json.dumps([study.name, [repr(s) for s in specs]])
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _artifact_path(study: Study, out_dir: str) -> Path:
+    return Path(out_dir) / f"{study.name}_trials.jsonl"
+
+
+def _load_artifacts(
+    study: Study, path: Path, fingerprint: str, trial_count: int
+) -> dict[int, Any]:
+    """Completed trials from a previous run (empty when none are usable).
+
+    A truncated final line (a killed run) is skipped; a header whose
+    fingerprint disagrees with the current configuration raises instead of
+    silently merging results from two different studies.
+    """
+    if not path.exists():
+        return {}
+    completed: dict[int, Any] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ConfigurationError(f"{path} is not a study artifact file")
+    if header.get("schema") != ARTIFACT_SCHEMA:
+        raise ConfigurationError(
+            f"{path} has schema {header.get('schema')!r}, "
+            f"expected {ARTIFACT_SCHEMA!r}"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise ConfigurationError(
+            f"{path} was written by a different study configuration "
+            "(seeds/variants changed?); use a fresh --out directory"
+        )
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # partial write from a killed run
+        trial_id = record.get("trial_id")
+        if isinstance(trial_id, int) and 0 <= trial_id < trial_count:
+            completed[trial_id] = study.decode(record["result"])
+    return completed
+
+
+class _ArtifactWriter:
+    """Append-only JSONL sink; a no-op when the study runs without out_dir."""
+
+    def __init__(
+        self, study: Study, out_dir: str | None, fingerprint: str
+    ) -> None:
+        self._handle = None
+        if out_dir is None:
+            return
+        path = _artifact_path(study, out_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not path.exists() or path.stat().st_size == 0
+        if not fresh:
+            # A killed run can leave a partial trailing line with no
+            # newline; terminate it so the next append starts clean (the
+            # loader already skips the unparseable fragment).
+            with path.open("rb") as existing:
+                existing.seek(-1, 2)
+                needs_newline = existing.read(1) != b"\n"
+        self._handle = path.open("a", encoding="utf-8")
+        if not fresh and needs_newline:
+            self._handle.write("\n")
+        if fresh:
+            self._write({
+                "schema": ARTIFACT_SCHEMA,
+                "study": study.name,
+                "fingerprint": fingerprint,
+            })
+        self._study = study
+
+    def _write(self, record: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def append(self, result: Any) -> None:
+        if self._handle is None:
+            return
+        self._write({
+            "trial_id": result.trial_id,
+            "variant": result.variant,
+            "seed": result.seed,
+            "result": self._study.encode(result),
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _run_group(study: Study, specs: list[Any]) -> list[Any]:
+    """Build the group's shared world once, then measure every trial."""
+    start = time.perf_counter()
+    world = study.build(specs[0])
+    build_s = time.perf_counter() - start
+    return [study.measure(spec, world, build_s) for spec in specs]
+
+
+def run_study(study: Study, config: StudyConfig) -> StudyResult:
+    """Run every not-yet-completed trial of ``study`` under ``config``.
+
+    Results come back in trial order regardless of completion order, so
+    studies are reproducible artifacts: same configuration, same report.
+    """
+    t0 = time.perf_counter()
+    specs = expand_trials(study, config.seeds)
+    fingerprint = _fingerprint(study, specs)
+
+    completed: dict[int, Any] = {}
+    if config.out_dir is not None:
+        completed = _load_artifacts(
+            study, _artifact_path(study, config.out_dir), fingerprint,
+            trial_count=len(specs),
+        )
+    resumed = len(completed)
+
+    # Group the remaining trials by world key, preserving trial order
+    # within and across groups: every trial in a group reuses one build.
+    groups: dict[Hashable, list[Any]] = {}
+    for spec in specs:
+        if spec.trial_id in completed:
+            continue
+        groups.setdefault(study.world_key(spec), []).append(spec)
+    group_list = list(groups.values())
+
+    streams: dict[str, dict[str, StreamingMeanCI]] = {}
+
+    def absorb(result: Any) -> None:
+        per_variant = streams.setdefault(result.variant, {})
+        for metric, value in study.metrics(result).items():
+            per_variant.setdefault(metric, StreamingMeanCI()).add(value)
+
+    for result in completed.values():
+        absorb(result)
+
+    writer = _ArtifactWriter(study, config.out_dir, fingerprint)
+    try:
+        workers = config.workers or min(
+            os.cpu_count() or 1, max(len(group_list), 1)
+        )
+        if workers <= 1 or len(group_list) <= 1:
+            for group in group_list:
+                for result in _run_group(study, group):
+                    completed[result.trial_id] = result
+                    writer.append(result)
+                    absorb(result)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(group_list))
+            ) as pool:
+                futures = [
+                    pool.submit(_run_group, study, group)
+                    for group in group_list
+                ]
+                # Drain in completion order so finished groups land in the
+                # resume artifact immediately — a slow head-of-line group
+                # must not hold every other group's trials hostage to a
+                # mid-run kill.  Trial order is restored at the end.
+                for future in as_completed(futures):
+                    for result in future.result():
+                        completed[result.trial_id] = result
+                        writer.append(result)
+                        absorb(result)
+    finally:
+        writer.close()
+
+    executed = sum(len(group) for group in group_list)
+    return StudyResult(
+        study=study.name,
+        config=config,
+        trials=[completed[i] for i in range(len(specs))],
+        wall_s=time.perf_counter() - t0,
+        world_builds=len(group_list),
+        world_reuses=executed - len(group_list),
+        resumed=resumed,
+        streaming={
+            variant: {m: s.snapshot() for m, s in metrics.items()}
+            for variant, metrics in streams.items()
+        },
+    )

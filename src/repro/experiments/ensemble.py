@@ -1,21 +1,21 @@
-"""The ensemble runner: seeds × config variants, one detection study each.
+"""The Section 3 detection study on the generic engine.
 
 A *trial* is the full Section 3 pipeline under one (seed, variant) pair:
 build the detection world, collect the campaign's measurements, run the
 filter pipeline, and validate the remote/direct calls against the
-simulator's ground truth.  Trials are embarrassingly parallel; the runner
-fans them out over a ``ProcessPoolExecutor`` and the aggregates in
-:mod:`repro.experiments.aggregate` turn the per-trial metrics into
-mean ± CI summaries per variant.
+simulator's ground truth.  :class:`DetectionStudy` expresses that as the
+engine's ``build → run → measure`` contract; scheduling, world caching,
+resume artifacts and parallelism all come from
+:mod:`repro.experiments.engine`.  :func:`run_ensemble` is the historical
+entry point and is kept as a thin shim over :func:`run_study` — reports
+are unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Mapping, Sequence
 
 from repro.core.detection.campaign import CampaignConfig, ProbeCampaign
@@ -24,8 +24,13 @@ from repro.core.detection.results import build_result
 from repro.core.detection.validation import validate_against_truth
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
+from repro.experiments.engine import StudyConfig, run_study
 from repro.rand import derive_seed
-from repro.sim.detection_world import DetectionWorldConfig, build_detection_world
+from repro.sim.detection_world import (
+    DetectionWorld,
+    DetectionWorldConfig,
+    build_detection_world,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,26 +145,14 @@ class EnsembleConfig:
     def trials(self) -> list[TrialSpec]:
         """The fully-resolved trial list, variant-major, in a stable order.
 
-        Each trial's world takes the trial seed directly; its campaign
-        seed is *derived* from the trial seed so world and campaign
-        streams stay independent and reproducible.
+        Delegates to the engine's expansion over :class:`DetectionStudy`,
+        so this inspection view can never drift from what
+        :func:`run_ensemble` actually executes.
         """
-        specs: list[TrialSpec] = []
-        for variant in self.variants:
-            for seed in self.seeds:
-                specs.append(
-                    TrialSpec(
-                        trial_id=len(specs),
-                        variant=variant.name,
-                        seed=seed,
-                        world=replace(variant.world, seed=seed),
-                        campaign=replace(
-                            variant.campaign,
-                            seed=derive_seed(seed, "ensemble", "campaign"),
-                        ),
-                    )
-                )
-        return specs
+        from repro.experiments.engine import expand_trials
+
+        return expand_trials(DetectionStudy(variants=self.variants),
+                             self.seeds)
 
 
 @dataclass(frozen=True, slots=True)
@@ -196,9 +189,23 @@ class TrialResult:
 
 
 def run_trial(spec: TrialSpec) -> TrialResult:
-    """Execute one trial: build world → collect → filter → validate."""
+    """Execute one standalone trial: build world → collect → filter → validate."""
     t0 = time.perf_counter()
     world = build_detection_world(spec.world)
+    build_s = time.perf_counter() - t0
+    return measure_detection_trial(spec, world, build_s)
+
+
+def measure_detection_trial(
+    spec: TrialSpec, world: DetectionWorld, build_s: float
+) -> TrialResult:
+    """Measure one trial against an already-built world.
+
+    The world is read-only here (the campaign keeps its rate-limit ledger
+    on its own client, and identification draws are pure in the world
+    seed), so the engine can share one build across every trial whose
+    world configuration matches.
+    """
     t1 = time.perf_counter()
     measurements = ProbeCampaign(world, spec.campaign).collect()
     t2 = time.perf_counter()
@@ -236,10 +243,72 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         false_negatives=truth.false_negatives,
         remote_fraction_by_ixp=remote_fraction,
         shortfall=world.total_shortfall(),
-        build_s=t1 - t0,
+        build_s=build_s,
         collect_s=t2 - t1,
         filter_s=t3 - t2,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionStudy:
+    """The detection ensemble as a :class:`repro.experiments.engine.Study`."""
+
+    variants: tuple[ConfigVariant, ...] = (ConfigVariant(name="base"),)
+
+    name = "detection"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ConfigurationError("a study needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+
+    def variant_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variants)
+
+    def resolve(self, variant: str, seed: int, trial_id: int) -> TrialSpec:
+        v = next(v for v in self.variants if v.name == variant)
+        # The world takes the trial seed directly; the campaign seed is
+        # *derived* from it so world and campaign streams stay independent.
+        return TrialSpec(
+            trial_id=trial_id,
+            variant=variant,
+            seed=seed,
+            world=replace(v.world, seed=seed),
+            campaign=replace(
+                v.campaign, seed=derive_seed(seed, "ensemble", "campaign")
+            ),
+        )
+
+    def world_key(self, spec: TrialSpec) -> DetectionWorldConfig:
+        # Variants sweeping campaign/filter axes share the same world
+        # config per seed, so a threshold grid builds each world once.
+        return spec.world
+
+    def build(self, spec: TrialSpec) -> DetectionWorld:
+        return build_detection_world(spec.world)
+
+    def measure(
+        self, spec: TrialSpec, world: DetectionWorld, build_s: float
+    ) -> TrialResult:
+        return measure_detection_trial(spec, world, build_s)
+
+    def metrics(self, result: TrialResult) -> dict[str, float]:
+        out = {
+            "analyzed": float(result.analyzed_count),
+            "candidates": float(result.candidate_count),
+        }
+        if result.precision is not None:
+            out["precision"] = result.precision
+        if result.recall is not None:
+            out["recall"] = result.recall
+        return out
+
+    def encode(self, result: TrialResult) -> dict:
+        return asdict(result)
+
+    def decode(self, payload: dict) -> TrialResult:
+        return TrialResult(**payload)
 
 
 @dataclass
@@ -249,6 +318,9 @@ class EnsembleResult:
     config: EnsembleConfig
     trials: list[TrialResult]
     wall_s: float = 0.0
+    world_builds: int = 0   # worlds actually built (engine cache misses)
+    world_reuses: int = 0   # trials served from a shared world build
+    resumed: int = 0        # trials loaded from --out artifacts
     _by_variant: dict[str, list[TrialResult]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -308,20 +380,25 @@ def _summarize(variant: str, trials: list[TrialResult]) -> VariantSummary:
     )
 
 
-def run_ensemble(config: EnsembleConfig) -> EnsembleResult:
-    """Run every trial of ``config``, in parallel unless ``workers=1``.
+def run_ensemble(
+    config: EnsembleConfig, out_dir: str | None = None
+) -> EnsembleResult:
+    """Run every trial of ``config`` through the study engine.
 
     Results come back in trial order regardless of completion order, so
-    ensembles are reproducible artifacts: same config, same report.
+    ensembles are reproducible artifacts: same config, same report.  With
+    ``out_dir`` the run is resumable (see :mod:`repro.experiments.engine`).
     """
-    specs = config.trials()
-    workers = config.workers or min(os.cpu_count() or 1, len(specs))
-    t0 = time.perf_counter()
-    if workers <= 1 or len(specs) == 1:
-        trials = [run_trial(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-            trials = list(pool.map(run_trial, specs))
+    result = run_study(
+        DetectionStudy(variants=config.variants),
+        StudyConfig(seeds=config.seeds, workers=config.workers,
+                    out_dir=out_dir),
+    )
     return EnsembleResult(
-        config=config, trials=trials, wall_s=time.perf_counter() - t0
+        config=config,
+        trials=result.trials,
+        wall_s=result.wall_s,
+        world_builds=result.world_builds,
+        world_reuses=result.world_reuses,
+        resumed=result.resumed,
     )

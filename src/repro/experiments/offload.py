@@ -3,9 +3,11 @@
 Mirrors :mod:`repro.experiments.ensemble` for the offload study: a trial
 builds one offload world under a (seed, variant) pair, applies the peer-
 group exclusions, and measures the maximum offload fractions plus the
-greedy IXP expansion; the runner fans trials out over a process pool and
-aggregates mean ± 95% CI offload fractions and an expansion-order
-consensus per variant.  This is the many-seed sensitivity study the
+greedy IXP expansion.  :class:`OffloadStudy` expresses that as the study
+engine's ``build → run → measure`` contract (scheduling, world sharing
+across same-seed variants, resume artifacts and parallelism come from
+:mod:`repro.experiments.engine`); the aggregates are mean ± 95% CI
+offload fractions and an expansion-order consensus per variant.  This is the many-seed sensitivity study the
 uncovering-remote-peering and peering-economics follow-ups both need —
 "how stable is the ~30% offload ceiling and the AMS-IX-first ordering
 across worlds?" — and it only became affordable with the vectorized
@@ -32,11 +34,9 @@ Grids sweep any :class:`OffloadWorldConfig` field via dotted
 from __future__ import annotations
 
 import itertools
-import os
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Mapping, Sequence
 
 from repro.core.offload import (
@@ -47,7 +47,12 @@ from repro.core.offload import (
 )
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import MeanCI, mean_ci
-from repro.sim.offload_world import OffloadWorldConfig, build_offload_world
+from repro.experiments.engine import StudyConfig, run_study
+from repro.sim.offload_world import (
+    OffloadWorld,
+    OffloadWorldConfig,
+    build_offload_world,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,21 +165,16 @@ class OffloadEnsembleConfig:
             raise ConfigurationError("workers cannot be negative")
 
     def trials(self) -> list[OffloadTrialSpec]:
-        """The fully-resolved trial list, variant-major, in a stable order."""
-        specs: list[OffloadTrialSpec] = []
-        for variant in self.variants:
-            for seed in self.seeds:
-                specs.append(
-                    OffloadTrialSpec(
-                        trial_id=len(specs),
-                        variant=variant.name,
-                        seed=seed,
-                        world=replace(variant.world, seed=seed),
-                        group=variant.group,
-                        max_ixps=variant.max_ixps,
-                    )
-                )
-        return specs
+        """The fully-resolved trial list, variant-major, in a stable order.
+
+        Delegates to the engine's expansion over :class:`OffloadStudy`,
+        so this inspection view can never drift from what
+        :func:`run_offload_ensemble` actually executes.
+        """
+        from repro.experiments.engine import expand_trials
+
+        return expand_trials(OffloadStudy(variants=self.variants),
+                             self.seeds)
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,9 +200,23 @@ class OffloadTrialResult:
 
 
 def run_offload_trial(spec: OffloadTrialSpec) -> OffloadTrialResult:
-    """Execute one trial: build world → peer groups → estimator → greedy."""
+    """Execute one standalone trial: build world → groups → estimator → greedy."""
     t0 = time.perf_counter()
     world = build_offload_world(spec.world)
+    build_s = time.perf_counter() - t0
+    return measure_offload_trial(spec, world, build_s)
+
+
+def measure_offload_trial(
+    spec: OffloadTrialSpec, world: OffloadWorld, build_s: float
+) -> OffloadTrialResult:
+    """Measure one trial against an already-built world.
+
+    Peer groups and the estimator are rebuilt per trial (they depend on
+    the exclusion rules, not only the world), but worlds themselves are
+    deterministic read-only inputs the engine shares across the variants
+    of one seed.
+    """
     t1 = time.perf_counter()
     estimator = OffloadEstimator(world, PeerGroups.build(world))
     all_ixps = estimator.reachable_ixps()
@@ -224,9 +238,68 @@ def run_offload_trial(spec: OffloadTrialSpec) -> OffloadTrialResult:
         outbound_fraction=outbound,
         expansion=tuple(s.ixp for s in steps),
         five_ixp_share=five_share,
-        build_s=t1 - t0,
+        build_s=build_s,
         study_s=t2 - t1,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadStudy:
+    """The offload ensemble as a :class:`repro.experiments.engine.Study`."""
+
+    variants: tuple[OffloadVariant, ...] = (OffloadVariant(name="base"),)
+
+    name = "offload"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ConfigurationError("a study needs at least one variant")
+        if len({v.name for v in self.variants}) != len(self.variants):
+            raise ConfigurationError("variant names must be distinct")
+
+    def variant_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variants)
+
+    def resolve(
+        self, variant: str, seed: int, trial_id: int
+    ) -> OffloadTrialSpec:
+        v = next(v for v in self.variants if v.name == variant)
+        return OffloadTrialSpec(
+            trial_id=trial_id,
+            variant=variant,
+            seed=seed,
+            world=replace(v.world, seed=seed),
+            group=v.group,
+            max_ixps=v.max_ixps,
+        )
+
+    def world_key(self, spec: OffloadTrialSpec) -> OffloadWorldConfig:
+        # Variants sweeping the peer group (or expansion depth) share one
+        # world build per seed.
+        return spec.world
+
+    def build(self, spec: OffloadTrialSpec) -> OffloadWorld:
+        return build_offload_world(spec.world)
+
+    def measure(
+        self, spec: OffloadTrialSpec, world: OffloadWorld, build_s: float
+    ) -> OffloadTrialResult:
+        return measure_offload_trial(spec, world, build_s)
+
+    def metrics(self, result: OffloadTrialResult) -> dict[str, float]:
+        return {
+            "inbound_fraction": result.inbound_fraction,
+            "outbound_fraction": result.outbound_fraction,
+            "five_ixp_share": result.five_ixp_share,
+        }
+
+    def encode(self, result: OffloadTrialResult) -> dict:
+        return asdict(result)
+
+    def decode(self, payload: dict) -> OffloadTrialResult:
+        payload = dict(payload)
+        payload["expansion"] = tuple(payload["expansion"])
+        return OffloadTrialResult(**payload)
 
 
 @dataclass(frozen=True, slots=True)
@@ -260,6 +333,9 @@ class OffloadEnsembleResult:
     config: OffloadEnsembleConfig
     trials: list[OffloadTrialResult]
     wall_s: float = 0.0
+    world_builds: int = 0   # worlds actually built (engine cache misses)
+    world_reuses: int = 0   # trials served from a shared world build
+    resumed: int = 0        # trials loaded from --out artifacts
     _by_variant: dict[str, list[OffloadTrialResult]] = field(
         default_factory=dict
     )
@@ -313,21 +389,24 @@ def _summarize(
 
 
 def run_offload_ensemble(
-    config: OffloadEnsembleConfig,
+    config: OffloadEnsembleConfig, out_dir: str | None = None
 ) -> OffloadEnsembleResult:
-    """Run every trial of ``config``, in parallel unless ``workers=1``.
+    """Run every trial of ``config`` through the study engine.
 
     Results come back in trial order regardless of completion order, so
-    ensembles are reproducible artifacts: same config, same report.
+    ensembles are reproducible artifacts: same config, same report.  With
+    ``out_dir`` the run is resumable (see :mod:`repro.experiments.engine`).
     """
-    specs = config.trials()
-    workers = config.workers or min(os.cpu_count() or 1, len(specs))
-    t0 = time.perf_counter()
-    if workers <= 1 or len(specs) == 1:
-        trials = [run_offload_trial(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-            trials = list(pool.map(run_offload_trial, specs))
+    result = run_study(
+        OffloadStudy(variants=config.variants),
+        StudyConfig(seeds=config.seeds, workers=config.workers,
+                    out_dir=out_dir),
+    )
     return OffloadEnsembleResult(
-        config=config, trials=trials, wall_s=time.perf_counter() - t0
+        config=config,
+        trials=result.trials,
+        wall_s=result.wall_s,
+        world_builds=result.world_builds,
+        world_reuses=result.world_reuses,
+        resumed=result.resumed,
     )

@@ -1,118 +1,19 @@
-"""Plain-text rendering of ensemble results (the CLI's output)."""
+"""Back-compat shim: the ensemble renderers live in
+:mod:`repro.reporting.ensembles` now (one scaffold serves the detection,
+offload and economics studies).  Importing them from here keeps old
+scripts working; their output is unchanged.
+"""
 
-from __future__ import annotations
+from repro.reporting.ensembles import (
+    ensemble_title,
+    render_economics_ensemble_report,
+    render_ensemble_report,
+    render_offload_ensemble_report,
+)
 
-from repro.analysis.tables import render_table
-from repro.experiments.aggregate import MeanCI
-from repro.experiments.ensemble import EnsembleResult
-from repro.experiments.offload import OffloadEnsembleResult
-
-
-def _ci(value: MeanCI | None, as_percent: bool = False) -> str:
-    if value is None:
-        return "n/a"
-    if as_percent:
-        return f"{value.mean:.1%} ± {value.half_width:.1%}"
-    return f"{value.mean:.1f} ± {value.half_width:.1f}"
-
-
-def render_ensemble_report(
-    result: EnsembleResult, per_ixp: bool = False
-) -> str:
-    """Render per-variant mean ± 95% CI tables.
-
-    The headline table always appears; ``per_ixp=True`` appends each
-    variant's per-IXP detected remote fractions (long for the 22-IXP
-    world, so it is opt-in).
-    """
-    summaries = result.summaries()
-    blocks: list[str] = []
-
-    headline_rows = []
-    for s in summaries:
-        headline_rows.append([
-            s.variant,
-            s.trials,
-            _ci(s.precision, as_percent=True),
-            _ci(s.recall, as_percent=True),
-            _ci(s.analyzed),
-            _ci(s.candidates),
-            _ci(s.shortfall),
-        ])
-    blocks.append(render_table(
-        ["variant", "trials", "precision", "recall", "analyzed",
-         "candidates", "shortfall"],
-        headline_rows,
-        title=f"Ensemble: {len(result.trials)} trials "
-              f"({len(summaries)} variant(s) x {len(result.config.seeds)} "
-              f"seed(s), {result.wall_s:.1f} s wall)",
-    ))
-
-    for s in summaries:
-        rows = [[name, _ci(ci)] for name, ci in s.discards.items()]
-        blocks.append(render_table(
-            ["filter", "discards"],
-            rows,
-            title=f"Per-filter discards — {s.variant}",
-        ))
-
-    if per_ixp:
-        for s in summaries:
-            rows = [
-                [acr, _ci(ci, as_percent=True)]
-                for acr, ci in s.remote_fraction_by_ixp.items()
-            ]
-            blocks.append(render_table(
-                ["IXP", "remote fraction"],
-                rows,
-                title=f"Detected remote fraction — {s.variant}",
-            ))
-
-    return "\n\n".join(blocks)
-
-
-def render_offload_ensemble_report(result: OffloadEnsembleResult) -> str:
-    """Render the offload ensemble: fractions table + expansion consensus.
-
-    The headline table reports mean ± 95% CI maximum offload fractions
-    (inbound/outbound at all reachable IXPs), offloadable-network and
-    candidate counts, and the share of the greedy expansion's gain its
-    first five IXPs realize; one consensus table per variant shows the
-    modal greedy order with per-rank agreement across seeds.
-    """
-    summaries = result.summaries()
-    blocks: list[str] = []
-
-    headline_rows = []
-    for s in summaries:
-        headline_rows.append([
-            s.variant,
-            s.group,
-            s.trials,
-            _ci(s.inbound_fraction, as_percent=True),
-            _ci(s.outbound_fraction, as_percent=True),
-            _ci(s.offloadable_networks),
-            _ci(s.candidate_count),
-            _ci(s.five_ixp_share, as_percent=True),
-        ])
-    blocks.append(render_table(
-        ["variant", "group", "trials", "inbound offload", "outbound offload",
-         "offloadable nets", "candidates", "5-IXP share"],
-        headline_rows,
-        title=f"Offload ensemble: {len(result.trials)} trials "
-              f"({len(summaries)} variant(s) x {len(result.config.seeds)} "
-              f"seed(s), {result.wall_s:.1f} s wall)",
-    ))
-
-    for s in summaries:
-        rows = [
-            [c.rank, c.ixp, f"{c.agreement:.0%}"]
-            for c in s.expansion_consensus
-        ]
-        blocks.append(render_table(
-            ["#", "modal IXP", "agreement"],
-            rows,
-            title=f"Greedy expansion consensus — {s.variant}",
-        ))
-
-    return "\n\n".join(blocks)
+__all__ = [
+    "ensemble_title",
+    "render_economics_ensemble_report",
+    "render_ensemble_report",
+    "render_offload_ensemble_report",
+]

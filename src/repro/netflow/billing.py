@@ -57,9 +57,15 @@ class BillingReport:
 
     @property
     def savings_fraction(self) -> float:
-        """Relative reduction of the transit bill."""
+        """Relative reduction of the transit bill.
+
+        A zero baseline (an all-quiet traffic series — possible for a
+        sparsely-drawn ensemble world) yields 0.0 rather than an error:
+        there was no bill, so nothing was saved, and one silent seed must
+        not abort a whole ensemble trial.
+        """
         if self.before_bill == 0:
-            raise AnalysisError("no baseline bill to compare against")
+            return 0.0
         return 1.0 - self.after_bill / self.before_bill
 
 

@@ -9,5 +9,19 @@ objects the benches use, so the reports always agree with
 from repro.reporting.detection import detection_report
 from repro.reporting.offload import offload_report
 from repro.reporting.economics import economics_report
+from repro.reporting.ensembles import (
+    ensemble_title,
+    render_economics_ensemble_report,
+    render_ensemble_report,
+    render_offload_ensemble_report,
+)
 
-__all__ = ["detection_report", "offload_report", "economics_report"]
+__all__ = [
+    "detection_report",
+    "economics_report",
+    "ensemble_title",
+    "offload_report",
+    "render_economics_ensemble_report",
+    "render_ensemble_report",
+    "render_offload_ensemble_report",
+]

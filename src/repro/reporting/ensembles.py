@@ -1,0 +1,200 @@
+"""Plain-text rendering of ensemble (multi-seed study) results.
+
+One scaffold serves all three studies: a headline mean ± 95% CI table per
+variant under a shared title format, followed by study-specific blocks
+(per-filter discards, greedy-expansion consensus, the viability vote).
+The detection and offload renderers moved here verbatim from
+``repro.experiments.report`` — their output is byte-identical — and the
+economics renderer completes the set for the Sections 3+4+5 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.tables import render_table
+
+if TYPE_CHECKING:  # result types only — avoids a reporting ↔ experiments cycle
+    from repro.experiments.aggregate import MeanCI
+    from repro.experiments.economics import EconomicsEnsembleResult
+    from repro.experiments.ensemble import EnsembleResult
+    from repro.experiments.offload import OffloadEnsembleResult
+
+
+def _ci(
+    value: MeanCI | None, as_percent: bool = False, decimals: int = 1
+) -> str:
+    if value is None:
+        return "n/a"
+    if as_percent:
+        return f"{value.mean:.1%} ± {value.half_width:.1%}"
+    return f"{value.mean:.{decimals}f} ± {value.half_width:.{decimals}f}"
+
+
+def ensemble_title(
+    label: str, trials: int, variants: int, seeds: int, wall_s: float
+) -> str:
+    """The shared headline-table title of every ensemble report."""
+    return (
+        f"{label}: {trials} trials ({variants} variant(s) x {seeds} "
+        f"seed(s), {wall_s:.1f} s wall)"
+    )
+
+
+def render_ensemble_report(
+    result: EnsembleResult, per_ixp: bool = False
+) -> str:
+    """Render per-variant mean ± 95% CI tables.
+
+    The headline table always appears; ``per_ixp=True`` appends each
+    variant's per-IXP detected remote fractions (long for the 22-IXP
+    world, so it is opt-in).
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.trials,
+            _ci(s.precision, as_percent=True),
+            _ci(s.recall, as_percent=True),
+            _ci(s.analyzed),
+            _ci(s.candidates),
+            _ci(s.shortfall),
+        ])
+    blocks.append(render_table(
+        ["variant", "trials", "precision", "recall", "analyzed",
+         "candidates", "shortfall"],
+        headline_rows,
+        title=ensemble_title(
+            "Ensemble", len(result.trials), len(summaries),
+            len(result.config.seeds), result.wall_s,
+        ),
+    ))
+
+    for s in summaries:
+        rows = [[name, _ci(ci)] for name, ci in s.discards.items()]
+        blocks.append(render_table(
+            ["filter", "discards"],
+            rows,
+            title=f"Per-filter discards — {s.variant}",
+        ))
+
+    if per_ixp:
+        for s in summaries:
+            rows = [
+                [acr, _ci(ci, as_percent=True)]
+                for acr, ci in s.remote_fraction_by_ixp.items()
+            ]
+            blocks.append(render_table(
+                ["IXP", "remote fraction"],
+                rows,
+                title=f"Detected remote fraction — {s.variant}",
+            ))
+
+    return "\n\n".join(blocks)
+
+
+def render_offload_ensemble_report(result: OffloadEnsembleResult) -> str:
+    """Render the offload ensemble: fractions table + expansion consensus.
+
+    The headline table reports mean ± 95% CI maximum offload fractions
+    (inbound/outbound at all reachable IXPs), offloadable-network and
+    candidate counts, and the share of the greedy expansion's gain its
+    first five IXPs realize; one consensus table per variant shows the
+    modal greedy order with per-rank agreement across seeds.
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.group,
+            s.trials,
+            _ci(s.inbound_fraction, as_percent=True),
+            _ci(s.outbound_fraction, as_percent=True),
+            _ci(s.offloadable_networks),
+            _ci(s.candidate_count),
+            _ci(s.five_ixp_share, as_percent=True),
+        ])
+    blocks.append(render_table(
+        ["variant", "group", "trials", "inbound offload", "outbound offload",
+         "offloadable nets", "candidates", "5-IXP share"],
+        headline_rows,
+        title=ensemble_title(
+            "Offload ensemble", len(result.trials), len(summaries),
+            len(result.config.seeds), result.wall_s,
+        ),
+    ))
+
+    for s in summaries:
+        rows = [
+            [c.rank, c.ixp, f"{c.agreement:.0%}"]
+            for c in s.expansion_consensus
+        ]
+        blocks.append(render_table(
+            ["#", "modal IXP", "agreement"],
+            rows,
+            title=f"Greedy expansion consensus — {s.variant}",
+        ))
+
+    return "\n\n".join(blocks)
+
+
+def render_economics_ensemble_report(result: EconomicsEnsembleResult) -> str:
+    """Render the economics ensemble: savings CIs + the eq. 14 vote.
+
+    The headline table reports the mean ± 95% CI 95th-percentile
+    transit-bill savings fraction, the fitted equation 3 decay rate, the
+    closed-form optimal footprints (ñ direct, m̃ remote), the maximum
+    offload fractions the savings derive from, and the viability vote —
+    how many seeds' fitted decay satisfied equation 14.
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.group,
+            s.trials,
+            _ci(s.savings_fraction, as_percent=True),
+            _ci(s.decay_rate, decimals=3),
+            _ci(s.optimal_direct_ixps, decimals=2),
+            _ci(s.optimal_remote_ixps, decimals=2),
+            f"{s.viable_votes}/{s.trials} ({s.viability_vote:.0%})",
+        ])
+    blocks.append(render_table(
+        ["variant", "group", "trials", "bill savings", "decay b",
+         "ñ direct", "m̃ remote", "viable (eq. 14)"],
+        headline_rows,
+        title=ensemble_title(
+            "Economics ensemble", len(result.trials), len(summaries),
+            len(result.config.seeds), result.wall_s,
+        ),
+    ))
+
+    for s in summaries:
+        rows = [
+            ["bill before offload", _ci(s.before_bill)],
+            ["bill after offload", _ci(s.after_bill)],
+            ["inbound offload fraction", _ci(s.inbound_fraction,
+                                             as_percent=True)],
+            ["outbound offload fraction", _ci(s.outbound_fraction,
+                                              as_percent=True)],
+            ["eq. 14 verdict",
+             "VIABLE" if 2 * s.viable_votes >= s.trials else "not viable"
+             ],
+        ]
+        blocks.append(render_table(
+            ["quantity", "mean ± 95% CI"],
+            rows,
+            title=f"Billing and viability — {s.variant}",
+        ))
+
+    return "\n\n".join(blocks)

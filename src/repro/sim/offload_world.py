@@ -77,7 +77,7 @@ from repro.bgp.cone import customer_cone
 from repro.bgp.relationships import ASGraph
 from repro.bgp.routing import ASPath, RouteComputation
 from repro.bgp.table import ReversedPathTable
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TopologyError
 from repro.ixp.euroix import EuroIXSpec, euroix_catalog
 from repro.netflow.collector import FlowCollector
 from repro.netflow.traffic import (
@@ -225,6 +225,27 @@ class OffloadWorldConfig:
             )
 
 
+def _split_by_owner(
+    asns: list, owners: np.ndarray, values: np.ndarray
+) -> dict:
+    """Split owner-sorted (owner, value) pairs into per-owner array views.
+
+    ``owners`` must be non-decreasing; the returned dict maps each present
+    owner's ASN to a read-only-by-convention view of its contiguous run in
+    ``values`` (no copies — ``np.split`` costs ~100 ms for the paper
+    world's ~30k runs, plain slicing is ~milliseconds).
+    """
+    if owners.size == 0:
+        return {}
+    bounds = np.flatnonzero(np.diff(owners)) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [owners.size]))
+    return {
+        asns[int(owners[s])]: values[s:e]
+        for s, e in zip(starts.tolist(), ends.tolist())
+    }
+
+
 @dataclass
 class OffloadWorld:
     """The generated world plus every precomputed view the study needs."""
@@ -286,58 +307,112 @@ class OffloadWorld:
     # -- cone index tables (the offload bitsets' raw material) -------------------
 
     def _cone_index_tables(self) -> tuple[dict, dict]:
-        """Per-AS cone membership as index lists, built bottom-up.
+        """Per-AS cone membership as index arrays, built bottom-up.
 
         Returns ``(contrib_table, all_table)``: ``contrib_table[a]`` holds
         the indices (into :attr:`contributing`) of the contributing
         networks inside ``a``'s customer cone; ``all_table[a]`` the indices
-        into the sorted :meth:`all_asns` list.  Instead of one BFS per
-        member (the pre-bitset implementation), a single pass computes
-        every AS's *provider closure* (itself plus transitive providers —
-        the inverted cone relation: ``i ∈ cone(a)  ⇔  a ∈ closure(i)``)
-        and scatters each network's index to all of its ancestors.  Values
-        are plain lists; the public accessors convert to numpy arrays
-        lazily (only a few thousand members are ever queried).
+        into the sorted :meth:`all_asns` list.  The relation is inverted —
+        ``i ∈ cone(a)  ⇔  a ∈ closure(i)`` where *closure* is a network
+        plus its transitive providers — and closures are computed as one
+        array program over the customer→provider DAG: a Kahn level order
+        (all providers of a level-``k`` node sit in levels ``< k``), then
+        per level one gather of every provider closure (CSR multi-slice),
+        one ``np.unique`` dedup over packed (member, ancestor) keys, and
+        one COO append.  A final argsort by (ancestor, member) splits the
+        pair list into the per-ancestor index tables.  The previous
+        implementation did the same walk with per-AS frozenset unions and
+        a Python scatter loop (~0.3 s of the old ``offload_groups_build``
+        stage on the paper world).
         """
         if self._cone_tables is None:
-            provider_sets = self.graph.provider_sets()
-            closures: dict[ASN, frozenset[ASN]] = {}
-            shared_union: dict[frozenset, frozenset] = {}
-            empty: frozenset[ASN] = frozenset()
+            asns = self.graph.asns()
+            n = len(asns)
+            id_of = {asn: i for i, asn in enumerate(asns)}
 
-            def closure_of(asn: ASN) -> frozenset[ASN]:
-                got = closures.get(asn)
-                if got is not None:
-                    return got
-                providers = provider_sets.get(asn)
+            # customer→provider edges as id arrays.
+            cust_ids: list[int] = []
+            prov_ids: list[int] = []
+            pending = np.zeros(n, dtype=np.int64)  # unresolved providers
+            for asn, providers in self.graph.provider_sets().items():
                 if not providers:
-                    union = empty
-                else:
-                    key = frozenset(providers)
-                    union = shared_union.get(key)
-                    if union is None:
-                        union = frozenset().union(*map(closure_of, key))
-                        shared_union[key] = union
-                got = union | {asn}
-                closures[asn] = got
-                return got
+                    continue
+                v = id_of[asn]
+                pending[v] = len(providers)
+                for provider in providers:
+                    cust_ids.append(v)
+                    prov_ids.append(id_of[provider])
+            cust = np.asarray(cust_ids, dtype=np.int64)
+            prov = np.asarray(prov_ids, dtype=np.int64)
 
-            contrib_index = self._contrib_index
-            all_lists: dict[ASN, list[int]] = {}
-            contrib_lists: dict[ASN, list[int]] = {}
-            for v, asn in enumerate(self.graph.asns()):
-                ci = contrib_index.get(asn)
-                for ancestor in closure_of(asn):
-                    held = all_lists.get(ancestor)
-                    if held is None:
-                        held = all_lists[ancestor] = []
-                    held.append(v)
-                    if ci is not None:
-                        held = contrib_lists.get(ancestor)
-                        if held is None:
-                            held = contrib_lists[ancestor] = []
-                        held.append(ci)
-            self._cone_tables = (contrib_lists, all_lists)
+            # CSR closure storage, appended level by level.
+            closure_start = np.zeros(n, dtype=np.int64)
+            closure_len = np.zeros(n, dtype=np.int64)
+            closure_values = np.empty(0, dtype=np.int64)
+            member_chunks: list[np.ndarray] = []   # COO: member ids
+            ancestor_chunks: list[np.ndarray] = []  # COO: ancestor ids
+
+            frontier = np.flatnonzero(pending == 0)
+            resolved = 0
+            while frontier.size:
+                resolved += frontier.size
+                if closure_values.size:
+                    in_frontier = np.zeros(n, dtype=bool)
+                    in_frontier[frontier] = True
+                    sel = in_frontier[cust]
+                    e_cust, e_prov = cust[sel], prov[sel]
+                    lens = closure_len[e_prov]
+                    # Multi-slice gather of every provider closure.
+                    starts = np.repeat(closure_start[e_prov], lens)
+                    offsets = np.arange(lens.sum()) - np.repeat(
+                        np.cumsum(lens) - lens, lens
+                    )
+                    owners = np.repeat(e_cust, lens)
+                    ancestors = closure_values[starts + offsets]
+                    owners = np.concatenate([owners, frontier])
+                    ancestors = np.concatenate([ancestors, frontier])
+                else:  # first level: roots close over themselves only
+                    owners = ancestors = frontier
+                # Dedup (owner, ancestor) pairs; keys sort owner-major, so
+                # each owner's closure lands contiguous and v-ascending.
+                keys = np.unique(owners * np.int64(n) + ancestors)
+                owners, ancestors = keys // n, keys % n
+                uniq, first, counts = np.unique(
+                    owners, return_index=True, return_counts=True
+                )
+                closure_start[uniq] = closure_values.size + first
+                closure_len[uniq] = counts
+                closure_values = np.concatenate([closure_values, ancestors])
+                member_chunks.append(owners)
+                ancestor_chunks.append(ancestors)
+                # Kahn step: release customers whose providers are done.
+                in_frontier = np.zeros(n, dtype=bool)
+                in_frontier[frontier] = True
+                done = in_frontier[prov]
+                pending -= np.bincount(cust[done], minlength=n)
+                pending[frontier] = -1  # never re-enter the frontier
+                frontier = np.flatnonzero(pending == 0)
+            if resolved != n:
+                raise TopologyError(
+                    "provider graph has a cycle; cone tables undefined"
+                )
+
+            members = np.concatenate(member_chunks)
+            ancestors = np.concatenate(ancestor_chunks)
+            # Per-ancestor member lists, members ascending within each.
+            order = np.argsort(ancestors * np.int64(n) + members)
+            members = members[order].astype(np.int32)
+            ancestors = ancestors[order]
+            all_table = _split_by_owner(asns, ancestors, members)
+
+            contrib_of = np.full(n, -1, dtype=np.int64)
+            for asn, ci in self._contrib_index.items():
+                contrib_of[id_of[asn]] = ci
+            keep = contrib_of[members] >= 0
+            c_members = contrib_of[members[keep]].astype(np.int32)
+            c_ancestors = ancestors[keep]
+            contrib_table = _split_by_owner(asns, c_ancestors, c_members)
+            self._cone_tables = (contrib_table, all_table)
         return self._cone_tables
 
     def cone_contrib_indices(self, asn: ASN) -> np.ndarray:

@@ -56,23 +56,49 @@ def rediris(seed: int = 42) -> OffloadWorld:
     return build_offload_world(OffloadWorldConfig(seed=seed))
 
 
-def rediris_small(seed: int = 5) -> OffloadWorld:
-    """A ~3k-AS offload world for fast experimentation.
+def rediris_small_config(seed: int = 5) -> OffloadWorldConfig:
+    """Config of the ~3k-AS offload world (the ``small`` study preset).
 
     All structural features of the full world are present (tier-1s, megas,
     big eyeballs, giants, regional memberships); only the population is
     scaled down, so percentages move by a few points relative to the full
     scenario.
     """
-    return build_offload_world(
-        OffloadWorldConfig(
-            seed=seed,
-            contributing_count=3000,
-            tier2_count=80,
-            nren_count=8,
-            tier1_count=6,
-            mega_carrier_count=8,
-            big_eyeball_count=30,
-            head_pin_count=40,
-        )
+    return OffloadWorldConfig(
+        seed=seed,
+        contributing_count=3000,
+        tier2_count=80,
+        nren_count=8,
+        tier1_count=6,
+        mega_carrier_count=8,
+        big_eyeball_count=30,
+        head_pin_count=40,
     )
+
+
+def rediris_small(seed: int = 5) -> OffloadWorld:
+    """A ~3k-AS offload world for fast experimentation."""
+    return build_offload_world(rediris_small_config(seed))
+
+
+# -- named study presets (the `repro study` CLI's --scenario values) ----------
+
+
+def detection_preset_specs(name: str) -> tuple:
+    """IXP specs of a named detection preset (() = the full 22-IXP world)."""
+    if name == "mini3":
+        return mini_specs()
+    if name == "paper22":
+        return ()
+    raise ConfigurationError(f"unknown detection preset {name!r}")
+
+
+def offload_preset_config(name: str, engine: str = "vectorized") -> OffloadWorldConfig:
+    """Offload-world config of a named preset (seeds are set per trial)."""
+    from dataclasses import replace
+
+    if name == "small":
+        return replace(rediris_small_config(), engine=engine)
+    if name == "paper65":
+        return OffloadWorldConfig(engine=engine)
+    raise ConfigurationError(f"unknown offload preset {name!r}")

@@ -42,16 +42,9 @@ def mini_result(mini_world):
 
 def small_offload_config(seed: int = 5) -> OffloadWorldConfig:
     """A ~3k-AS offload world that builds in well under a second."""
-    return OffloadWorldConfig(
-        seed=seed,
-        contributing_count=3000,
-        tier2_count=80,
-        nren_count=8,
-        tier1_count=6,
-        mega_carrier_count=8,
-        big_eyeball_count=30,
-        head_pin_count=40,
-    )
+    from repro.sim.scenarios import rediris_small_config
+
+    return rediris_small_config(seed)
 
 
 @pytest.fixture(scope="session")
