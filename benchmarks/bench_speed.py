@@ -5,9 +5,11 @@ vectorized *and* the scalar engine, the probing campaign under the batch
 *and* the scalar engine, the filter pipeline (array-stat pass), a
 16-trial mini-world detection ensemble, the offload-world build under the
 vectorized *and* the scalar engine, the peer-group/cone-table setup, the
-greedy IXP expansion, a 16-trial paper-scale offload ensemble, and a
-16-trial small-world *economics* ensemble (Sections 3+4+5 end-to-end) —
-and writes ``BENCH_speed.json`` (schema ``bench_speed/v4``) at the repo
+greedy IXP expansion, a 16-trial paper-scale offload ensemble, a
+16-trial small-world *economics* ensemble (Sections 3+4+5 end-to-end),
+and a 16-trial small joint detection→offload ensemble (measured
+detection confusion propagated into the offload peer map and the bill) —
+and writes ``BENCH_speed.json`` (schema ``bench_speed/v5``) at the repo
 root so the perf trajectory is tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
@@ -59,10 +61,13 @@ def collect_payload(quick: bool = False) -> dict:
         EconomicsEnsembleConfig,
         EconomicsVariant,
         EnsembleConfig,
+        JointEnsembleConfig,
+        JointVariant,
         OffloadEnsembleConfig,
         OffloadVariant,
         run_economics_ensemble,
         run_ensemble,
+        run_joint_ensemble,
         run_offload_ensemble,
     )
     from repro.sim import (
@@ -72,7 +77,11 @@ def collect_payload(quick: bool = False) -> dict:
         build_offload_world,
         scenarios,
     )
-    from repro.sim.scenarios import mini_specs, rediris_small_config
+    from repro.sim.scenarios import (
+        joint_preset_configs,
+        mini_specs,
+        rediris_small_config,
+    )
 
     timings: dict[str, float] = {}
 
@@ -164,8 +173,25 @@ def collect_payload(quick: bool = False) -> dict:
     )
     (economics_summary,) = economics_ensemble.summaries()
 
+    joint_detection, joint_offload = joint_preset_configs("small")
+    joint_ensemble, timings["joint_study_small_16trials"] = _timed(
+        lambda: run_joint_ensemble(
+            JointEnsembleConfig(
+                seeds=tuple(range(16)),
+                variants=(
+                    JointVariant(
+                        name="small",
+                        detection_world=joint_detection,
+                        offload_world=joint_offload,
+                    ),
+                ),
+            )
+        )
+    )
+    (joint_summary,) = joint_ensemble.summaries()
+
     payload = {
-        "schema": "bench_speed/v4",
+        "schema": "bench_speed/v5",
         "python": platform.python_version(),
         "quick": quick,
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
@@ -196,6 +222,19 @@ def collect_payload(quick: bool = False) -> dict:
             ),
             "decay_rate_mean": round(economics_summary.decay_rate.mean, 4),
             "viable_votes": economics_summary.viable_votes,
+        },
+        "joint_study_small": {
+            "trials": joint_summary.trials,
+            "precision_mean": round(joint_summary.precision.mean, 4),
+            "recall_mean": round(joint_summary.recall.mean, 4),
+            "detected_offload_mean": round(
+                joint_summary.detected_fraction.mean, 4
+            ),
+            "offload_gap_mean": round(joint_summary.offload_gap.mean, 4),
+            "realized_savings_mean": round(
+                joint_summary.realized_savings.mean, 4
+            ),
+            "billing_error_mean": round(joint_summary.billing_error.mean, 4),
         },
     }
     if not quick:

@@ -4,14 +4,18 @@
 
 Each command builds the corresponding synthetic world, runs the study, and
 prints the paper-shaped report as plain text.  The unified multi-seed
-front end is ``repro study detection|offload|economics``: every study
-runs on the shared engine (seed × grid expansion, per-variant world
+front end is ``repro study detection|offload|economics|joint``: every
+study runs on the shared engine (seed × grid expansion, per-variant world
 caching, process-pool fan-out, resumable ``--out`` artifacts).
 ``detection`` and ``offload`` are the Section 3/4 ensembles (``repro
 ensemble`` and ``repro offload-ensemble`` are their long-standing
 aliases, byte-for-byte identical reports); ``economics`` chains
 Sections 3+4+5 — measured offload curve → decay fit → 95th-percentile
-billing → eq. 14 viability vote — across seeds.
+billing → eq. 14 viability vote — across seeds; ``joint`` replays each
+seed's measured detection confusion onto the offload world's peer map
+and prices the oracle-vs-detected gap.  ``repro scenarios list|run``
+fronts the scenario library (:mod:`repro.experiments.scenarios`): the
+ROADMAP's scenario backlog as named presets.
 """
 
 from __future__ import annotations
@@ -517,11 +521,169 @@ def economics_study_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def joint_study_main(argv: list[str] | None = None) -> int:
+    """Run the joint detection→offload ensemble: gap + billing error CIs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study-joint",
+        description="Multi-seed joint detection->offload study: per seed, "
+        "run the Section 3 campaign, replay its measured confusion onto "
+        "the offload world's peer map, and feed the *detected* remote-peer "
+        "set into the offload estimator and the 95th-percentile bill; "
+        "reports mean ± 95% CI precision/recall, the offload fraction via "
+        "the detected set, the oracle-vs-detected gap, and billing savings.",
+    )
+    parser.add_argument(
+        "--preset", choices=("small", "paper"), default="small",
+        help="world family: mini3 detection + ~3k-AS offload world "
+        "(default, seconds) or the full paper-scale pair",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16,
+        help="number of trial seeds (default: 16)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    parser.add_argument(
+        "--group", type=int, default=4, choices=(1, 2, 3, 4),
+        help="peer group (paper Section 4.2; default: 4)",
+    )
+    parser.add_argument(
+        "--remote-fraction", type=float, default=None,
+        help="oracle remote share of candidate members (default: the "
+        "detection world's measured ground-truth remote fraction)",
+    )
+    parser.add_argument(
+        "--price-per-mbps", type=float, default=1.0,
+        help="billing price for the NetFlow 95th-percentile bill",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable ensembles)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+
+    from repro.errors import ConfigurationError
+    from repro.experiments import (
+        JointEnsembleConfig,
+        JointVariant,
+        render_joint_ensemble_report,
+        run_joint_ensemble,
+    )
+    from repro.sim.scenarios import joint_preset_configs
+
+    try:
+        detection_world, offload_world = joint_preset_configs(args.preset)
+        config = JointEnsembleConfig(
+            seeds=tuple(range(args.seed_offset,
+                              args.seed_offset + args.seeds)),
+            variants=(
+                JointVariant(
+                    name=args.preset,
+                    detection_world=detection_world,
+                    offload_world=offload_world,
+                    group=args.group,
+                    remote_fraction=args.remote_fraction,
+                    price_per_mbps=args.price_per_mbps,
+                ),
+            ),
+            workers=args.workers,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    result = run_joint_ensemble(config, out_dir=args.out)
+    print(render_joint_ensemble_report(result))
+    return 0
+
+
+def scenarios_main(argv: list[str] | None = None) -> int:
+    """``repro scenarios list|run <name>`` — the scenario-library front end."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="Named, parameterized study grids: the ROADMAP's "
+        "scenario backlog as runnable presets on the study engine.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("list", help="show every registered scenario")
+    runner = sub.add_parser("run", help="run one scenario preset")
+    runner.add_argument("name", help="scenario name (see `scenarios list`)")
+    runner.add_argument(
+        "--preset", choices=("small", "paper"), default="small",
+        help="world scale (default: small, seconds; paper = full scale)",
+    )
+    runner.add_argument(
+        "--seeds", type=int, default=16,
+        help="number of trial seeds (default: 16)",
+    )
+    runner.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    runner.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    runner.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable ensembles)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.scenarios import SCENARIOS, get_scenario
+
+    if args.action == "list":
+        rows = []
+        for scenario in SCENARIOS.values():
+            run = scenario.build(preset="small", seeds=(0,))
+            rows.append([
+                scenario.name,
+                scenario.study_kind,
+                len(run.study.variant_names()),
+                scenario.description,
+            ])
+        print(render_table(
+            ["scenario", "study", "variants", "description"],
+            rows,
+            title="Scenario library (presets: small, paper)",
+        ))
+        return 0
+
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+    try:
+        run = get_scenario(args.name).build(
+            preset=args.preset,
+            seeds=tuple(range(args.seed_offset,
+                              args.seed_offset + args.seeds)),
+            workers=args.workers,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    _, report = run.execute(args.out)
+    print(report)
+    return 0
+
+
 #: The ``repro study`` sub-dispatcher: one entry point per study kind.
 #: ``detection`` and ``offload`` are the existing ensemble commands (so
 #: their reports are byte-identical to ``repro ensemble`` /
 #: ``repro offload-ensemble`` on the same arguments); ``economics`` is
-#: the Sections 3+4+5 pipeline.
+#: the Sections 3+4+5 pipeline; ``joint`` chains detection into offload
+#: and billing with the measured confusion replayed onto the peer map.
 _STUDIES = {}  # populated below (after the mains are defined)
 
 
@@ -530,9 +692,11 @@ def study_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
         description="Run a multi-seed study: detection (Section 3), "
-        "offload (Section 4) or economics (Sections 3+4+5).  All studies "
-        "share the engine's seed grids, world caching, parallelism and "
-        "resumable --out artifacts.",
+        "offload (Section 4), economics (Sections 3+4+5) or joint (the "
+        "detection->offload->billing chain with measured detection errors "
+        "propagated into the peer map).  All studies share the engine's "
+        "seed grids, world caching, parallelism and resumable --out "
+        "artifacts.",
     )
     parser.add_argument("kind", choices=sorted(_STUDIES))
     parser.add_argument("args", nargs=argparse.REMAINDER)
@@ -548,6 +712,7 @@ _COMMANDS = {
     "econ": econ_main,
     "report": report_main,
     "ensemble": ensemble_main,
+    "scenarios": scenarios_main,
     "study": study_main,
 }
 
@@ -555,6 +720,7 @@ _STUDIES.update({
     "detection": ensemble_main,
     "offload": offload_ensemble_main,
     "economics": economics_study_main,
+    "joint": joint_study_main,
 })
 
 

@@ -76,6 +76,23 @@ class PeerGroups:
         groups.top_selective = groups._rank_top_selective()
         return groups
 
+    def restrict(self, allowed: frozenset[ASN]) -> "PeerGroups":
+        """The groups limited to candidates in ``allowed``.
+
+        This is how a *measured* peer map enters the offload arithmetic:
+        the joint detection→offload study passes the set of members its
+        detection campaign called remote, so every downstream estimate is
+        computed over what an operator would actually see rather than the
+        oracle candidate set.  ``top_selective`` is intersected, not
+        re-ranked — the restriction models missing knowledge of peers, not
+        a different ranking rule.
+        """
+        return PeerGroups(
+            world=self.world,
+            candidates=self.candidates & allowed,
+            top_selective=self.top_selective & allowed,
+        )
+
     def _rank_top_selective(self) -> frozenset[ASN]:
         """The 10 selective candidates with the largest offload potential.
 

@@ -15,15 +15,47 @@ package runs those distributions through a single *study engine*:
     under an ``out_dir``, skip-completed on rerun) and streaming
     mean ± 95% CI aggregation.
 
-``ensemble`` / ``offload`` / ``economics``
-    The three studies: :class:`DetectionStudy` (Section 3 pipeline:
+``ensemble`` / ``offload`` / ``economics`` / ``joint``
+    The four studies: :class:`DetectionStudy` (Section 3 pipeline:
     world → campaign → filters → ground-truth validation),
     :class:`OffloadStudy` (Section 4: exclusions → estimator → greedy
-    expansion) and :class:`EconomicsStudy` (Sections 3+4+5 end-to-end:
+    expansion, with the Section 4.2 exclusion rules switchable per
+    variant), :class:`EconomicsStudy` (Sections 3+4+5 end-to-end:
     measured offload curve → decay fit → 95th-percentile billing →
-    eq. 14 viability), each with its grid builder and a config/result
-    pair.  ``run_ensemble`` / ``run_offload_ensemble`` /
-    ``run_economics_ensemble`` are thin front ends over ``run_study``.
+    eq. 14 viability) and :class:`JointStudy` (below), each with its
+    grid builder and a config/result pair.  ``run_ensemble`` /
+    ``run_offload_ensemble`` / ``run_economics_ensemble`` /
+    ``run_joint_ensemble`` are thin front ends over ``run_study``.
+
+``scenarios``
+    The scenario library: named, parameterized grids over these studies
+    (``behavior-stress``, ``exclusion-ablation``, ``price-plane``,
+    ``joint``) resolved from preset names into runnable
+    study + :class:`StudyConfig` pairs — the CLI front end is ``repro
+    scenarios list|run``.
+
+The joint data flow (detected set → offload → billing)
+------------------------------------------------------
+:class:`JointStudy` is the one study whose trials cross the Section 3/4
+boundary.  Per seed it builds a *world family* — one detection world and
+one offload world on the same trial seed — and chains them:
+
+1. the detection campaign runs and is validated against ground truth,
+   yielding the trial's measured confusion (precision, recall,
+   false-positive rate) and the ground-truth remote fraction;
+2. the offload world's candidate members are assigned oracle remoteness
+   at that measured fraction, and the confusion is replayed over them:
+   remote peers are *detected* with probability ``recall``, direct
+   members are falsely called with the measured false-positive rate;
+3. the **detected** set — not the oracle — is fed through
+   :meth:`~repro.core.offload.PeerGroups.restrict` into the
+   :class:`~repro.core.offload.OffloadEstimator`, giving the offload
+   fraction an operator would estimate from its own peer map, alongside
+   the oracle and realized (detected ∩ oracle) fractions;
+4. all three peer maps are billed under the Section 2.1 95th-percentile
+   scheme on one consistent component decomposition of the transit
+   series, yielding the realized savings and the forecast (believed −
+   realized) billing error.
 
 Usage — 16 seeds × three thresholds of the 3-IXP detection world::
 
@@ -104,9 +136,28 @@ from repro.experiments.economics import (
     run_economics_ensemble,
     run_economics_trial,
 )
+from repro.experiments.joint import (
+    JointEnsembleConfig,
+    JointEnsembleResult,
+    JointStudy,
+    JointTrialResult,
+    JointTrialSpec,
+    JointVariant,
+    JointVariantSummary,
+    run_joint_ensemble,
+    run_joint_trial,
+)
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRun,
+    get_scenario,
+    scenario_names,
+)
 from repro.experiments.report import (
     render_economics_ensemble_report,
     render_ensemble_report,
+    render_joint_ensemble_report,
     render_offload_ensemble_report,
 )
 
@@ -122,6 +173,13 @@ __all__ = [
     "EconomicsVariantSummary",
     "EnsembleConfig",
     "EnsembleResult",
+    "JointEnsembleConfig",
+    "JointEnsembleResult",
+    "JointStudy",
+    "JointTrialResult",
+    "JointTrialSpec",
+    "JointVariant",
+    "JointVariantSummary",
     "MeanCI",
     "OffloadEnsembleConfig",
     "OffloadEnsembleResult",
@@ -131,6 +189,9 @@ __all__ = [
     "OffloadVariant",
     "OffloadVariantSummary",
     "RankConsensus",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
     "StreamingMeanCI",
     "Study",
     "StudyConfig",
@@ -140,17 +201,22 @@ __all__ = [
     "VariantSummary",
     "economics_grid_variants",
     "expand_trials",
+    "get_scenario",
     "grid_variants",
     "mean_ci",
     "offload_grid_variants",
     "render_economics_ensemble_report",
     "render_ensemble_report",
+    "render_joint_ensemble_report",
     "render_offload_ensemble_report",
     "run_economics_ensemble",
     "run_economics_trial",
     "run_ensemble",
+    "run_joint_ensemble",
+    "run_joint_trial",
     "run_offload_ensemble",
     "run_offload_trial",
     "run_study",
     "run_trial",
+    "scenario_names",
 ]

@@ -75,6 +75,17 @@ def mean_ci(values: list[float] | tuple[float, ...]) -> MeanCI:
     return MeanCI(mean=mean, half_width=half, n=n)
 
 
+def optional_mean_ci(values: list[float | None]) -> MeanCI | None:
+    """:func:`mean_ci` over the defined values; None when all are None.
+
+    Precision/recall-style metrics are undefined in some trials (nothing
+    called remote, no true remotes); summaries aggregate the defined
+    subset and render ``n/a`` only when *every* trial lacked the metric.
+    """
+    defined = [v for v in values if v is not None]
+    return mean_ci(defined) if defined else None
+
+
 class StreamingMeanCI:
     """Welford accumulator producing :class:`MeanCI` snapshots.
 

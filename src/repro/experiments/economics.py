@@ -113,31 +113,52 @@ class EconomicsVariant:
         )
 
 
+#: :class:`EconomicsVariant` fields sweepable via ``price.<field>`` axes —
+#: the Section 5 tariff plane plus the billing knobs.  The fit depth
+#: (``max_ixps``) is deliberately not a price axis; pass it as a keyword.
+_PRICE_FIELDS = frozenset({
+    "transit_price", "direct_fixed", "direct_unit", "remote_fixed",
+    "remote_unit", "price_per_mbps", "percentile",
+})
+
+
 def economics_grid_variants(
     world: OffloadWorldConfig | None = None,
     axes: Mapping[str, Sequence] | None = None,
     groups: Sequence[int] = (4,),
     **variant_kwargs,
 ) -> tuple[EconomicsVariant, ...]:
-    """Cartesian product of ``world.<field>`` axes × peer groups.
+    """Cartesian product of ``world.<field>`` / ``price.<field>`` axes × groups.
 
-    Mirrors :func:`repro.experiments.offload.offload_grid_variants`;
-    ``variant_kwargs`` (prices, depth, percentile) apply to every cell.
+    Mirrors :func:`repro.experiments.offload.offload_grid_variants`, with
+    one extra scope: ``price.<field>`` sweeps the variant's own tariff
+    knobs (``transit_price``, ``remote_fixed``, ...), which is how the
+    ``price-plane`` scenario walks the Wang–Xu–Ma-style price plane over
+    one shared world build per seed.  ``variant_kwargs`` (prices, depth,
+    percentile) apply to every cell not overridden by an axis.
     """
     world = world or OffloadWorldConfig()
     axes = dict(axes or {})
     world_fields = {f.name for f in fields(OffloadWorldConfig)}
     for path in axes:
         scope, _, fname = path.partition(".")
-        if scope != "world" or fname not in world_fields:
+        if scope == "world" and fname in world_fields:
+            if fname == "seed":
+                raise ConfigurationError(
+                    f"grid axis {path!r} is not sweepable: trial seeds come "
+                    "from EconomicsEnsembleConfig.seeds"
+                )
+        elif scope == "price" and fname in _PRICE_FIELDS:
+            if fname in variant_kwargs:
+                raise ConfigurationError(
+                    f"grid axis {path!r} conflicts with the fixed "
+                    f"{fname}={variant_kwargs[fname]!r} keyword"
+                )
+        else:
             raise ConfigurationError(
                 f"grid axis {path!r} must be world.<field> naming an "
-                "existing OffloadWorldConfig field"
-            )
-        if fname == "seed":
-            raise ConfigurationError(
-                f"grid axis {path!r} is not sweepable: trial seeds come "
-                "from EconomicsEnsembleConfig.seeds"
+                "OffloadWorldConfig field or price.<field> naming a "
+                "sweepable EconomicsVariant field"
             )
     if not groups:
         raise ConfigurationError("need at least one peer group")
@@ -148,10 +169,14 @@ def economics_grid_variants(
     variants = []
     for combo in itertools.product(*(axes[p] for p in paths)):
         w = world
+        cell_kwargs = dict(variant_kwargs)
         parts = []
         for path, value in zip(paths, combo):
-            fname = path.partition(".")[2]
-            w = replace(w, **{fname: value})
+            scope, _, fname = path.partition(".")
+            if scope == "world":
+                w = replace(w, **{fname: value})
+            else:  # price
+                cell_kwargs[fname] = value
             parts.append(f"{fname}={value}")
         for group in groups:
             name_parts = [*parts]
@@ -162,7 +187,7 @@ def economics_grid_variants(
                     name="|".join(name_parts) or "base",
                     world=w,
                     group=group,
-                    **variant_kwargs,
+                    **cell_kwargs,
                 )
             )
     return tuple(variants)

@@ -23,7 +23,12 @@ from repro.core.detection.filters import FilterPipeline
 from repro.core.detection.results import build_result
 from repro.core.detection.validation import validate_against_truth
 from repro.errors import ConfigurationError
-from repro.experiments.aggregate import MeanCI, VariantSummary, mean_ci
+from repro.experiments.aggregate import (
+    MeanCI,
+    VariantSummary,
+    mean_ci,
+    optional_mean_ci,
+)
 from repro.experiments.engine import StudyConfig, run_study
 from repro.rand import derive_seed
 from repro.sim.detection_world import (
@@ -342,11 +347,6 @@ class EnsembleResult:
         return out
 
 
-def _optional_mean_ci(values: list[float | None]) -> MeanCI | None:
-    defined = [v for v in values if v is not None]
-    return mean_ci(defined) if defined else None
-
-
 def _summarize(variant: str, trials: list[TrialResult]) -> VariantSummary:
     filter_names: list[str] = []
     for trial in trials:
@@ -357,8 +357,8 @@ def _summarize(variant: str, trials: list[TrialResult]) -> VariantSummary:
     return VariantSummary(
         variant=variant,
         trials=len(trials),
-        precision=_optional_mean_ci([t.precision for t in trials]),
-        recall=_optional_mean_ci([t.recall for t in trials]),
+        precision=optional_mean_ci([t.precision for t in trials]),
+        recall=optional_mean_ci([t.recall for t in trials]),
         analyzed=mean_ci([t.analyzed_count for t in trials]),
         candidates=mean_ci([t.candidate_count for t in trials]),
         discards={

@@ -57,12 +57,22 @@ from repro.sim.offload_world import (
 
 @dataclass(frozen=True, slots=True)
 class OffloadVariant:
-    """One named cell of the offload configuration grid."""
+    """One named cell of the offload configuration grid.
+
+    The three ``exclude_*`` switches mirror the Section 4.2 exclusion
+    rules of :meth:`repro.core.offload.PeerGroups.build`; disabling one
+    runs the ablation the paper only argues in prose — how much offload
+    potential that rule conservatively forgoes (the ``exclusion-ablation``
+    scenario sweeps them).
+    """
 
     name: str
     world: OffloadWorldConfig = OffloadWorldConfig()
     group: int = 4
     max_ixps: int = 8
+    exclude_transit_providers: bool = True
+    exclude_home_ixp_members: bool = True
+    exclude_geant_club: bool = True
 
     def __post_init__(self) -> None:
         if self.group not in ALL_GROUPS:
@@ -138,6 +148,9 @@ class OffloadTrialSpec:
     world: OffloadWorldConfig
     group: int
     max_ixps: int
+    exclude_transit_providers: bool = True
+    exclude_home_ixp_members: bool = True
+    exclude_geant_club: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -218,7 +231,13 @@ def measure_offload_trial(
     of one seed.
     """
     t1 = time.perf_counter()
-    estimator = OffloadEstimator(world, PeerGroups.build(world))
+    groups = PeerGroups.build(
+        world,
+        exclude_transit_providers=spec.exclude_transit_providers,
+        exclude_home_ixp_members=spec.exclude_home_ixp_members,
+        exclude_geant_club=spec.exclude_geant_club,
+    )
+    estimator = OffloadEstimator(world, groups)
     all_ixps = estimator.reachable_ixps()
     inbound, outbound = estimator.offload_fractions(all_ixps, spec.group)
     steps = greedy_expansion(estimator, spec.group, max_ixps=spec.max_ixps)
@@ -271,6 +290,9 @@ class OffloadStudy:
             world=replace(v.world, seed=seed),
             group=v.group,
             max_ixps=v.max_ixps,
+            exclude_transit_providers=v.exclude_transit_providers,
+            exclude_home_ixp_members=v.exclude_home_ixp_members,
+            exclude_geant_club=v.exclude_geant_club,
         )
 
     def world_key(self, spec: OffloadTrialSpec) -> OffloadWorldConfig:

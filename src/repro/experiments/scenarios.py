@@ -1,0 +1,331 @@
+"""The scenario library: named, parameterized study grids as presets.
+
+The ROADMAP's scenario backlog — ``BehaviorRates`` filter stress grids,
+exclusion-rule ablations, price-plane economics grids and joint
+detection→offload sweeps — lives here as a registry of runnable presets
+instead of prose.  Each scenario resolves a preset name (``small`` for
+seconds-scale worlds, ``paper`` for the full-scale ones) into the study
+engine's inputs: a ``Study`` instance carrying the variant grid plus a
+:class:`~repro.experiments.engine.StudyConfig`, and an ``execute`` hook
+that runs the matching ensemble front end and renders its report.
+
+The four scenarios:
+
+``behavior-stress``
+    :class:`DetectionStudy` over scaled :class:`~repro.sim.
+    detection_world.BehaviorRates` — how precision/recall and the
+    per-filter discards degrade as the pathological behaviours Nomikos
+    et al. observed per-IXP grow from absent to 4× the calibration.
+``exclusion-ablation``
+    :class:`OffloadStudy` over the Section 4.2 exclusion-rule switches —
+    how much offload potential each "highly unlikely to peer" rule
+    conservatively forgoes.
+``price-plane``
+    :class:`EconomicsStudy` over a transit-price × remote-port-price
+    grid — the Wang–Xu–Ma-style sweep of the tariff plane rather than a
+    single point, sharing one world build per seed across all cells.
+``joint``
+    :class:`~repro.experiments.joint.JointStudy` — the end-to-end
+    detection→offload→billing chain with measured detection errors
+    propagated into the peer map.
+
+Use :func:`get_scenario` / :func:`scenario_names` programmatically, or
+``repro scenarios list|run <name>`` from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.engine import Study, StudyConfig
+from repro.sim.detection_world import BehaviorRates, DetectionWorldConfig
+from repro.sim.scenarios import (
+    joint_preset_configs,
+    mini_specs,
+    offload_preset_config,
+)
+
+#: Preset names every scenario understands.
+PRESETS = ("small", "paper")
+
+#: Stress multipliers of the ``behavior-stress`` grid (1.0 = calibration).
+STRESS_FACTORS = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+#: Transit prices (p) of the ``price-plane`` grid.
+PRICE_PLANE_TRANSIT = (3.0, 5.0, 8.0)
+
+#: Remote-peering fixed (port) prices (h) of the ``price-plane`` grid.
+PRICE_PLANE_PORT = (0.1, 0.25, 0.5)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioRun:
+    """One resolved (scenario, preset) cell, ready to execute.
+
+    ``study`` and ``study_config`` are the engine-level view (what
+    :func:`~repro.experiments.engine.run_study` consumes); ``execute``
+    runs the matching ensemble front end — which wraps the same engine
+    call — and returns ``(result, rendered report)``.
+    """
+
+    scenario: str
+    preset: str
+    study: Study
+    study_config: StudyConfig
+    execute: Callable[[str | None], tuple[Any, str]]
+
+    def trial_count(self) -> int:
+        """Trials the run will schedule (variants × seeds)."""
+        return len(self.study.variant_names()) * len(self.study_config.seeds)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A named scenario: description plus its preset-resolving builder."""
+
+    name: str
+    study_kind: str    # which study family the grid feeds
+    description: str
+    builder: Callable[[str, tuple[int, ...], int], ScenarioRun]
+
+    def build(
+        self,
+        preset: str = "small",
+        seeds: tuple[int, ...] = tuple(range(16)),
+        workers: int = 0,
+    ) -> ScenarioRun:
+        """Resolve one preset into a runnable :class:`ScenarioRun`."""
+        if preset not in PRESETS:
+            raise ConfigurationError(
+                f"unknown preset {preset!r} (expected one of {PRESETS})"
+            )
+        return self.builder(preset, tuple(seeds), workers)
+
+
+def scaled_behavior_rates(factor: float) -> BehaviorRates:
+    """The calibrated :class:`BehaviorRates` with every rate scaled.
+
+    The benign ``transient_congestion`` rate is capped at 0.6 so extreme
+    stress factors keep a usable share of clean minima instead of
+    tripping the rates-sum guard.
+    """
+    if factor < 0:
+        raise ConfigurationError("stress factor cannot be negative")
+    base = BehaviorRates()
+    return BehaviorRates(
+        blackhole=base.blackhole * factor,
+        os_change=base.os_change * factor,
+        stale=base.stale * factor,
+        rare_ttl=base.rare_ttl * factor,
+        persistent_congestion=base.persistent_congestion * factor,
+        lg_bias=base.lg_bias * factor,
+        asn_change=base.asn_change * factor,
+        transient_congestion=min(base.transient_congestion * factor, 0.6),
+    )
+
+
+def _behavior_stress(
+    preset: str, seeds: tuple[int, ...], workers: int
+) -> ScenarioRun:
+    from repro.experiments.ensemble import (
+        ConfigVariant,
+        DetectionStudy,
+        EnsembleConfig,
+        run_ensemble,
+    )
+    from repro.reporting.ensembles import render_ensemble_report
+
+    specs = mini_specs() if preset == "small" else ()
+    variants = tuple(
+        ConfigVariant(
+            name=f"stress={factor}x",
+            world=DetectionWorldConfig(
+                specs=specs, rates=scaled_behavior_rates(factor)
+            ),
+        )
+        for factor in STRESS_FACTORS
+    )
+    config = EnsembleConfig(seeds=seeds, variants=variants, workers=workers)
+
+    def execute(out_dir: str | None):
+        result = run_ensemble(config, out_dir=out_dir)
+        return result, render_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="behavior-stress",
+        preset=preset,
+        study=DetectionStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
+def _exclusion_ablation(
+    preset: str, seeds: tuple[int, ...], workers: int
+) -> ScenarioRun:
+    from repro.experiments.offload import (
+        OffloadEnsembleConfig,
+        OffloadStudy,
+        OffloadVariant,
+        run_offload_ensemble,
+    )
+    from repro.reporting.ensembles import render_offload_ensemble_report
+
+    world = offload_preset_config("small" if preset == "small" else "paper65")
+    base = OffloadVariant(name="all-rules", world=world)
+    variants = (
+        base,
+        replace(base, name="keep-providers", exclude_transit_providers=False),
+        replace(base, name="keep-home-ixps", exclude_home_ixp_members=False),
+        replace(base, name="keep-geant", exclude_geant_club=False),
+        replace(
+            base,
+            name="no-exclusions",
+            exclude_transit_providers=False,
+            exclude_home_ixp_members=False,
+            exclude_geant_club=False,
+        ),
+    )
+    config = OffloadEnsembleConfig(
+        seeds=seeds, variants=variants, workers=workers
+    )
+
+    def execute(out_dir: str | None):
+        result = run_offload_ensemble(config, out_dir=out_dir)
+        return result, render_offload_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="exclusion-ablation",
+        preset=preset,
+        study=OffloadStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
+def _price_plane(
+    preset: str, seeds: tuple[int, ...], workers: int
+) -> ScenarioRun:
+    from repro.experiments.economics import (
+        EconomicsEnsembleConfig,
+        EconomicsStudy,
+        economics_grid_variants,
+        run_economics_ensemble,
+    )
+    from repro.reporting.ensembles import render_economics_ensemble_report
+
+    world = offload_preset_config("small" if preset == "small" else "paper65")
+    variants = economics_grid_variants(
+        world=world,
+        axes={
+            "price.transit_price": PRICE_PLANE_TRANSIT,
+            "price.remote_fixed": PRICE_PLANE_PORT,
+        },
+    )
+    config = EconomicsEnsembleConfig(
+        seeds=seeds, variants=variants, workers=workers
+    )
+
+    def execute(out_dir: str | None):
+        result = run_economics_ensemble(config, out_dir=out_dir)
+        return result, render_economics_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="price-plane",
+        preset=preset,
+        study=EconomicsStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
+def _joint(preset: str, seeds: tuple[int, ...], workers: int) -> ScenarioRun:
+    from repro.experiments.joint import (
+        JointEnsembleConfig,
+        JointStudy,
+        JointVariant,
+        run_joint_ensemble,
+    )
+    from repro.reporting.ensembles import render_joint_ensemble_report
+
+    detection_world, offload_world = joint_preset_configs(preset)
+    variants = (
+        JointVariant(
+            name=preset,
+            detection_world=detection_world,
+            offload_world=offload_world,
+        ),
+    )
+    config = JointEnsembleConfig(
+        seeds=seeds, variants=variants, workers=workers
+    )
+
+    def execute(out_dir: str | None):
+        result = run_joint_ensemble(config, out_dir=out_dir)
+        return result, render_joint_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="joint",
+        preset=preset,
+        study=JointStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
+#: The registry the CLI and tests enumerate, in presentation order.
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="behavior-stress",
+            study_kind="detection",
+            description="BehaviorRates stress grid: detection precision/"
+            "recall and per-filter discards from 0x to 4x the calibrated "
+            "pathological-behaviour rates",
+            builder=_behavior_stress,
+        ),
+        Scenario(
+            name="exclusion-ablation",
+            study_kind="offload",
+            description="Section 4.2 exclusion-rule ablation: offload "
+            "fractions with each 'unlikely to peer' rule disabled, one "
+            "shared world build per seed",
+            builder=_exclusion_ablation,
+        ),
+        Scenario(
+            name="price-plane",
+            study_kind="economics",
+            description="Transit-price x remote-port-price grid over the "
+            "Sections 3+4+5 pipeline: bill savings and the eq. 14 "
+            "viability vote across the tariff plane",
+            builder=_price_plane,
+        ),
+        Scenario(
+            name="joint",
+            study_kind="joint",
+            description="Joint detection->offload study: measured "
+            "precision/recall propagated into the peer map, "
+            "oracle-vs-detected offload gap and billing error",
+            builder=_joint,
+        ),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, in presentation order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario; unknown names fail loudly."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (expected one of "
+            f"{', '.join(SCENARIOS)})"
+        )
+    return scenario

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # result types only — avoids a reporting ↔ experiments cy
     from repro.experiments.aggregate import MeanCI
     from repro.experiments.economics import EconomicsEnsembleResult
     from repro.experiments.ensemble import EnsembleResult
+    from repro.experiments.joint import JointEnsembleResult
     from repro.experiments.offload import OffloadEnsembleResult
 
 
@@ -140,6 +141,68 @@ def render_offload_ensemble_report(result: OffloadEnsembleResult) -> str:
             ["#", "modal IXP", "agreement"],
             rows,
             title=f"Greedy expansion consensus — {s.variant}",
+        ))
+
+    return "\n\n".join(blocks)
+
+
+def render_joint_ensemble_report(result: JointEnsembleResult) -> str:
+    """Render the joint detection→offload ensemble.
+
+    The headline table reports the detection confusion (precision and
+    recall), the offload fraction estimated *via the detected peer set*,
+    the oracle fraction it should have been, their gap, and the
+    transit-bill savings the detected map actually realizes — all
+    mean ± 95% CI.  One block per variant decomposes the peer map
+    (oracle / detected / phantom counts) and the billing chain (forecast
+    vs realized savings, the forecast error, the baseline bill).
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.group,
+            s.trials,
+            _ci(s.precision, as_percent=True),
+            _ci(s.recall, as_percent=True),
+            _ci(s.detected_fraction, as_percent=True),
+            _ci(s.oracle_fraction, as_percent=True),
+            _ci(s.offload_gap, as_percent=True),
+            _ci(s.realized_savings, as_percent=True),
+        ])
+    blocks.append(render_table(
+        ["variant", "group", "trials", "precision", "recall",
+         "detected offload", "oracle offload", "gap", "realized savings"],
+        headline_rows,
+        title=ensemble_title(
+            "Joint detection->offload ensemble", len(result.trials),
+            len(summaries), len(result.config.seeds), result.wall_s,
+        ),
+    ))
+
+    for s in summaries:
+        rows = [
+            ["oracle remote peers", _ci(s.oracle_peers)],
+            ["detected remote peers", _ci(s.detected_peers)],
+            ["phantom peers (false calls)", _ci(s.phantom_peers)],
+            ["offload realized via detected map",
+             _ci(s.realized_fraction, as_percent=True)],
+            ["bill before offload", _ci(s.before_bill)],
+            ["savings forecast from detected map",
+             _ci(s.believed_savings, as_percent=True)],
+            ["savings realized", _ci(s.realized_savings, as_percent=True)],
+            ["savings with oracle map", _ci(s.oracle_savings,
+                                            as_percent=True)],
+            ["billing forecast error", _ci(s.billing_error,
+                                           as_percent=True)],
+        ]
+        blocks.append(render_table(
+            ["quantity", "mean ± 95% CI"],
+            rows,
+            title=f"Peer map and billing — {s.variant}",
         ))
 
     return "\n\n".join(blocks)

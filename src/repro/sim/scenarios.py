@@ -102,3 +102,26 @@ def offload_preset_config(name: str, engine: str = "vectorized") -> OffloadWorld
     if name == "paper65":
         return OffloadWorldConfig(engine=engine)
     raise ConfigurationError(f"unknown offload preset {name!r}")
+
+
+def joint_preset_configs(
+    name: str, engine: str = "vectorized"
+) -> tuple[DetectionWorldConfig, OffloadWorldConfig]:
+    """World-family configs of a named joint detection→offload preset.
+
+    ``small`` pairs the 3-IXP mini detection world with the ~3k-AS offload
+    world (a 16-trial joint ensemble runs in seconds); ``paper`` pairs the
+    full 22-IXP detection world with the 29,570-network offload world.
+    Seeds are set per trial by the study engine.
+    """
+    if name == "small":
+        return (
+            DetectionWorldConfig(specs=mini_specs(), engine=engine),
+            offload_preset_config("small", engine=engine),
+        )
+    if name == "paper":
+        return (
+            DetectionWorldConfig(engine=engine),
+            offload_preset_config("paper65", engine=engine),
+        )
+    raise ConfigurationError(f"unknown joint preset {name!r}")

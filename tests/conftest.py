@@ -22,6 +22,34 @@ from repro.sim import (
 #: with heavy remote peering (TOP-IX), one anchor-bearing (TorIX).
 MINI_IXPS = ("Netnod", "TOP-IX", "TorIX")
 
+#: Node-id substrings of suites that build paper-scale worlds: the
+#: collection hook below applies the ``slow`` marker automatically, so a
+#: forgotten decorator can no longer drag ``make smoke`` (the quick gate
+#: deselects with ``-m "not slow"``; tier-1 still runs everything).
+PAPER_SCALE_PATTERNS = ("FullScale", "PaperScale", "full_scale", "paper_scale")
+
+#: Known paper-scale tests whose names do not say so: they build the
+#: full-size reference network pool (seconds each) and belong behind the
+#: ``slow`` gate even though their suites are otherwise fast.
+PAPER_SCALE_TESTS = (
+    "test_world_builder_engines.py::TestEngineSelection::"
+    "test_scalar_engine_uses_scalar_pool",
+    "test_world_builder_engines.py::TestZeroBandWeights::"
+    "test_direct_only_spec_builds",
+    "test_world_builder_engines.py::TestZeroBandWeights::"
+    "test_zero_weights_with_remotes_fall_back_to_uniform",
+)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply ``slow`` to paper-scale suites (see the registries above)."""
+    for item in items:
+        if item.get_closest_marker("slow"):
+            continue
+        if any(pattern in item.nodeid for pattern in PAPER_SCALE_PATTERNS) or \
+                any(item.nodeid.endswith(test) for test in PAPER_SCALE_TESTS):
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(scope="session")
 def mini_specs():

@@ -1,0 +1,142 @@
+"""Golden-report snapshots: every ensemble renderer, byte-for-byte.
+
+The repo's change log repeatedly claims "reports are byte-identical"
+across refactors; these snapshots make that a gate instead of an
+assertion.  Each test runs a small fixed-seed ensemble inline, zeroes
+the wall-clock figure (the only nondeterministic byte in a report), and
+compares the rendered text against a committed golden file.
+
+To regenerate after an *intentional* report change::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_reports.py
+
+then review the diff of ``tests/golden/`` like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ConfigVariant,
+    EconomicsEnsembleConfig,
+    EconomicsVariant,
+    EnsembleConfig,
+    JointEnsembleConfig,
+    JointVariant,
+    OffloadEnsembleConfig,
+    OffloadVariant,
+    grid_variants,
+    run_economics_ensemble,
+    run_ensemble,
+    run_joint_ensemble,
+    run_offload_ensemble,
+)
+from repro.ixp.catalog import spec_by_acronym
+from repro.reporting import (
+    render_economics_ensemble_report,
+    render_ensemble_report,
+    render_joint_ensemble_report,
+    render_offload_ensemble_report,
+)
+from repro.sim.detection_world import DetectionWorldConfig
+from tests.engine_equivalence import tiny_offload_config
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TORIX = (spec_by_acronym("TorIX"),)
+
+
+def assert_matches_golden(name: str, report: str) -> None:
+    """Compare (or, with REPRO_UPDATE_GOLDENS=1, rewrite) one snapshot."""
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report + "\n", encoding="utf-8")
+        pytest.skip(f"rewrote {path}")
+    assert path.exists(), (
+        f"golden file {path} missing — run with REPRO_UPDATE_GOLDENS=1 "
+        "to create it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert report + "\n" == expected, (
+        f"report drifted from {path}; if the change is intentional, "
+        "regenerate with REPRO_UPDATE_GOLDENS=1 and review the diff"
+    )
+
+
+@pytest.mark.golden
+class TestGoldenReports:
+    def test_detection_ensemble_report(self):
+        result = run_ensemble(EnsembleConfig(
+            seeds=(0, 1),
+            variants=grid_variants(
+                world=DetectionWorldConfig(specs=TORIX),
+                axes={"campaign.remoteness_threshold_ms": (5.0, 10.0)},
+            ),
+            workers=1,
+        ))
+        result.wall_s = 0.0
+        assert_matches_golden(
+            "detection_ensemble.txt",
+            render_ensemble_report(result, per_ixp=True),
+        )
+
+    def test_offload_ensemble_report(self):
+        result = run_offload_ensemble(OffloadEnsembleConfig(
+            seeds=(3, 4),
+            variants=(
+                OffloadVariant(
+                    name="tiny", world=tiny_offload_config(), max_ixps=4
+                ),
+                OffloadVariant(
+                    name="no-exclusions",
+                    world=tiny_offload_config(),
+                    max_ixps=4,
+                    exclude_transit_providers=False,
+                    exclude_home_ixp_members=False,
+                    exclude_geant_club=False,
+                ),
+            ),
+            workers=1,
+        ))
+        result.wall_s = 0.0
+        assert_matches_golden(
+            "offload_ensemble.txt", render_offload_ensemble_report(result)
+        )
+
+    def test_economics_ensemble_report(self):
+        result = run_economics_ensemble(EconomicsEnsembleConfig(
+            seeds=(3, 4),
+            variants=(
+                EconomicsVariant(
+                    name="tiny", world=tiny_offload_config(), max_ixps=6
+                ),
+            ),
+            workers=1,
+        ))
+        result.wall_s = 0.0
+        assert_matches_golden(
+            "economics_ensemble.txt",
+            render_economics_ensemble_report(result),
+        )
+
+    def test_joint_ensemble_report(self):
+        result = run_joint_ensemble(JointEnsembleConfig(
+            seeds=(0, 1),
+            variants=(
+                JointVariant(
+                    name="tiny",
+                    detection_world=DetectionWorldConfig(specs=TORIX),
+                    offload_world=tiny_offload_config(),
+                ),
+            ),
+            workers=1,
+        ))
+        result.wall_s = 0.0
+        assert_matches_golden(
+            "joint_ensemble.txt", render_joint_ensemble_report(result)
+        )

@@ -6,7 +6,9 @@ Both engines consume identical stage-stream draws (see the
 graphs, memberships, traffic matrices, address space and (on the full
 paper world) the greedy IXP expansion order must match member-for-member.
 The scalar engine inserts every network and edge through the fully
-checked graph APIs, which is what validates the bulk fast paths.
+checked graph APIs, which is what validates the bulk fast paths.  The
+identity assertions and the fixed-seed world pairs live in
+:mod:`tests.engine_equivalence`, shared with the detection-engine suite.
 """
 
 import numpy as np
@@ -24,22 +26,11 @@ from repro.errors import ConfigurationError, TopologyError
 from repro.sim.offload_world import OffloadWorldConfig, build_offload_world
 from repro.types import NetworkKind, PeeringPolicy
 from tests.conftest import small_offload_config
-
-
-def tiny_offload_config(seed: int = 3, **overrides) -> OffloadWorldConfig:
-    """An ~800-network world that builds in tens of milliseconds."""
-    values = dict(
-        seed=seed,
-        contributing_count=800,
-        tier2_count=60,
-        tier1_count=4,
-        nren_count=4,
-        mega_carrier_count=6,
-        big_eyeball_count=12,
-        head_pin_count=15,
-    )
-    values.update(overrides)
-    return OffloadWorldConfig(**values)
+from tests.engine_equivalence import (
+    assert_offload_worlds_identical,
+    offload_world_pair,
+    tiny_offload_config,
+)
 
 
 class TestEngineSelection:
@@ -61,38 +52,10 @@ class TestEngineIdentity:
 
     @pytest.fixture(scope="class")
     def worlds(self):
-        return (
-            build_offload_world(tiny_offload_config(seed=9)),
-            build_offload_world(tiny_offload_config(seed=9, engine="scalar")),
-        )
+        return offload_world_pair(tiny_offload_config(seed=9))
 
-    def test_graphs_identical(self, worlds):
-        vec, sca = worlds
-        assert vec.graph.asns() == sca.graph.asns()
-        for asn in vec.graph.asns():
-            assert vec.graph.providers_of(asn) == sca.graph.providers_of(asn)
-            assert vec.graph.customers_of(asn) == sca.graph.customers_of(asn)
-            assert vec.graph.peers_of(asn) == sca.graph.peers_of(asn)
-            a, b = vec.graph.get(asn), sca.graph.get(asn)
-            assert (a.kind, a.policy, a.address_space, a.tags) == (
-                b.kind, b.policy, b.address_space, b.tags
-            )
-
-    def test_memberships_identical(self, worlds):
-        vec, sca = worlds
-        assert vec.memberships == sca.memberships
-
-    def test_traffic_identical(self, worlds):
-        vec, sca = worlds
-        assert np.array_equal(vec.matrix.inbound_bps, sca.matrix.inbound_bps)
-        assert np.array_equal(vec.matrix.outbound_bps, sca.matrix.outbound_bps)
-
-    def test_regions_and_paths_identical(self, worlds):
-        vec, sca = worlds
-        assert vec.region_of == sca.region_of
-        assert set(vec.inbound_paths) == set(sca.inbound_paths)
-        for asn in vec.inbound_paths:
-            assert vec.inbound_paths[asn].asns == sca.inbound_paths[asn].asns
+    def test_worlds_bit_identical(self, worlds):
+        assert_offload_worlds_identical(*worlds)
 
     def test_greedy_expansion_order_identical(self, worlds):
         vec, sca = worlds
@@ -111,13 +74,10 @@ class TestPaperScaleEngineIdentity:
 
     @pytest.fixture(scope="class")
     def estimators(self):
-        out = []
-        for engine in ("vectorized", "scalar"):
-            world = build_offload_world(
-                OffloadWorldConfig(seed=42, engine=engine)
-            )
-            out.append(OffloadEstimator(world, PeerGroups.build(world)))
-        return out
+        return [
+            OffloadEstimator(world, PeerGroups.build(world))
+            for world in offload_world_pair(OffloadWorldConfig(seed=42))
+        ]
 
     def test_identical_greedy_expansion_order(self, estimators):
         vec, sca = estimators

@@ -6,7 +6,9 @@ Engine equivalence is statistical: the two builders consume the same
 per-(seed, "ixp", acronym) streams in different orders, so worlds agree
 in distribution — remote fractions, behaviour-class counts, band
 histograms and (on the full world, under a shared campaign) per-filter
-discard counts — not member-for-member.
+discard counts — not member-for-member.  The comparators and the
+fixed-seed world pairs live in :mod:`tests.engine_equivalence`, shared
+with the offload-engine suite.
 """
 
 import numpy as np
@@ -23,6 +25,15 @@ from repro.sim.detection_world import (
     NORMAL,
 )
 from repro.sim.netpool import NetworkPoolConfig, generate_network_pool
+from tests.engine_equivalence import (
+    assert_category_counts_close,
+    assert_counts_close,
+    assert_ks_close,
+    assert_moments_close,
+    assert_quantiles_close,
+    detection_world_pair,
+    network_pool_pair,
+)
 
 
 def _spec(**overrides) -> IXPSpec:
@@ -99,20 +110,21 @@ class TestPoolEngineEquivalence:
 
     @pytest.fixture(scope="class")
     def pools(self):
-        db = default_city_db()
-        return (
-            generate_network_pool(db, NetworkPoolConfig(size=2000, seed=7)),
-            generate_network_pool(
-                db, NetworkPoolConfig(size=2000, seed=7, engine="scalar")
-            ),
-        )
+        return network_pool_pair(size=2000, seed=7)
 
     def test_continent_mix_close(self, pools):
         vec, sca = pools
-        for continent in ("EU", "NA", "AS"):
-            v = sum(1 for n in vec.networks if n.home_city.continent == continent)
-            s = sum(1 for n in sca.networks if n.home_city.continent == continent)
-            assert v == pytest.approx(s, rel=0.15, abs=30)
+
+        def mix(pool):
+            return {
+                continent: sum(
+                    1 for n in pool.networks
+                    if n.home_city.continent == continent
+                )
+                for continent in ("EU", "NA", "AS")
+            }
+
+        assert_category_counts_close(mix(vec), mix(sca), rel=0.15, abs_=30)
 
     def test_propensity_law_identical(self, pools):
         vec, sca = pools
@@ -120,12 +132,38 @@ class TestPoolEngineEquivalence:
             sorted(n.propensity for n in sca.networks)
         )
 
+    def test_propensity_distribution_ks(self, pools):
+        """KS-style check: the propensity *laws* agree, not just moments."""
+        vec, sca = pools
+        assert_ks_close(
+            [n.propensity for n in vec.networks],
+            [n.propensity for n in sca.networks],
+            label="propensity",
+        )
+
+    def test_address_space_distribution_ks(self, pools):
+        """The drawn address-space law survives the vectorized rewrite.
+
+        Compared in log space: the law is heavy-tailed, and the KS gap of
+        the raw values would be dominated by the tiny head.
+        """
+        vec, sca = pools
+        vec_log = np.log2([n.asys.address_space for n in vec.networks])
+        sca_log = np.log2([n.asys.address_space for n in sca.networks])
+        assert_ks_close(vec_log, sca_log, label="log2 address space")
+        assert_moments_close(vec_log, sca_log, rel=0.05,
+                             label="log2 address space")
+
     def test_scope_sizes_close(self, pools):
         vec, sca = pools
-        for size in (1, 2, 6):
-            v = sum(1 for n in vec.networks if len(n.scope) == size)
-            s = sum(1 for n in sca.networks if len(n.scope) == size)
-            assert v == pytest.approx(s, rel=0.2, abs=40)
+
+        def sizes(pool):
+            return {
+                size: sum(1 for n in pool.networks if len(n.scope) == size)
+                for size in (1, 2, 6)
+            }
+
+        assert_category_counts_close(sizes(vec), sizes(sca), rel=0.2, abs_=40)
 
     def test_invariants_hold_for_vectorized(self, pools):
         vec, _ = pools
@@ -139,21 +177,15 @@ class TestMiniEngineEquivalence:
 
     @pytest.fixture(scope="class")
     def worlds(self):
-        specs = tuple(
-            s for s in paper_catalog()
-            if s.acronym in ("Netnod", "TOP-IX", "TorIX")
-        )
-        return (
-            build_detection_world(DetectionWorldConfig(seed=11, specs=specs)),
-            build_detection_world(
-                DetectionWorldConfig(seed=11, specs=specs, engine="scalar")
-            ),
+        return detection_world_pair(
+            seed=11, acronyms=("Netnod", "TOP-IX", "TorIX")
         )
 
     def test_candidate_counts_close(self, worlds):
         vec, sca = worlds
-        assert vec.candidate_count() == pytest.approx(
-            sca.candidate_count(), rel=0.05
+        assert_counts_close(
+            vec.candidate_count(), sca.candidate_count(), rel=0.05,
+            label="candidates",
         )
 
     def test_remote_fractions_close(self, worlds):
@@ -161,7 +193,9 @@ class TestMiniEngineEquivalence:
         for acr in vec.ixps:
             v = vec.remote_truth_count(acr)
             s = sca.remote_truth_count(acr)
-            assert v == pytest.approx(s, abs=max(6, 0.35 * max(v, s)))
+            assert_counts_close(
+                v, s, rel=0.35, abs_=6, label=f"remote truth at {acr}"
+            )
 
     def test_partner_members_present_in_both(self, worlds):
         for world in worlds:
@@ -186,15 +220,13 @@ class TestFullScaleEngineEquivalence:
 
     @pytest.fixture(scope="class")
     def worlds(self):
-        return (
-            build_detection_world(DetectionWorldConfig(seed=42)),
-            build_detection_world(DetectionWorldConfig(seed=42, engine="scalar")),
-        )
+        return detection_world_pair(seed=42)
 
     def test_candidate_counts_close(self, worlds):
         vec, sca = worlds
-        assert vec.candidate_count() == pytest.approx(
-            sca.candidate_count(), rel=0.02
+        assert_counts_close(
+            vec.candidate_count(), sca.candidate_count(), rel=0.02,
+            label="candidates",
         )
 
     def test_remote_fraction_close(self, worlds):
@@ -216,12 +248,26 @@ class TestFullScaleEngineEquivalence:
         assert set(vc) == set(sc)
         for behavior in vc:
             if behavior == NORMAL:
-                assert vc[behavior] == pytest.approx(sc[behavior], rel=0.02)
+                assert_counts_close(
+                    vc[behavior], sc[behavior], rel=0.02, label=behavior
+                )
             else:
                 # Rare classes: counts are tens, allow Poisson-scale slack.
-                assert abs(vc[behavior] - sc[behavior]) <= max(
-                    10, 0.5 * max(vc[behavior], sc[behavior])
+                assert_counts_close(
+                    vc[behavior], sc[behavior], rel=0.5, abs_=10,
+                    label=behavior,
                 )
+
+    def test_base_rtt_distribution_ks(self, worlds):
+        """Remote base RTTs agree as full distributions, not just bands."""
+        vec, sca = worlds
+        vec_rtts = [t.base_rtt_ms for t in vec.truth.values() if t.is_remote]
+        sca_rtts = [t.base_rtt_ms for t in sca.truth.values() if t.is_remote]
+        assert_ks_close(vec_rtts, sca_rtts, label="remote base RTT")
+        assert_quantiles_close(
+            vec_rtts, sca_rtts, qs=(10, 50, 90), rel=0.15, abs_=0.5,
+            label="remote base RTT",
+        )
 
     def test_band_histograms_close(self, worlds):
         """Ground-truth base-RTT band mix of remote interfaces."""
@@ -235,8 +281,8 @@ class TestFullScaleEngineEquivalence:
             return np.bincount(np.searchsorted(edges, rtts), minlength=4)
 
         hv, hs = histogram(vec), histogram(sca)
-        for v, s in zip(hv, hs):
-            assert v == pytest.approx(s, rel=0.25, abs=15)
+        for band, (v, s) in enumerate(zip(hv, hs)):
+            assert_counts_close(v, s, rel=0.25, abs_=15, label=f"band {band}")
 
     def test_filter_discard_counts_close(self, worlds):
         vec, sca = worlds
