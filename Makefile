@@ -3,12 +3,13 @@
 #
 #   make test        full tier-1 suite (what CI holds the repo to)
 #   make smoke       quick gate: fast tests + perf regression guard
+#   make chaos       fault-injection gate: chaos suites + a small failover run
 #   make bench       retime every stage and rewrite BENCH_speed.json
 #   make regression  full perf guard against the committed baseline
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke bench regression
+.PHONY: test smoke chaos bench regression
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,6 +17,14 @@ test:
 smoke:
 	$(PY) -m pytest -m "not slow" -q
 	$(PY) benchmarks/check_regression.py --quick
+
+# The robustness gate: fault/retry determinism, trial quarantine (incl.
+# the kill-one-worker pool-restart study and its resume), and one small
+# end-to-end failover scenario run.
+chaos:
+	$(PY) -m pytest -q tests/test_faults.py tests/test_campaign_faults.py \
+		tests/test_engine_quarantine.py tests/test_failover_scenario.py
+	$(PY) -m repro scenarios run failover --preset small --seeds 2 --workers 1
 
 bench:
 	$(PY) benchmarks/bench_speed.py

@@ -7,10 +7,12 @@ vectorized *and* the scalar engine, the probing campaign under the batch
 vectorized *and* the scalar engine, the peer-group/cone-table setup, the
 greedy IXP expansion, a 16-trial paper-scale offload ensemble, a
 16-trial small-world *economics* ensemble (Sections 3+4+5 end-to-end),
-and a 16-trial small joint detection→offload ensemble (measured
-detection confusion propagated into the offload peer map and the bill) —
-and writes ``BENCH_speed.json`` (schema ``bench_speed/v5``) at the repo
-root so the perf trajectory is tracked across PRs.
+a 16-trial small joint detection→offload ensemble (measured
+detection confusion propagated into the offload peer map and the bill),
+and the small ``failover`` scenario (pseudowire dark windows priced
+against the 95th-percentile rule) — and writes ``BENCH_speed.json``
+(schema ``bench_speed/v6``) at the repo root so the perf trajectory is
+tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
@@ -65,11 +67,15 @@ def collect_payload(quick: bool = False) -> dict:
         JointVariant,
         OffloadEnsembleConfig,
         OffloadVariant,
+        FailoverEnsembleConfig,
+        FailoverVariant,
         run_economics_ensemble,
         run_ensemble,
+        run_failover_ensemble,
         run_joint_ensemble,
         run_offload_ensemble,
     )
+    from repro.faults import FaultConfig
     from repro.sim import (
         DetectionWorldConfig,
         OffloadWorldConfig,
@@ -190,8 +196,24 @@ def collect_payload(quick: bool = False) -> dict:
     )
     (joint_summary,) = joint_ensemble.summaries()
 
+    failover_ensemble, timings["failover_scenario_small"] = _timed(
+        lambda: run_failover_ensemble(
+            FailoverEnsembleConfig(
+                seeds=tuple(range(16)),
+                variants=(
+                    FailoverVariant(
+                        name="small",
+                        world=rediris_small_config(),
+                        faults=FaultConfig(),
+                    ),
+                ),
+            )
+        )
+    )
+    (failover_summary,) = failover_ensemble.summaries()
+
     payload = {
-        "schema": "bench_speed/v5",
+        "schema": "bench_speed/v6",
         "python": platform.python_version(),
         "quick": quick,
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
@@ -222,6 +244,21 @@ def collect_payload(quick: bool = False) -> dict:
             ),
             "decay_rate_mean": round(economics_summary.decay_rate.mean, 4),
             "viable_votes": economics_summary.viable_votes,
+        },
+        "failover_scenario_small": {
+            "trials": failover_summary.trials,
+            "ideal_savings_mean": round(
+                failover_summary.ideal_savings.mean, 4
+            ),
+            "realized_savings_mean": round(
+                failover_summary.realized_savings.mean, 4
+            ),
+            "billing_error_mean": round(
+                failover_summary.billing_error.mean, 4
+            ),
+            "dark_fraction_mean": round(
+                failover_summary.dark_fraction.mean, 4
+            ),
         },
         "joint_study_small": {
             "trials": joint_summary.trials,

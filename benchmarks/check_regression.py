@@ -91,8 +91,22 @@ def main(argv: list[str] | None = None) -> int:
             regressions.append(name)
     for name in sorted(fresh_timings.keys() - base_timings.keys()):
         print(f"{name:{width}}  {'-':>9}  {fresh_timings[name]:9.4f}  (new)")
-    for name in sorted(base_timings.keys() - fresh_timings.keys()):
+    missing = sorted(base_timings.keys() - fresh_timings.keys())
+    for name in missing:
         print(f"{name:{width}}  {base_timings[name]:9.4f}  {'-':>9}  (retired)")
+    if missing:
+        # Baseline-only stages must warn, not KeyError or fail: --quick
+        # runs skip the slow stages by design, and a retired stage should
+        # not block the PR that retires it.
+        print(
+            f"WARNING: {len(missing)} baseline stage(s) missing from this "
+            f"run (not compared): {', '.join(missing)}"
+        )
+    if not shared:
+        print(
+            "WARNING: no stages in common with the baseline — schema "
+            "drift? nothing was actually compared"
+        )
 
     if regressions:
         print(

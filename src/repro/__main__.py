@@ -1,0 +1,8 @@
+"""``python -m repro`` — the same entry point as the ``repro`` script."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,39 @@ class RoutingTable:
             return None
         return self._graph.relationship(self._viewpoint, entry.next_hop)
 
+    def fallback_lookup(
+        self, destination: ASN, dark_peers: frozenset[ASN] | set[ASN]
+    ) -> RouteEntry:
+        """Best route while the peers in ``dark_peers`` are unreachable.
+
+        Models pseudowire failover (Section 2): when a remote peering
+        session's circuit is dark, routes learned from that peer withdraw
+        and traffic falls back to a transit provider's path — the exact
+        dynamic 95th-percentile billing punishes.  Routes whose next hop
+        is unaffected are returned unchanged; withdrawn ones are re-homed
+        through the viewpoint's providers (deterministically: lowest
+        provider ASN with a route wins).
+        """
+        entry = self.lookup(destination)
+        if entry.next_hop == self._viewpoint or entry.next_hop not in dark_peers:
+            return entry
+        for provider in sorted(self._graph.providers_of(self._viewpoint)):
+            if provider in dark_peers:
+                continue
+            path = self._computation.path(provider, destination)
+            if path is None or self._viewpoint in path.asns:
+                continue  # the provider's own path loops back through us
+            return RouteEntry(
+                destination=destination,
+                path=ASPath((self._viewpoint, *path.asns), RouteKind.PROVIDER),
+                next_hop=provider,
+                kind=RouteKind.PROVIDER,
+            )
+        raise RoutingError(
+            f"AS{self._viewpoint} has no fallback route to AS{destination} "
+            f"while {len(dark_peers)} peer(s) are dark"
+        )
+
 
 class ReversedPathTable:
     """Outbound routing view derived from precomputed *inbound* paths.

@@ -21,7 +21,14 @@ from repro.core.detection.filters import FilterConfig, FilterPipeline, FilterRep
 from repro.core.detection.measurements import InterfaceMeasurement
 from repro.core.detection.results import CampaignResult, build_result
 from repro.errors import ConfigurationError
-from repro.lg.batch import compile_probe_plan, run_sweeps, sweep_query_times
+from repro.faults.retry import plan_retries
+from repro.faults.schedule import FaultConfig, FaultSchedule, build_fault_schedule
+from repro.lg.batch import (
+    compile_probe_plan,
+    compile_sweep_faults,
+    run_sweeps,
+    sweep_query_times,
+)
 from repro.lg.client import LookingGlassClient
 from repro.rand import child_rng
 from repro.sim.detection_world import DetectionWorld
@@ -48,6 +55,11 @@ class CampaignConfig:
     remoteness_threshold_ms: float = 10.0
     filters: FilterConfig = FilterConfig()
     engine: str = "batch"
+    #: Optional deterministic chaos: a fault schedule is materialized per
+    #: campaign from the ``(seed, "faults", ...)`` streams and threaded
+    #: through both probe engines (``None`` or zero intensity: byte-
+    #: identical to a fault-free campaign).
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.pch_rounds <= 0 or self.ripe_rounds <= 0:
@@ -69,6 +81,21 @@ class ProbeCampaign:
         self.world = world
         self.config = config or CampaignConfig()
         self.client = LookingGlassClient()
+        self._fault_schedule: FaultSchedule | None = None
+
+    def fault_schedule(self) -> FaultSchedule | None:
+        """The campaign's materialized chaos, or None when faults are off.
+
+        Built lazily once per campaign from the dedicated fault streams —
+        never stored on the world, which stays shareable across trials.
+        """
+        if self.config.faults is None or not self.config.faults.active:
+            return None
+        if self._fault_schedule is None:
+            self._fault_schedule = build_fault_schedule(
+                self.config.faults, self.config.seed, self.world
+            )
+        return self._fault_schedule
 
     def _reset_client(self) -> None:
         # Each collection run replays the same simulated four months, so it
@@ -129,6 +156,26 @@ class ProbeCampaign:
         round_span_s = len(targets) * MINUTE + server.pings_per_query + 1
         return self.world.window.round_start_times(rounds, rng, round_span_s)
 
+    def _retry_plan(self, acronym, server, query_times, schedule):
+        """Plan one sweep's retries from the dedicated backoff stream.
+
+        Both engines call this with the *identical* planned grid and the
+        same stream, so their retry plans (and therefore retry counts,
+        served masks, and effective send times) agree bit-for-bit.
+        """
+        retry_rng = child_rng(
+            self.config.seed, "faults", "backoff", acronym, server.operator
+        )
+        plan = plan_retries(
+            query_times.ravel(),
+            schedule.server_down_fn(server.name),
+            schedule.config.retry,
+            retry_rng,
+        )
+        self.client.record_retries(server.name, plan)
+        shape = query_times.shape
+        return plan.effective_s.reshape(shape), plan.served.reshape(shape)
+
     def _sweep_server_batch(self, acronym, server, targets, rounds, measurements) -> None:
         """The vectorized engine: one probe plan, all rounds as array draws."""
         rng = child_rng(self.config.seed, "campaign", acronym, server.operator)
@@ -137,8 +184,23 @@ class ProbeCampaign:
         query_times = sweep_query_times(plan, np.asarray(starts))
         # Validate the whole schedule against the ledger before realizing a
         # single probe, mirroring the scalar path's per-query enforcement.
+        # Politeness is enforced on the *planned* grid; retry backoff is
+        # bounded to stay within each one-minute slot.
         self.client.record_sweep(server.name, query_times)
-        batches = run_sweeps(plan, np.asarray(starts), rng, query_times)
+        schedule = self.fault_schedule()
+        if schedule is None:
+            batches = run_sweeps(plan, np.asarray(starts), rng, query_times)
+        else:
+            effective, served = self._retry_plan(
+                acronym, server, query_times, schedule
+            )
+            sweep_faults = compile_sweep_faults(
+                plan, schedule.probe_faults(acronym)
+            )
+            batches = run_sweeps(
+                plan, np.asarray(starts), rng, effective,
+                served=served, faults=sweep_faults,
+            )
         for record, batch in zip(targets, batches):
             # Empty batches are recorded too: an operator that probed but
             # got nothing back must still appear, so the sample-size filter
@@ -149,10 +211,32 @@ class ProbeCampaign:
         """The reference engine: one client query per (round, target)."""
         rng = child_rng(self.config.seed, "campaign", acronym, server.operator)
         starts = self._round_starts(acronym, server, targets, rounds, rng)
-        for start in starts:
+        schedule = self.fault_schedule()
+        effective = served = probe_faults = None
+        if schedule is not None:
+            # The identical planned grid the batch engine validates, so
+            # the shared-stream retry plan is bit-identical across engines.
+            query_times = np.asarray(starts, dtype=float)[:, None] + (
+                np.arange(len(targets), dtype=float)[None, :] * MINUTE
+            )
+            effective, served = self._retry_plan(
+                acronym, server, query_times, schedule
+            )
+            probe_faults = schedule.probe_faults(acronym)
+        for r, start in enumerate(starts):
             for index, record in enumerate(targets):
                 query_time = start + index * MINUTE
-                result = self.client.submit(server, record.address, query_time, rng)
+                if schedule is None:
+                    result = self.client.submit(
+                        server, record.address, query_time, rng
+                    )
+                else:
+                    result = self.client.submit(
+                        server, record.address, query_time, rng,
+                        effective_s=float(effective[r, index]),
+                        served=bool(served[r, index]),
+                        faults=probe_faults,
+                    )
                 slot = measurements[record.address.value]
                 replies = slot.replies_by_operator.setdefault(server.operator, [])
                 replies.extend(result.replies)

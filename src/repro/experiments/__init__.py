@@ -15,24 +15,74 @@ package runs those distributions through a single *study engine*:
     under an ``out_dir``, skip-completed on rerun) and streaming
     mean ± 95% CI aggregation.
 
-``ensemble`` / ``offload`` / ``economics`` / ``joint``
-    The four studies: :class:`DetectionStudy` (Section 3 pipeline:
+``ensemble`` / ``offload`` / ``economics`` / ``joint`` / ``failover``
+    The five studies: :class:`DetectionStudy` (Section 3 pipeline:
     world → campaign → filters → ground-truth validation),
     :class:`OffloadStudy` (Section 4: exclusions → estimator → greedy
     expansion, with the Section 4.2 exclusion rules switchable per
     variant), :class:`EconomicsStudy` (Sections 3+4+5 end-to-end:
     measured offload curve → decay fit → 95th-percentile billing →
-    eq. 14 viability) and :class:`JointStudy` (below), each with its
-    grid builder and a config/result pair.  ``run_ensemble`` /
-    ``run_offload_ensemble`` / ``run_economics_ensemble`` /
-    ``run_joint_ensemble`` are thin front ends over ``run_study``.
+    eq. 14 viability), :class:`JointStudy` (below) and
+    :class:`FailoverStudy` (offload savings eroded by pseudowire dark
+    windows), each with its grid builder and a config/result pair.
+    ``run_ensemble`` / ``run_offload_ensemble`` /
+    ``run_economics_ensemble`` / ``run_joint_ensemble`` /
+    ``run_failover_ensemble`` are thin front ends over ``run_study``.
 
 ``scenarios``
     The scenario library: named, parameterized grids over these studies
     (``behavior-stress``, ``exclusion-ablation``, ``price-plane``,
-    ``joint``) resolved from preset names into runnable
-    study + :class:`StudyConfig` pairs — the CLI front end is ``repro
-    scenarios list|run``.
+    ``joint``, ``failover``, ``churned-detection``) resolved from preset
+    names into runnable study + :class:`StudyConfig` pairs — the CLI
+    front end is ``repro scenarios list|run``.
+
+The fault data flow (chaos schedule → probes → billing)
+-------------------------------------------------------
+Fault injection is deterministic and *opt-in*: setting a
+:class:`~repro.faults.schedule.FaultConfig` on a
+:class:`~repro.core.detection.campaign.CampaignConfig` (or a
+:class:`FailoverVariant`) materializes a
+:class:`~repro.faults.schedule.FaultSchedule` once per campaign from
+dedicated, named child streams of the campaign seed — never from the
+streams the clean simulation consumes, so ``faults=None`` and zero
+intensity are byte-identical to a fault-free run.  The streams:
+
+* ``(seed, "faults", "pseudowire-dark", ixp, address)`` — remote-peer
+  dark windows (failover RTT shifts; transit fallback in the failover
+  study);
+* ``(seed, "faults", "port-flap", ixp, address)`` — IXP port flaps
+  (probes unanswered while flapping);
+* ``(seed, "faults", "lg-outage", server)`` and ``(seed, "faults",
+  "rate-limit-storm", server)`` — LG unavailability windows, merged
+  into one per-server downtime function;
+* ``(seed, "faults", "probe-loss", ixp)`` — loss bursts scaling every
+  response probability down by the configured severity;
+* ``(seed, "faults", "backoff", ixp, operator)`` — retry jitter.  Both
+  probe engines plan retries on the *identical* planned query grid with
+  this one stream, so retry counts, served masks and effective send
+  times agree bit-for-bit across ``batch`` and ``scalar``.
+
+The trial-quarantine lifecycle
+------------------------------
+:func:`run_study` hardens every trial against worker failure.  A trial
+that raises (or exceeds ``StudyConfig.trial_timeout_s``) is retried up
+to ``trial_retries`` times, then — with ``quarantine=True``, the
+default — recorded as a :class:`~repro.experiments.engine.TrialFailure`
+instead of aborting the study: the group's remaining trials still run,
+aggregates cover the survivors, and
+:meth:`~repro.experiments.engine.StudyResult.coverage_note` reports the
+degradation.  With ``out_dir`` set, a quarantined trial appends a
+``failed`` JSONL row::
+
+    {"trial_id": N, "variant": "...", "seed": S,
+     "status": "failed", "error": "ExcType: message", "attempts": K}
+
+Failed rows are fingerprint-compatible with success rows and resume-safe
+(a rerun skips them like completed trials).
+:class:`~repro.errors.ConfigurationError` is never quarantined — a
+malformed grid should abort loudly.  A ``BrokenProcessPool`` (a worker
+died mid-group) restarts the executor once over the unfinished groups
+before surfacing.
 
 The joint data flow (detected set → offload → billing)
 ------------------------------------------------------
@@ -147,6 +197,17 @@ from repro.experiments.joint import (
     run_joint_ensemble,
     run_joint_trial,
 )
+from repro.experiments.failover import (
+    FailoverEnsembleConfig,
+    FailoverEnsembleResult,
+    FailoverStudy,
+    FailoverTrialResult,
+    FailoverTrialSpec,
+    FailoverVariant,
+    FailoverVariantSummary,
+    measure_failover_trial,
+    run_failover_ensemble,
+)
 from repro.experiments.scenarios import (
     SCENARIOS,
     Scenario,
@@ -157,6 +218,7 @@ from repro.experiments.scenarios import (
 from repro.experiments.report import (
     render_economics_ensemble_report,
     render_ensemble_report,
+    render_failover_ensemble_report,
     render_joint_ensemble_report,
     render_offload_ensemble_report,
 )
@@ -173,6 +235,13 @@ __all__ = [
     "EconomicsVariantSummary",
     "EnsembleConfig",
     "EnsembleResult",
+    "FailoverEnsembleConfig",
+    "FailoverEnsembleResult",
+    "FailoverStudy",
+    "FailoverTrialResult",
+    "FailoverTrialSpec",
+    "FailoverVariant",
+    "FailoverVariantSummary",
     "JointEnsembleConfig",
     "JointEnsembleResult",
     "JointStudy",
@@ -204,14 +273,17 @@ __all__ = [
     "get_scenario",
     "grid_variants",
     "mean_ci",
+    "measure_failover_trial",
     "offload_grid_variants",
     "render_economics_ensemble_report",
     "render_ensemble_report",
+    "render_failover_ensemble_report",
     "render_joint_ensemble_report",
     "render_offload_ensemble_report",
     "run_economics_ensemble",
     "run_economics_trial",
     "run_ensemble",
+    "run_failover_ensemble",
     "run_joint_ensemble",
     "run_joint_trial",
     "run_offload_ensemble",

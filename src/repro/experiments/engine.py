@@ -31,16 +31,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Hashable, Protocol, Sequence
+from typing import Any, Hashable, Iterator, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import MeanCI, StreamingMeanCI
 
-#: Schema tag written to every artifact header line.
+#: Schema tag written to every artifact header line.  Success rows are
+#: ``{"trial_id", "variant", "seed", "result"}``; quarantined trials add
+#: a failure row instead: ``{"trial_id", "variant", "seed",
+#: "status": "failed", "error", "attempts"}`` — same schema tag, same
+#: fingerprint, so resumes skip failed trials rather than re-running them.
 ARTIFACT_SCHEMA = "study_trials/v1"
 
 
@@ -107,6 +115,16 @@ class StudyConfig:
     seeds: tuple[int, ...]
     workers: int = 0
     out_dir: str | None = None
+    #: Wall-clock budget per trial (None: unlimited).  Enforced with a
+    #: SIGALRM deadline where the platform supports it; a trial that blows
+    #: the budget is retried and then quarantined like any other failure.
+    trial_timeout_s: float | None = None
+    #: Extra measure attempts before a trial is declared poison.
+    trial_retries: int = 0
+    #: With quarantine on (default), a poison trial becomes a ``failed``
+    #: artifact row and the study completes over the survivors; off, the
+    #: first trial exception propagates and tears the run down.
+    quarantine: bool = True
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -115,6 +133,26 @@ class StudyConfig:
             raise ConfigurationError("study seeds must be distinct")
         if self.workers < 0:
             raise ConfigurationError("workers cannot be negative")
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ConfigurationError("trial_timeout_s must be positive")
+        if self.trial_retries < 0:
+            raise ConfigurationError("trial_retries cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class TrialFailure:
+    """A quarantined trial: identity, the error, and attempts consumed.
+
+    Stands in a result's slot so resumes and trial-order bookkeeping keep
+    working; carries no metrics, so streaming aggregates cover survivors
+    only (the degraded-coverage note says how many are missing).
+    """
+
+    trial_id: int
+    variant: str
+    seed: int
+    error: str
+    attempts: int = 1
 
 
 @dataclass
@@ -129,6 +167,9 @@ class StudyResult:
     world_reuses: int = 0   # trials served from a shared build
     resumed: int = 0        # trials loaded from artifacts instead of run
     streaming: dict[str, dict[str, MeanCI]] = field(default_factory=dict)
+    #: Quarantined trials (trial-id order); ``trials`` holds survivors only.
+    failures: list[TrialFailure] = field(default_factory=list)
+    pool_restarts: int = 0  # broken process pools survived this run
 
     def by_variant(self) -> dict[str, list[Any]]:
         """Trials grouped by variant name, in trial order."""
@@ -136,6 +177,19 @@ class StudyResult:
         for trial in self.trials:
             grouped.setdefault(trial.variant, []).append(trial)
         return grouped
+
+    def coverage_note(self) -> str | None:
+        """Human-readable degraded-coverage warning, or None when clean."""
+        if not self.failures:
+            return None
+        ids = ", ".join(str(f.trial_id) for f in self.failures[:8])
+        suffix = ", ..." if len(self.failures) > 8 else ""
+        return (
+            f"degraded coverage: {len(self.failures)} of "
+            f"{len(self.trials) + len(self.failures)} trials failed and "
+            f"were quarantined (trial ids {ids}{suffix}); aggregates "
+            "cover the surviving trials only"
+        )
 
 
 def expand_trials(study: Study, seeds: Sequence[int]) -> list[Any]:
@@ -198,7 +252,17 @@ def _load_artifacts(
         except json.JSONDecodeError:
             continue  # partial write from a killed run
         trial_id = record.get("trial_id")
-        if isinstance(trial_id, int) and 0 <= trial_id < trial_count:
+        if not (isinstance(trial_id, int) and 0 <= trial_id < trial_count):
+            continue
+        if record.get("status") == "failed":
+            completed[trial_id] = TrialFailure(
+                trial_id=trial_id,
+                variant=record.get("variant", ""),
+                seed=record.get("seed", 0),
+                error=record.get("error", ""),
+                attempts=record.get("attempts", 1),
+            )
+        else:
             completed[trial_id] = study.decode(record["result"])
     return completed
 
@@ -241,6 +305,16 @@ class _ArtifactWriter:
     def append(self, result: Any) -> None:
         if self._handle is None:
             return
+        if isinstance(result, TrialFailure):
+            self._write({
+                "trial_id": result.trial_id,
+                "variant": result.variant,
+                "seed": result.seed,
+                "status": "failed",
+                "error": result.error,
+                "attempts": result.attempts,
+            })
+            return
         self._write({
             "trial_id": result.trial_id,
             "variant": result.variant,
@@ -254,12 +328,98 @@ class _ArtifactWriter:
             self._handle = None
 
 
-def _run_group(study: Study, specs: list[Any]) -> list[Any]:
-    """Build the group's shared world once, then measure every trial."""
+class _TrialTimeout(Exception):
+    """A trial blew its wall-clock budget (internal control flow)."""
+
+
+@contextmanager
+def _trial_deadline(timeout_s: float | None) -> Iterator[None]:
+    """Raise :class:`_TrialTimeout` if the body runs past ``timeout_s``.
+
+    Uses a real-time SIGALRM itimer, which only works in a main thread on
+    a platform that has it — exactly where trials run (inline, or the
+    main thread of a worker process).  Elsewhere the deadline is a no-op
+    rather than an error, so studies stay portable.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise _TrialTimeout(f"trial exceeded its {timeout_s:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure(spec: Any, error: BaseException, attempts: int) -> TrialFailure:
+    return TrialFailure(
+        trial_id=spec.trial_id,
+        variant=spec.variant,
+        seed=spec.seed,
+        error=f"{type(error).__name__}: {error}",
+        attempts=attempts,
+    )
+
+
+def _run_group(
+    study: Study,
+    specs: list[Any],
+    timeout_s: float | None = None,
+    retries: int = 0,
+    quarantine: bool = True,
+) -> list[Any]:
+    """Build the group's shared world once, then measure every trial.
+
+    One poison trial must not lose the group: each trial is retried up
+    to ``retries`` times under the per-trial deadline and then, with
+    quarantine on, recorded as a :class:`TrialFailure` while the rest of
+    the group keeps running.  :class:`ConfigurationError` always
+    propagates — a misconfigured study is a programmer error, not chaos
+    to absorb.  A failed world build fails every trial of the group (there
+    is nothing to measure against).
+    """
     start = time.perf_counter()
-    world = study.build(specs[0])
+    try:
+        with _trial_deadline(timeout_s):
+            world = study.build(specs[0])
+    except ConfigurationError:
+        raise
+    except (_TrialTimeout, Exception) as error:
+        if not quarantine:
+            raise
+        return [_failure(spec, error, attempts=1) for spec in specs]
     build_s = time.perf_counter() - start
-    return [study.measure(spec, world, build_s) for spec in specs]
+
+    results: list[Any] = []
+    for spec in specs:
+        last_error: BaseException | None = None
+        for attempt in range(1 + retries):
+            try:
+                with _trial_deadline(timeout_s):
+                    results.append(study.measure(spec, world, build_s))
+                last_error = None
+                break
+            except ConfigurationError:
+                raise
+            except (_TrialTimeout, Exception) as error:
+                if not quarantine:
+                    raise
+                last_error = error
+        if last_error is not None:
+            results.append(_failure(spec, last_error, attempts=1 + retries))
+    return results
 
 
 def run_study(study: Study, config: StudyConfig) -> StudyResult:
@@ -292,13 +452,23 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
     streams: dict[str, dict[str, StreamingMeanCI]] = {}
 
     def absorb(result: Any) -> None:
+        if isinstance(result, TrialFailure):
+            return  # survivors only: failures carry no metrics
         per_variant = streams.setdefault(result.variant, {})
         for metric, value in study.metrics(result).items():
             per_variant.setdefault(metric, StreamingMeanCI()).add(value)
 
+    def record(result: Any) -> None:
+        completed[result.trial_id] = result
+        writer.append(result)
+        absorb(result)
+
     for result in completed.values():
         absorb(result)
 
+    group_args = (config.trial_timeout_s, config.trial_retries,
+                  config.quarantine)
+    pool_restarts = 0
     writer = _ArtifactWriter(study, config.out_dir, fingerprint)
     try:
         workers = config.workers or min(
@@ -306,35 +476,49 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         )
         if workers <= 1 or len(group_list) <= 1:
             for group in group_list:
-                for result in _run_group(study, group):
-                    completed[result.trial_id] = result
-                    writer.append(result)
-                    absorb(result)
+                for result in _run_group(study, group, *group_args):
+                    record(result)
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(group_list))
-            ) as pool:
-                futures = [
-                    pool.submit(_run_group, study, group)
-                    for group in group_list
-                ]
-                # Drain in completion order so finished groups land in the
-                # resume artifact immediately — a slow head-of-line group
-                # must not hold every other group's trials hostage to a
-                # mid-run kill.  Trial order is restored at the end.
-                for future in as_completed(futures):
-                    for result in future.result():
-                        completed[result.trial_id] = result
-                        writer.append(result)
-                        absorb(result)
+            # A crashed worker (OOM kill, segfault, os._exit) breaks the
+            # whole pool; one restart resubmits the not-yet-completed
+            # groups before the failure is allowed to surface.
+            pending = group_list
+            for attempt in (0, 1):
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending))
+                    ) as pool:
+                        futures = [
+                            pool.submit(_run_group, study, group, *group_args)
+                            for group in pending
+                        ]
+                        # Drain in completion order so finished groups land
+                        # in the resume artifact immediately — a slow
+                        # head-of-line group must not hold every other
+                        # group's trials hostage to a mid-run kill.  Trial
+                        # order is restored at the end.
+                        for future in as_completed(futures):
+                            for result in future.result():
+                                record(result)
+                    break
+                except BrokenProcessPool:
+                    pending = [
+                        [s for s in group if s.trial_id not in completed]
+                        for group in pending
+                    ]
+                    pending = [group for group in pending if group]
+                    if attempt == 1 or not pending:
+                        raise
+                    pool_restarts += 1
     finally:
         writer.close()
 
     executed = sum(len(group) for group in group_list)
+    ordered = [completed[i] for i in range(len(specs))]
     return StudyResult(
         study=study.name,
         config=config,
-        trials=[completed[i] for i in range(len(specs))],
+        trials=[r for r in ordered if not isinstance(r, TrialFailure)],
         wall_s=time.perf_counter() - t0,
         world_builds=len(group_list),
         world_reuses=executed - len(group_list),
@@ -343,4 +527,6 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
             variant: {m: s.snapshot() for m, s in metrics.items()}
             for variant, metrics in streams.items()
         },
+        failures=[r for r in ordered if isinstance(r, TrialFailure)],
+        pool_restarts=pool_restarts,
     )

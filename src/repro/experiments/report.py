@@ -8,6 +8,7 @@ from repro.reporting.ensembles import (
     ensemble_title,
     render_economics_ensemble_report,
     render_ensemble_report,
+    render_failover_ensemble_report,
     render_joint_ensemble_report,
     render_offload_ensemble_report,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "ensemble_title",
     "render_economics_ensemble_report",
     "render_ensemble_report",
+    "render_failover_ensemble_report",
     "render_joint_ensemble_report",
     "render_offload_ensemble_report",
 ]

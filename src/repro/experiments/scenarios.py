@@ -28,6 +28,16 @@ The four scenarios:
     :class:`~repro.experiments.joint.JointStudy` — the end-to-end
     detection→offload→billing chain with measured detection errors
     propagated into the peer map.
+``failover``
+    :class:`~repro.experiments.failover.FailoverStudy` over the
+    pseudowire dark-window ``duration_scale`` — how much of the Section 5
+    offload savings the 95th-percentile rule claws back as failover
+    bursts grow longer (nested windows on a fixed seed, so the billing
+    error is monotone along the sweep).
+``churned-detection``
+    :class:`DetectionStudy` under the full fault schedule — detection
+    precision/recall as LG outages, rate-limit storms, port flaps and
+    probe-loss bursts scale from absent to 4× the calibrated intensity.
 
 Use :func:`get_scenario` / :func:`scenario_names` programmatically, or
 ``repro scenarios list|run <name>`` from the CLI.
@@ -58,6 +68,12 @@ PRICE_PLANE_TRANSIT = (3.0, 5.0, 8.0)
 
 #: Remote-peering fixed (port) prices (h) of the ``price-plane`` grid.
 PRICE_PLANE_PORT = (0.1, 0.25, 0.5)
+
+#: Dark-window duration scales of the ``failover`` sweep (0 = fault-free).
+DARK_DURATION_SCALES = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+#: Fault intensities of the ``churned-detection`` sweep (0 = clean).
+FAULT_INTENSITIES = (0.0, 0.5, 1.0, 2.0, 4.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -275,6 +291,88 @@ def _joint(preset: str, seeds: tuple[int, ...], workers: int) -> ScenarioRun:
     )
 
 
+def _failover(
+    preset: str, seeds: tuple[int, ...], workers: int
+) -> ScenarioRun:
+    from repro.experiments.failover import (
+        FailoverEnsembleConfig,
+        FailoverStudy,
+        FailoverVariant,
+        run_failover_ensemble,
+    )
+    from repro.faults.schedule import FaultConfig
+    from repro.reporting.ensembles import render_failover_ensemble_report
+
+    world = offload_preset_config("small" if preset == "small" else "paper65")
+    variants = tuple(
+        FailoverVariant(
+            name=f"dark={scale}x",
+            world=world,
+            faults=FaultConfig(duration_scale=scale)
+            if scale > 0
+            else FaultConfig(intensity=0.0),
+        )
+        for scale in DARK_DURATION_SCALES
+    )
+    config = FailoverEnsembleConfig(
+        seeds=seeds, variants=variants, workers=workers
+    )
+
+    def execute(out_dir: str | None):
+        result = run_failover_ensemble(config, out_dir=out_dir)
+        return result, render_failover_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="failover",
+        preset=preset,
+        study=FailoverStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
+def _churned_detection(
+    preset: str, seeds: tuple[int, ...], workers: int
+) -> ScenarioRun:
+    from repro.core.detection.campaign import CampaignConfig
+    from repro.experiments.ensemble import (
+        ConfigVariant,
+        DetectionStudy,
+        EnsembleConfig,
+        run_ensemble,
+    )
+    from repro.faults.schedule import FaultConfig
+    from repro.reporting.ensembles import render_ensemble_report
+
+    specs = mini_specs() if preset == "small" else ()
+    world = DetectionWorldConfig(specs=specs)
+    variants = tuple(
+        ConfigVariant(
+            name=f"faults={intensity}x",
+            world=world,
+            campaign=CampaignConfig(
+                faults=FaultConfig(intensity=intensity)
+                if intensity > 0
+                else None
+            ),
+        )
+        for intensity in FAULT_INTENSITIES
+    )
+    config = EnsembleConfig(seeds=seeds, variants=variants, workers=workers)
+
+    def execute(out_dir: str | None):
+        result = run_ensemble(config, out_dir=out_dir)
+        return result, render_ensemble_report(result)
+
+    return ScenarioRun(
+        scenario="churned-detection",
+        preset=preset,
+        study=DetectionStudy(variants=variants),
+        study_config=StudyConfig(seeds=seeds, workers=workers),
+        execute=execute,
+    )
+
+
 #: The registry the CLI and tests enumerate, in presentation order.
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
@@ -310,6 +408,22 @@ SCENARIOS: dict[str, Scenario] = {
             "precision/recall propagated into the peer map, "
             "oracle-vs-detected offload gap and billing error",
             builder=_joint,
+        ),
+        Scenario(
+            name="failover",
+            study_kind="failover",
+            description="Pseudowire failover sweep: offload savings vs "
+            "dark-window duration scale under 95th-percentile billing, "
+            "with the billing error monotone along the sweep per seed",
+            builder=_failover,
+        ),
+        Scenario(
+            name="churned-detection",
+            study_kind="detection",
+            description="Detection under chaos: precision/recall as LG "
+            "outages, rate-limit storms, port flaps and probe-loss "
+            "bursts scale from 0x to 4x the calibrated fault intensity",
+            builder=_churned_detection,
         ),
     )
 }

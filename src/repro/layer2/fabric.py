@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -10,6 +11,9 @@ from repro.delaymodel.jitter import JitterModel
 from repro.errors import ConfigurationError, TopologyError
 from repro.layer2.port import Port
 from repro.net.addr import IPv4Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.layer2.failover import FailoverState
 
 
 @dataclass(slots=True)
@@ -91,22 +95,43 @@ class PeeringFabric:
         )
 
     def path_rtt_ms(
-        self, a: Port, b: Port, time_s: float, rng: np.random.Generator
+        self,
+        a: Port,
+        b: Port,
+        time_s: float,
+        rng: np.random.Generator,
+        failover: "FailoverState | None" = None,
     ) -> float:
-        """One probe's path RTT: baseline + jitter + both ports' congestion."""
+        """One probe's path RTT: baseline + jitter + both ports' congestion.
+
+        When a :class:`~repro.layer2.failover.FailoverState` is given and
+        either endpoint's pseudowire is dark at ``time_s``, the transit
+        detour's extra RTT is added on top (deterministic, draw-free —
+        the stochastic components consume exactly the same draws either
+        way).
+        """
         rtt = self.base_path_rtt_ms(a, b)
         rtt += self.jitter.sample_ms(rng)
         rtt += a.profile.congestion.delay_ms(time_s, rng)
         rtt += b.profile.congestion.delay_ms(time_s, rng)
+        if failover is not None and failover:
+            rtt += failover.extra_ms(a.interface.address, time_s)
+            rtt += failover.extra_ms(b.interface.address, time_s)
         return rtt
 
     def path_rtt_batch_ms(
-        self, a: Port, b: Port, times_s: np.ndarray, rng: np.random.Generator
+        self,
+        a: Port,
+        b: Port,
+        times_s: np.ndarray,
+        rng: np.random.Generator,
+        failover: "FailoverState | None" = None,
     ) -> np.ndarray:
         """Path RTTs for many probes between one port pair, vectorized.
 
         Same law as :meth:`path_rtt_ms` (baseline + jitter + both ports'
-        congestion), realized as one array draw per stochastic component.
+        congestion, plus the draw-free failover detour while an endpoint
+        is dark), realized as one array draw per stochastic component.
         """
         times_s = np.asarray(times_s, dtype=float)
         rtt = self.base_path_rtt_ms(a, b) + self.jitter.sample_batch_ms(
@@ -114,4 +139,7 @@ class PeeringFabric:
         )
         rtt += a.profile.congestion.delay_batch_ms(times_s, rng)
         rtt += b.profile.congestion.delay_batch_ms(times_s, rng)
+        if failover is not None and failover:
+            rtt = rtt + failover.extra_batch_ms(a.interface.address, times_s)
+            rtt = rtt + failover.extra_batch_ms(b.interface.address, times_s)
         return rtt

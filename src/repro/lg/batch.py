@@ -44,12 +44,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.delaymodel.congestion import CongestionProcess, NoCongestion
 from repro.delaymodel.jitter import JitterModel
 from repro.lg.server import LookingGlassServer
 from repro.net.addr import IPv4Address
 from repro.net.icmp import ReplyBatch
 from repro.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import ProbeFaults
 
 
 @dataclass(slots=True)
@@ -164,18 +169,68 @@ def sweep_query_times(plan: ProbePlan, starts: np.ndarray) -> np.ndarray:
     return starts[:, None] + np.arange(len(plan), dtype=float)[None, :] * MINUTE
 
 
+@dataclass(slots=True)
+class SweepFaults:
+    """A probe-fault slice compiled against one plan's target order.
+
+    The schedule keys faults by interface address; a sweep works in plan
+    index space.  Compiling once per sweep keeps :func:`run_sweeps` free
+    of dict lookups — and every fault application below is *draw-free*
+    (masks and addends over already-drawn arrays), so a faulted sweep
+    consumes exactly the same RNG draws as a clean one.
+    """
+
+    loss_edges: np.ndarray          # merged flat edges, possibly empty
+    loss_severity: float
+    flap_by_index: dict[int, np.ndarray]
+    dark_by_index: dict[int, tuple[np.ndarray, float]]
+
+
+def compile_sweep_faults(
+    plan: ProbePlan, faults: "ProbeFaults"
+) -> SweepFaults:
+    """Re-key one IXP's :class:`ProbeFaults` by plan target index."""
+    flap_by_index: dict[int, np.ndarray] = {}
+    dark_by_index: dict[int, tuple[np.ndarray, float]] = {}
+    for j, address in enumerate(plan.addresses):
+        flap_edges = faults.flap_edges.get(address.value)
+        if flap_edges is not None and flap_edges.size:
+            flap_by_index[j] = flap_edges
+        dark = faults.failover.windows.get(address.value)
+        if dark is not None and dark[0].size:
+            dark_by_index[j] = dark
+    return SweepFaults(
+        loss_edges=faults.loss_edges,
+        loss_severity=faults.loss_severity,
+        flap_by_index=flap_by_index,
+        dark_by_index=dark_by_index,
+    )
+
+
+def _edge_mask(edges: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Vectorized membership test against merged flat window edges."""
+    return np.searchsorted(edges, times, side="right") % 2 == 1
+
+
 def run_sweeps(
     plan: ProbePlan,
     starts: np.ndarray,
     rng: np.random.Generator,
     query_times: np.ndarray | None = None,
+    served: np.ndarray | None = None,
+    faults: SweepFaults | None = None,
 ) -> list[ReplyBatch]:
     """Realize all rounds of one plan; returns per-target reply batches.
 
     ``starts`` holds the R round start times.  ``query_times`` accepts the
     ``(R, N)`` grid from :func:`sweep_query_times` when the caller already
-    computed it (e.g. to validate the rate-limit ledger up front);
-    otherwise it is derived from ``starts``.
+    computed it (e.g. to validate the rate-limit ledger up front, or to
+    substitute the retry planner's *effective* send times); otherwise it
+    is derived from ``starts``.  ``served`` is an optional ``(R, N)`` mask
+    of slots the retry planner gave up on (their probes time out);
+    ``faults`` applies scheduled chaos as draw-free masks and addends, so
+    ``faults=None`` sweeps are byte-identical with or without this code
+    path compiled in.
 
     Stochastic draw order (fixed so a given stream is reproducible):
     jitter, congestion groups in plan order, response loss, processing.
@@ -193,8 +248,28 @@ def run_sweeps(
     for process, indices in plan.congestion_groups:
         rtt[:, indices, :] += process.delay_batch_ms(sent[:, indices, :], rng)
 
-    answered = rng.random((rounds, n, pings)) < plan.respond_prob[None, :, None]
+    if faults is not None:
+        # Transit-detour RTT while a target's pseudowire is dark.
+        for j, (edges, extra_ms) in faults.dark_by_index.items():
+            rtt[:, j, :] += extra_ms * _edge_mask(edges, sent[:, j, :])
+
+    respond_prob = np.broadcast_to(
+        plan.respond_prob[None, :, None], (rounds, n, pings)
+    )
+    if faults is not None and faults.loss_severity > 0 and faults.loss_edges.size:
+        # Loss bursts degrade response probability; the uniform draw is
+        # the same single array either way, so later draws never shift.
+        in_burst = _edge_mask(faults.loss_edges, sent)
+        respond_prob = np.where(
+            in_burst, respond_prob * (1.0 - faults.loss_severity), respond_prob
+        )
+    answered = rng.random((rounds, n, pings)) < respond_prob
     answered &= plan.reachable[None, :, None]
+    if faults is not None:
+        for j, edges in faults.flap_by_index.items():
+            answered[:, j, :] &= ~_edge_mask(edges, sent[:, j, :])
+    if served is not None:
+        answered &= served[:, :, None]
 
     ttl_stamp = np.where(
         sent >= plan.os_change_s[None, :, None],

@@ -12,11 +12,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.errors import RateLimitError
 from repro.lg.server import LookingGlassServer
 from repro.net.addr import IPv4Address
 from repro.net.icmp import EchoReply
 from repro.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.retry import RetryPlan
+    from repro.faults.schedule import ProbeFaults
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +48,8 @@ class LookingGlassClient:
     min_interval_s: float = MINUTE
     _last_query_at: dict[str, float] = field(default_factory=dict)
     _query_counts: dict[str, int] = field(default_factory=dict)
+    _retry_counts: dict[str, int] = field(default_factory=dict)
+    _dropped_counts: dict[str, int] = field(default_factory=dict)
 
     def submit(
         self,
@@ -49,8 +57,19 @@ class LookingGlassClient:
         target: IPv4Address,
         time_s: float,
         rng: np.random.Generator,
+        effective_s: float | None = None,
+        served: bool = True,
+        faults: "ProbeFaults | None" = None,
     ) -> QueryResult:
-        """Submit one HTML query, enforcing the per-server rate limit."""
+        """Submit one HTML query, enforcing the per-server rate limit.
+
+        The rate limit is enforced on the *planned* slot ``time_s``; under
+        a fault schedule the retry planner may shift the actual send to
+        ``effective_s`` (bounded so it stays within the slot — see
+        :class:`~repro.faults.retry.RetryPolicy`) or declare the slot
+        unservable (``served=False``), in which case the query is counted
+        as dropped and no probes are sent.
+        """
         last = self._last_query_at.get(server.name)
         # The 1 ms tolerance absorbs float rounding of minute-spaced
         # schedules at large simulated timestamps.
@@ -62,12 +81,23 @@ class LookingGlassClient:
             )
         self._last_query_at[server.name] = time_s
         self._query_counts[server.name] = self._query_counts.get(server.name, 0) + 1
-        replies = server.query(target, time_s, rng)
+        if not served:
+            # Dropped slots are tallied once per sweep via record_retries
+            # (both engines record the identical plan), not per submit.
+            return QueryResult(
+                server_name=server.name,
+                operator=server.operator,
+                target=target,
+                sent_at_s=time_s,
+                replies=(),
+            )
+        sent_at = time_s if effective_s is None else effective_s
+        replies = server.query(target, sent_at, rng, faults)
         return QueryResult(
             server_name=server.name,
             operator=server.operator,
             target=target,
-            sent_at_s=time_s,
+            sent_at_s=sent_at,
             replies=tuple(replies),
         )
 
@@ -105,6 +135,28 @@ class LookingGlassClient:
             self._query_counts.get(server_name, 0) + int(times.size)
         )
 
+    def record_retries(self, server_name: str, plan: "RetryPlan") -> None:
+        """Add one retry plan's tallies to the per-server counters.
+
+        The batch engine plans a whole sweep's retries in one call; the
+        scalar engine records the identical plan before submitting slot by
+        slot — both engines therefore report the same counts.
+        """
+        self._retry_counts[server_name] = (
+            self._retry_counts.get(server_name, 0) + plan.retries
+        )
+        self._dropped_counts[server_name] = (
+            self._dropped_counts.get(server_name, 0) + plan.dropped
+        )
+
     def queries_sent(self, server_name: str) -> int:
         """Number of queries submitted to one server so far."""
         return self._query_counts.get(server_name, 0)
+
+    def retries(self, server_name: str) -> int:
+        """Extra query attempts (beyond the first) against one server."""
+        return self._retry_counts.get(server_name, 0)
+
+    def queries_dropped(self, server_name: str) -> int:
+        """Query slots abandoned after exhausting the retry budget."""
+        return self._dropped_counts.get(server_name, 0)

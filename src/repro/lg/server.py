@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -14,9 +15,19 @@ from repro.net.device import Device, TTL_LINUX
 from repro.net.icmp import EchoReply, reply_for_probe
 from repro.types import PortKind
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import ProbeFaults
+
 #: Pings issued per HTML query (Section 3.1, "Measurement overhead").
 PCH_PINGS = 5
 RIPE_PINGS = 3
+
+
+def _in_windows(edges: np.ndarray, time_s: float) -> bool:
+    """Whether ``time_s`` falls inside a merged window set (see faults)."""
+    if edges.size == 0:
+        return False
+    return bool(np.searchsorted(edges, time_s, side="right") % 2 == 1)
 
 
 @dataclass(slots=True)
@@ -96,27 +107,52 @@ class LookingGlassServer:
         self.offlan_targets[address.value] = target
 
     def query(
-        self, target: IPv4Address, time_s: float, rng: np.random.Generator
+        self,
+        target: IPv4Address,
+        time_s: float,
+        rng: np.random.Generator,
+        faults: "ProbeFaults | None" = None,
     ) -> list[EchoReply]:
         """Answer one HTML query: issue the operator's ping burst.
 
         Returns the replies that came back (possibly empty).  Probes are
-        spaced one second apart, as LG ping implementations do.
+        spaced one second apart, as LG ping implementations do.  An
+        optional :class:`~repro.faults.schedule.ProbeFaults` slice makes
+        probes see the scheduled chaos: flapped ports time out, loss
+        bursts degrade response probability, and dark pseudowires answer
+        over the transit detour.
         """
         replies: list[EchoReply] = []
         for i in range(self.pings_per_query):
             sent_at = time_s + float(i)
-            observation = self._probe_once(target, sent_at, rng)
+            observation = self._probe_once(target, sent_at, rng, faults)
             if observation is not None:
                 replies.append(observation)
         return replies
 
     def _probe_once(
-        self, target: IPv4Address, sent_at: float, rng: np.random.Generator
+        self,
+        target: IPv4Address,
+        sent_at: float,
+        rng: np.random.Generator,
+        faults: "ProbeFaults | None" = None,
     ) -> EchoReply | None:
+        respond_override: float | None = None
+        if faults is not None:
+            flap_edges = faults.flap_edges.get(target.value)
+            if flap_edges is not None and _in_windows(flap_edges, sent_at):
+                return None  # port is hard-down: the probe times out
+            if faults.loss_severity > 0 and _in_windows(
+                faults.loss_edges, sent_at
+            ):
+                base = self._respond_probability_for(target)
+                respond_override = base * (1.0 - faults.loss_severity)
         if self.fabric.has_address(target):
             port = self.fabric.port_for(target)
-            path_rtt = self.fabric.path_rtt_ms(self.port, port, sent_at, rng)
+            path_rtt = self.fabric.path_rtt_ms(
+                self.port, port, sent_at, rng,
+                failover=faults.failover if faults is not None else None,
+            )
             path_rtt += port.operator_bias.get(self.operator, 0.0)
             obs = reply_for_probe(
                 device=port.interface.device,
@@ -124,6 +160,7 @@ class LookingGlassServer:
                 path_rtt_ms=path_rtt,
                 sent_at_s=sent_at,
                 rng=rng,
+                respond_probability=respond_override,
             )
             return obs.reply
         offlan = self.offlan_targets.get(target.value)
@@ -138,5 +175,15 @@ class LookingGlassServer:
             sent_at_s=sent_at,
             rng=rng,
             reply_extra_hops=offlan.extra_hops,
+            respond_probability=respond_override,
         )
         return obs.reply
+
+    def _respond_probability_for(self, target: IPv4Address) -> float:
+        """The target device's baseline response probability."""
+        if self.fabric.has_address(target):
+            return self.fabric.port_for(target).interface.device.respond_probability
+        offlan = self.offlan_targets.get(target.value)
+        if offlan is None:
+            return 0.0
+        return offlan.device.respond_probability

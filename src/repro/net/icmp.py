@@ -110,6 +110,7 @@ def reply_for_probe(
     sent_at_s: float,
     rng: np.random.Generator,
     reply_extra_hops: int | None = None,
+    respond_probability: float | None = None,
 ) -> PingObservation:
     """Simulate one echo request against ``device``.
 
@@ -117,9 +118,13 @@ def reply_for_probe(
     (propagation + queueing), excluding the device's own processing time.
     ``reply_extra_hops`` overrides the device's default when the *request*
     itself took an indirect route (e.g. a stale registry address that lives
-    behind a router outside the LAN).
+    behind a router outside the LAN).  ``respond_probability`` overrides
+    the device's own when the probe path degrades it (e.g. a fault
+    schedule's loss burst); the loss draw is consumed either way, so
+    overriding never shifts later draws.
     """
-    if rng.random() > device.respond_probability:
+    p = device.respond_probability if respond_probability is None else respond_probability
+    if rng.random() > p:
         return PingObservation(reply=None)
     hops = device.reply_extra_hops if reply_extra_hops is None else reply_extra_hops
     ttl = device.ttl_init_at(sent_at_s) - hops

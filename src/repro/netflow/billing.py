@@ -87,3 +87,97 @@ def offload_billing_report(
         after_rate_bps=percentile_rate(remaining, percentile),
         price_per_mbps=price_per_mbps,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverBillingReport:
+    """Percentile billing of offload savings eroded by failover bursts.
+
+    ``ideal`` is the after-offload rate a fault-free month would bill;
+    ``realized`` re-adds the traffic that returned to transit while
+    pseudowires were dark.  The 95th-percentile rule is exactly what makes
+    short bursts expensive: a few dark 5-minute bins can move the billed
+    percentile even when the average barely shifts (Section 5's risk).
+    """
+
+    before_rate_bps: float
+    ideal_after_rate_bps: float
+    realized_after_rate_bps: float
+    price_per_mbps: float
+
+    @property
+    def before_bill(self) -> float:
+        return self.before_rate_bps / MBPS * self.price_per_mbps
+
+    @property
+    def ideal_after_bill(self) -> float:
+        return self.ideal_after_rate_bps / MBPS * self.price_per_mbps
+
+    @property
+    def realized_after_bill(self) -> float:
+        return self.realized_after_rate_bps / MBPS * self.price_per_mbps
+
+    @property
+    def ideal_savings_fraction(self) -> float:
+        """Savings a fault-free month would deliver (zero-baseline -> 0)."""
+        if self.before_bill == 0:
+            return 0.0
+        return 1.0 - self.ideal_after_bill / self.before_bill
+
+    @property
+    def realized_savings_fraction(self) -> float:
+        """Savings actually billed after failover bursts (zero-baseline -> 0)."""
+        if self.before_bill == 0:
+            return 0.0
+        return 1.0 - self.realized_after_bill / self.before_bill
+
+    @property
+    def burst_penalty(self) -> float:
+        """Extra monthly charge the failover bursts caused."""
+        return self.realized_after_bill - self.ideal_after_bill
+
+    @property
+    def penalty_fraction(self) -> float:
+        """Burst penalty as a fraction of the fault-free bill."""
+        if self.before_bill == 0:
+            return 0.0
+        return self.burst_penalty / self.before_bill
+
+
+def failover_billing_report(
+    transit_series_bps: np.ndarray,
+    offload_series_bps: np.ndarray,
+    fallback_series_bps: np.ndarray,
+    price_per_mbps: float = 1.0,
+    percentile: float = 95.0,
+) -> FailoverBillingReport:
+    """Billing impact of offload whose circuits intermittently fail over.
+
+    ``fallback_series`` is the slice of the offloaded traffic that fell
+    back to transit (per 5-minute bin); it can never exceed what was
+    offloaded in that bin.
+    """
+    if not (
+        transit_series_bps.shape
+        == offload_series_bps.shape
+        == fallback_series_bps.shape
+    ):
+        raise AnalysisError("series must align bin-for-bin")
+    if np.any(fallback_series_bps < -1e-6):
+        raise AnalysisError("negative fallback traffic")
+    if np.any(fallback_series_bps > offload_series_bps + 1e-6):
+        raise AnalysisError("fallback exceeds offloaded traffic in some bins")
+    ideal = transit_series_bps - offload_series_bps
+    if np.any(ideal < -1e-6):
+        raise AnalysisError("offload exceeds transit traffic in some bins")
+    ideal = np.clip(ideal, 0.0, None)
+    realized = np.clip(
+        transit_series_bps - offload_series_bps + fallback_series_bps,
+        0.0, None,
+    )
+    return FailoverBillingReport(
+        before_rate_bps=percentile_rate(transit_series_bps, percentile),
+        ideal_after_rate_bps=percentile_rate(ideal, percentile),
+        realized_after_rate_bps=percentile_rate(realized, percentile),
+        price_per_mbps=price_per_mbps,
+    )

@@ -19,6 +19,14 @@ rather than sample-for-sample, and results that must hold across engines
 are asserted with tolerances, never exact draws.  World generation uses
 the disjoint label paths ``(seed, "ixp", acronym)`` etc., so campaign
 replays never disturb the world.
+
+Fault injection draws from its own ``(seed, "faults", <kind>, ...)``
+family (see :mod:`repro.faults.schedule` for the full list: pseudowire
+dark windows, port flaps, LG outages, rate-limit storms, probe loss,
+and retry backoff).  Because these paths are disjoint from the
+campaign and world streams, enabling or disabling chaos never perturbs
+the fault-free draws — a zero-intensity faulted run is byte-identical
+to an unfaulted one.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from repro.reporting.ensembles import (
     ensemble_title,
     render_economics_ensemble_report,
     render_ensemble_report,
+    render_failover_ensemble_report,
     render_joint_ensemble_report,
     render_offload_ensemble_report,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "offload_report",
     "render_economics_ensemble_report",
     "render_ensemble_report",
+    "render_failover_ensemble_report",
     "render_joint_ensemble_report",
     "render_offload_ensemble_report",
 ]

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # result types only — avoids a reporting ↔ experiments cy
     from repro.experiments.aggregate import MeanCI
     from repro.experiments.economics import EconomicsEnsembleResult
     from repro.experiments.ensemble import EnsembleResult
+    from repro.experiments.failover import FailoverEnsembleResult
     from repro.experiments.joint import JointEnsembleResult
     from repro.experiments.offload import OffloadEnsembleResult
 
@@ -203,6 +204,62 @@ def render_joint_ensemble_report(result: JointEnsembleResult) -> str:
             ["quantity", "mean ± 95% CI"],
             rows,
             title=f"Peer map and billing — {s.variant}",
+        ))
+
+    return "\n\n".join(blocks)
+
+
+def render_failover_ensemble_report(result: FailoverEnsembleResult) -> str:
+    """Render the failover ensemble: savings eroded by dark pseudowires.
+
+    The headline table reports, per fault variant, the fault-free (ideal)
+    and realized 95th-percentile bill-savings fractions, the billing
+    error between them, and the dark-time exposure that caused it — all
+    mean ± 95% CI.  One block per variant decomposes the billing chain
+    (baseline bill, burst penalty) and the chaos drawn (dark windows,
+    dark-time fraction, IXP footprint).
+    """
+    summaries = result.summaries()
+    blocks: list[str] = []
+
+    headline_rows = []
+    for s in summaries:
+        headline_rows.append([
+            s.variant,
+            s.group,
+            s.trials,
+            _ci(s.offload_fraction, as_percent=True),
+            _ci(s.ideal_savings, as_percent=True),
+            _ci(s.realized_savings, as_percent=True),
+            f"{s.billing_error.mean:.2%} ± {s.billing_error.half_width:.2%}",
+            f"{s.dark_fraction.mean:.2%} ± {s.dark_fraction.half_width:.2%}",
+        ])
+    blocks.append(render_table(
+        ["variant", "group", "trials", "offload", "ideal savings",
+         "realized savings", "billing error", "dark time"],
+        headline_rows,
+        title=ensemble_title(
+            "Failover ensemble", len(result.trials), len(summaries),
+            len(result.config.seeds), result.wall_s,
+        ),
+    ))
+
+    for s in summaries:
+        rows = [
+            ["IXPs in greedy footprint", _ci(s.ixp_count, decimals=1)],
+            ["pseudowire dark windows", _ci(s.dark_windows, decimals=1)],
+            ["dark time fraction",
+             f"{s.dark_fraction.mean:.3%} ± {s.dark_fraction.half_width:.3%}"],
+            ["bill before offload", _ci(s.before_bill)],
+            ["burst penalty (bill units)", _ci(s.burst_penalty, decimals=2)],
+            ["savings lost to failover",
+             f"{s.billing_error.mean:.3%} ± "
+             f"{s.billing_error.half_width:.3%}"],
+        ]
+        blocks.append(render_table(
+            ["quantity", "mean ± 95% CI"],
+            rows,
+            title=f"Failover billing — {s.variant}",
         ))
 
     return "\n\n".join(blocks)

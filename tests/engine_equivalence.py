@@ -98,6 +98,44 @@ def offload_world_pair(config: OffloadWorldConfig | None = None):
     )
 
 
+# -- campaign signatures -------------------------------------------------------
+
+
+def campaign_signature(result):
+    """Every analyzed interface as a comparable tuple, in result order.
+
+    Two campaign runs are *bit-identical* iff their signatures are equal:
+    the signature captures the per-interface minima, the per-operator
+    minima and the reply counts — everything the filters and the
+    remoteness call consume.
+    """
+    return [
+        (
+            a.ixp_acronym,
+            a.address.value,
+            a.min_rtt_ms,
+            tuple(sorted(a.per_operator_min_ms)),
+            a.reply_count,
+        )
+        for a in result.analyzed
+    ]
+
+
+def retry_signature(campaign):
+    """Per-server (retries, dropped) counts from a campaign's client ledger.
+
+    Both probe engines plan retries on the identical query grid with the
+    same ``(seed, "faults", "backoff", ...)`` stream, so these counts —
+    unlike raw probe draws — must agree bit-for-bit *across* engines.
+    """
+    client = campaign.client
+    names = sorted(set(client._retry_counts) | set(client._dropped_counts))
+    return {
+        name: (client.retries(name), client.queries_dropped(name))
+        for name in names
+    }
+
+
 # -- moment / count comparators ------------------------------------------------
 
 

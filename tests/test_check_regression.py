@@ -1,0 +1,114 @@
+"""The perf regression guard's comparison logic, via ``--fresh`` payloads.
+
+``check_regression.py`` normally reruns the benchmark; the ``--fresh``
+flag lets these tests feed it hand-written payloads instead, so the
+comparison rules — shared-stage ratios, new/retired tolerance, the
+missing-stage warning — are locked down without timing anything.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def payload(**timings):
+    return {"schema": "bench_speed/test", "timings_s": timings}
+
+
+def run_check(check_regression, tmp_path, baseline, fresh, factor=2.0):
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    return check_regression.main([
+        "--baseline", str(base_path), "--fresh", str(fresh_path),
+        "--factor", str(factor),
+    ])
+
+
+class TestComparison:
+    def test_clean_run_passes(self, check_regression, tmp_path):
+        code = run_check(
+            check_regression, tmp_path,
+            payload(a=1.0, b=2.0), payload(a=1.1, b=1.9),
+        )
+        assert code == 0
+
+    def test_regression_fails(self, check_regression, tmp_path, capsys):
+        code = run_check(
+            check_regression, tmp_path,
+            payload(a=1.0, b=2.0), payload(a=2.5, b=1.9),
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "a" in out
+
+    def test_zero_baseline_never_fails(self, check_regression, tmp_path):
+        code = run_check(
+            check_regression, tmp_path,
+            payload(a=0.0), payload(a=5.0),
+        )
+        assert code == 0
+
+
+class TestMissingStages:
+    def test_baseline_only_stage_warns_without_failing(
+        self, check_regression, tmp_path, capsys
+    ):
+        # The satellite case: a stage in the baseline but absent from the
+        # fresh run (a --quick run, or a retired stage) must warn — never
+        # KeyError, never exit 1.
+        code = run_check(
+            check_regression, tmp_path,
+            payload(kept=1.0, retired_scalar=9.0), payload(kept=1.0),
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retired_scalar" in out and "(retired)" in out
+        assert "WARNING: 1 baseline stage(s) missing" in out
+
+    def test_fresh_only_stage_is_reported_as_new(
+        self, check_regression, tmp_path, capsys
+    ):
+        code = run_check(
+            check_regression, tmp_path,
+            payload(a=1.0), payload(a=1.0, failover_scenario_small=0.5),
+        )
+        assert code == 0
+        assert "(new)" in capsys.readouterr().out
+
+    def test_disjoint_stages_warn_about_schema_drift(
+        self, check_regression, tmp_path, capsys
+    ):
+        code = run_check(
+            check_regression, tmp_path, payload(a=1.0), payload(b=1.0)
+        )
+        assert code == 0
+        assert "no stages in common" in capsys.readouterr().out
+
+    def test_missing_baseline_file_fails(self, check_regression, tmp_path):
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(payload(a=1.0)))
+        code = check_regression.main([
+            "--baseline", str(tmp_path / "nope.json"),
+            "--fresh", str(fresh_path),
+        ])
+        assert code == 1

@@ -25,6 +25,8 @@ from repro.experiments import (
     EconomicsEnsembleConfig,
     EconomicsVariant,
     EnsembleConfig,
+    FailoverEnsembleConfig,
+    FailoverVariant,
     JointEnsembleConfig,
     JointVariant,
     OffloadEnsembleConfig,
@@ -32,13 +34,16 @@ from repro.experiments import (
     grid_variants,
     run_economics_ensemble,
     run_ensemble,
+    run_failover_ensemble,
     run_joint_ensemble,
     run_offload_ensemble,
 )
+from repro.faults import FaultConfig
 from repro.ixp.catalog import spec_by_acronym
 from repro.reporting import (
     render_economics_ensemble_report,
     render_ensemble_report,
+    render_failover_ensemble_report,
     render_joint_ensemble_report,
     render_offload_ensemble_report,
 )
@@ -122,6 +127,27 @@ class TestGoldenReports:
         assert_matches_golden(
             "economics_ensemble.txt",
             render_economics_ensemble_report(result),
+        )
+
+    def test_failover_ensemble_report(self):
+        result = run_failover_ensemble(FailoverEnsembleConfig(
+            seeds=(3, 4),
+            variants=tuple(
+                FailoverVariant(
+                    name=f"dark={scale}x",
+                    world=tiny_offload_config(),
+                    faults=FaultConfig(duration_scale=scale)
+                    if scale > 0
+                    else FaultConfig(intensity=0.0),
+                    max_ixps=4,
+                )
+                for scale in (0.0, 1.0, 4.0)
+            ),
+            workers=1,
+        ))
+        result.wall_s = 0.0
+        assert_matches_golden(
+            "failover_ensemble.txt", render_failover_ensemble_report(result)
         )
 
     def test_joint_ensemble_report(self):

@@ -211,9 +211,10 @@ class TestPeerGroupRestriction:
 
 
 class TestScenarioRegistry:
-    def test_all_four_scenarios_registered(self):
+    def test_all_scenarios_registered(self):
         assert scenario_names() == (
             "behavior-stress", "exclusion-ablation", "price-plane", "joint",
+            "failover", "churned-detection",
         )
 
     def test_unknown_scenario_rejected(self):
@@ -230,6 +231,8 @@ class TestScenarioRegistry:
             "exclusion-ablation": 5,
             "price-plane": 9,
             "joint": 1,
+            "failover": 5,
+            "churned-detection": 5,
         }
         for name, scenario in SCENARIOS.items():
             run = scenario.build(preset="small", seeds=(0, 1), workers=1)
