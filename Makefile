@@ -3,13 +3,14 @@
 #
 #   make test        full tier-1 suite (what CI holds the repo to)
 #   make smoke       quick gate: fast tests + perf regression guard
+#   make lint        static analysis: repro lint (+ ruff/mypy when installed)
 #   make chaos       fault-injection gate: chaos suites + a small failover run
 #   make bench       retime every stage and rewrite BENCH_speed.json
 #   make regression  full perf guard against the committed baseline
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke chaos bench regression
+.PHONY: test smoke lint chaos bench regression
 
 test:
 	$(PY) -m pytest -x -q
@@ -17,6 +18,23 @@ test:
 smoke:
 	$(PY) -m pytest -m "not slow" -q
 	$(PY) benchmarks/check_regression.py --quick
+
+# The determinism & draw-stream static analysis (always available), plus
+# ruff and the strict-ish mypy profile for the typed surfaces
+# (src/repro/devtools/ and the study engine) when those tools are
+# installed — the repo itself has no third-party dev dependencies.
+lint:
+	$(PY) -m repro lint
+	@if $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check .; \
+	else \
+		echo "ruff not installed; skipping (python -m pip install ruff)"; \
+	fi
+	@if $(PY) -m mypy --version >/dev/null 2>&1; then \
+		$(PY) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (python -m pip install mypy)"; \
+	fi
 
 # The robustness gate: fault/retry determinism, trial quarantine (incl.
 # the kill-one-worker pool-restart study and its resume), and one small

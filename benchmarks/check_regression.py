@@ -24,10 +24,31 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The newest ``bench_speed/vN`` generation this checker understands.
+#: Bump together with the ``schema`` tag in benchmarks/bench_speed.py —
+#: a baseline from a *newer* generation may have renamed or re-scoped
+#: stages, and silently comparing mismatched stage names would turn the
+#: guard into a no-op.
+KNOWN_SCHEMA_GENERATION = 6
+
+_SCHEMA_RE = re.compile(r"bench_speed/v(\d+)\Z")
+
+
+def schema_generation(schema: object) -> int | None:
+    """The N of a ``bench_speed/vN`` tag, or None for unversioned tags.
+
+    Unversioned tags (e.g. the ``bench_speed/test`` payloads the test
+    suite writes) carry no generation to compare, so they never trip the
+    newer-than-known gate.
+    """
+    match = _SCHEMA_RE.match(str(schema or ""))
+    return int(match.group(1)) if match else None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +83,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline {baseline_path} missing; nothing to compare")
         return 1
     baseline = json.loads(baseline_path.read_text())
+    baseline_generation = schema_generation(baseline.get("schema"))
+    if baseline_generation is not None \
+            and baseline_generation > KNOWN_SCHEMA_GENERATION:
+        # A newer baseline schema is a hard error, not a warning: its
+        # stage names may have been renamed or re-scoped, and comparing
+        # them loosely would silently gut the regression guard.
+        print(
+            f"ERROR: baseline schema {baseline.get('schema')!r} is newer "
+            f"than this checker understands "
+            f"(bench_speed/v{KNOWN_SCHEMA_GENERATION}); update "
+            "KNOWN_SCHEMA_GENERATION in benchmarks/check_regression.py "
+            "alongside the bench_speed schema bump"
+        )
+        return 1
     if args.fresh is not None:
         fresh = json.loads(Path(args.fresh).read_text())
     else:

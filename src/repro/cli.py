@@ -606,6 +606,17 @@ def joint_study_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def lint_main(argv: list[str] | None = None) -> int:
+    """``repro lint`` — the determinism & draw-stream static analysis.
+
+    Lazy import: the devtools package is developer tooling and must not
+    slow down study start-up.
+    """
+    from repro.devtools.lint.cli import lint_main as run_lint
+
+    return run_lint(argv)
+
+
 def scenarios_main(argv: list[str] | None = None) -> int:
     """``repro scenarios list|run <name>`` — the scenario-library front end."""
     parser = argparse.ArgumentParser(
@@ -714,6 +725,7 @@ _COMMANDS = {
     "ensemble": ensemble_main,
     "scenarios": scenarios_main,
     "study": study_main,
+    "lint": lint_main,
 }
 
 _STUDIES.update({

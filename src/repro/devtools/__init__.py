@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repo but never runs in studies.
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based
+static-analysis suite behind ``repro lint`` / ``make lint``.
+"""

@@ -1,0 +1,288 @@
+"""The tiny AST lint framework behind ``repro lint``.
+
+One :class:`Checker` subclass per rule family.  A checker is an
+``ast.NodeVisitor`` that declares the rule ids it may emit and the
+package prefixes it audits; the engine parses each file once, runs every
+applicable checker over the shared tree, and filters the collected
+violations through ``# repro-lint: ok[rule-id]`` suppression comments.
+
+The framework is deliberately small: no plugins, no configuration file,
+no severity levels.  Every rule is repo-specific and load-bearing — a
+violation either breaks a documented invariant (cross-engine draw
+identity, pickle-safe workers, byte-stable reports) or it is suppressed
+in place with a comment saying why it cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Iterable, Sequence
+
+#: ``# repro-lint: ok[rule-a, rule-b]`` — or ``ok[*]`` for every rule.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ok\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, pinned to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about the file under analysis.
+
+    ``relpath`` is the package-relative posix path (``repro/sim/x.py``)
+    used for rule scoping; ``path`` is the display path reported to the
+    user (repo-relative for real files, the fixture name in tests).
+    """
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def module_str_constants(self) -> dict[str, str]:
+        """Module-level ``NAME = "literal"`` bindings (for tag resolution)."""
+        constants: dict[str, str] = {}
+        for node in self.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[node.targets[0].id] = node.value.value
+        return constants
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one rule family.
+
+    Subclasses set :attr:`rules` (rule id -> one-line summary) and
+    :attr:`packages` (relpath prefixes the family audits; empty tuple
+    means every file), then visit nodes and call :meth:`report`.
+    """
+
+    rules: ClassVar[dict[str, str]] = {}
+    packages: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: list[Violation] = []
+
+    @classmethod
+    def handles(cls, relpath: str) -> bool:
+        return not cls.packages or any(
+            relpath.startswith(prefix) for prefix in cls.packages
+        )
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.rules:
+            raise ValueError(f"{type(self).__name__} does not declare {rule!r}")
+        self.violations.append(Violation(
+            rule=rule,
+            path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        ))
+
+    def run(self) -> list[Violation]:
+        self.visit(self.ctx.tree)
+        return self.violations
+
+
+def collect_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if ids:
+            out[lineno] = ids
+    return out
+
+
+def _is_suppressed(
+    violation: Violation,
+    suppressions: dict[int, frozenset[str]],
+    lines: list[str],
+) -> bool:
+    """True when a suppression covers the violation's line.
+
+    A suppression comment applies to its own line and, when it sits on a
+    comment-only line, to the next code line below it — so multi-line
+    statements can carry the comment just above them.
+    """
+    candidates = [violation.line]
+    above = violation.line - 1
+    while above >= 1 and lines[above - 1].lstrip().startswith("#"):
+        candidates.append(above)
+        above -= 1
+    for lineno in candidates:
+        ids = suppressions.get(lineno)
+        if ids and ("*" in ids or violation.rule in ids):
+            return True
+    return False
+
+
+def all_checkers() -> list[type[Checker]]:
+    """Every registered checker class (imported lazily to avoid cycles)."""
+    from repro.devtools.lint import determinism, poolpurity, reportrules
+    from repro.devtools.lint import drawstream
+
+    return [
+        determinism.DeterminismChecker,
+        determinism.SetIterationChecker,
+        drawstream.DrawTagChecker,
+        poolpurity.PoolPurityChecker,
+        reportrules.ReportFloatChecker,
+        reportrules.ReportSetIterationChecker,
+    ]
+
+
+def rule_catalog() -> dict[str, str]:
+    """Every rule id -> summary, including the project-level checks."""
+    from repro.devtools.lint.drawstream import PROJECT_RULES
+
+    catalog: dict[str, str] = {}
+    for checker in all_checkers():
+        catalog.update(checker.rules)
+    catalog.update(PROJECT_RULES)
+    return dict(sorted(catalog.items()))
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    path: str | None = None,
+    checkers: Sequence[type[Checker]] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source blob as if it lived at ``relpath``."""
+    tree = ast.parse(source)
+    ctx = FileContext(
+        path=path or relpath, relpath=relpath, source=source, tree=tree
+    )
+    suppressions = collect_suppressions(source)
+    violations: list[Violation] = []
+    for checker_cls in checkers if checkers is not None else all_checkers():
+        if checker_cls.handles(relpath):
+            violations.extend(checker_cls(ctx).run())
+    violations = [
+        v for v in violations
+        if not _is_suppressed(v, suppressions, ctx.lines)
+    ]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def package_relpath(path: Path) -> str:
+    """Posix path from the ``repro`` package root (``repro/sim/x.py``).
+
+    Files outside the package (tests, benchmarks) keep their name-only
+    path, which matches no scoped rule family.
+    """
+    parts = path.resolve().parts
+    if "repro" in parts:
+        index = parts.index("repro")
+        return "/".join(parts[index:])
+    return path.name
+
+
+def iter_python_files(roots: Iterable[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for root in roots:
+        root = Path(root)
+        if root.is_file() and root.suffix == ".py":
+            files.add(root.resolve())
+        elif root.is_dir():
+            files.update(p.resolve() for p in root.rglob("*.py"))
+    return sorted(files)
+
+
+@dataclass
+class LintReport:
+    """The result of one lint run: violations plus file accounting."""
+
+    violations: list[Violation]
+    files_checked: int
+
+
+def lint_files(
+    paths: Iterable[Path],
+    *,
+    checkers: Sequence[type[Checker]] | None = None,
+    display_root: Path | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths``."""
+    files = iter_python_files(paths)
+    violations: list[Violation] = []
+    for file_path in files:
+        display = str(file_path)
+        if display_root is not None:
+            try:
+                display = file_path.relative_to(
+                    Path(display_root).resolve()
+                ).as_posix()
+            except ValueError:
+                pass
+        violations.extend(lint_source(
+            file_path.read_text(encoding="utf-8"),
+            package_relpath(file_path),
+            path=display,
+            checkers=checkers,
+        ))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return LintReport(violations=violations, files_checked=len(files))
+
+
+def render_text(report: LintReport) -> str:
+    lines = [v.render() for v in report.violations]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.violations:
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_checked} {noun} checked"
+        )
+    else:
+        lines.append(f"OK: {report.files_checked} {noun} clean")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps({
+        "files_checked": report.files_checked,
+        "violations": [v.as_dict() for v in report.violations],
+    }, indent=2)

@@ -1,0 +1,79 @@
+"""Rule family 4 — byte-stable report rendering.
+
+The renderers in ``reporting/`` are snapshot material: ``make test``
+holds ``ensembles.py`` to byte-for-byte golden files, and every report
+is diffed across engines and resumes.  Two things silently destabilize
+them: float formatting without an explicit precision (``str(float)``
+and ``round()`` render value-dependent widths — ``0.3`` vs ``0.301``),
+and iterating unordered containers into output rows.
+
+Rules
+-----
+``rpt-round``
+    ``round()`` in a renderer is almost always formatting; a rounded
+    float still renders with variable width.  Use ``f"{x:.3f}"``.
+``rpt-float-format``
+    An f-string interpolation of a provably-float expression without a
+    format spec renders ``repr``-width output.
+``rpt-set-iter``
+    Same analysis as ``det-set-iter``, scoped to the renderers: hash
+    order must never reach report rows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.determinism import SetIterationChecker
+from repro.devtools.lint.framework import Checker
+
+
+class ReportFloatChecker(Checker):
+    """Unparameterized float formatting in the renderers."""
+
+    packages = ("repro/reporting/",)
+    rules = {
+        "rpt-round":
+            "round() in a renderer; use an explicit format spec",
+        "rpt-float-format":
+            "float interpolated without a format spec",
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "round":
+            self.report(node, "rpt-round",
+                        "round() renders variable width (0.3 vs 0.301); "
+                        "format with an explicit spec like f'{x:.3f}'")
+        self.generic_visit(node)
+
+    def _is_floatish(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_floatish(node.left) or self._is_floatish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floatish(node.operand)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("float", "round")
+        return False
+
+    def visit_FormattedValue(self, node: ast.FormattedValue) -> None:
+        if node.format_spec is None and self._is_floatish(node.value):
+            self.report(node, "rpt-float-format",
+                        "float interpolated without a format spec; use "
+                        "f'{x:.3f}' (or :g with intent) so report width "
+                        "is value-independent")
+        self.generic_visit(node)
+
+
+class ReportSetIterationChecker(SetIterationChecker):
+    """``rpt-set-iter``: hash-order iteration feeding report output."""
+
+    packages = ("repro/reporting/",)
+    rules = {
+        "rpt-set-iter":
+            "iteration over a bare set feeding report output",
+    }
+    rule_id = "rpt-set-iter"

@@ -39,7 +39,7 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Hashable, Iterator, Protocol, Sequence
+from typing import Any, Hashable, Iterator, Protocol, Sequence, TextIO
 
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import MeanCI, StreamingMeanCI
@@ -92,11 +92,11 @@ class Study(Protocol):
         """Headline scalars for streaming aggregation (may be empty)."""
         ...
 
-    def encode(self, result: Any) -> dict:
+    def encode(self, result: Any) -> dict[str, Any]:
         """JSON-serializable payload of one trial result (for artifacts)."""
         ...
 
-    def decode(self, payload: dict) -> Any:
+    def decode(self, payload: dict[str, Any]) -> Any:
         """Inverse of :meth:`encode` (must reproduce the result exactly)."""
         ...
 
@@ -273,12 +273,14 @@ class _ArtifactWriter:
     def __init__(
         self, study: Study, out_dir: str | None, fingerprint: str
     ) -> None:
-        self._handle = None
+        self._handle: TextIO | None = None
+        self._study = study
         if out_dir is None:
             return
         path = _artifact_path(study, out_dir)
         path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not path.exists() or path.stat().st_size == 0
+        needs_newline = False
         if not fresh:
             # A killed run can leave a partial trailing line with no
             # newline; terminate it so the next append starts clean (the
@@ -287,7 +289,7 @@ class _ArtifactWriter:
                 existing.seek(-1, 2)
                 needs_newline = existing.read(1) != b"\n"
         self._handle = path.open("a", encoding="utf-8")
-        if not fresh and needs_newline:
+        if needs_newline:
             self._handle.write("\n")
         if fresh:
             self._write({
@@ -295,9 +297,8 @@ class _ArtifactWriter:
                 "study": study.name,
                 "fingerprint": fingerprint,
             })
-        self._study = study
 
-    def _write(self, record: dict) -> None:
+    def _write(self, record: dict[str, Any]) -> None:
         assert self._handle is not None
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
@@ -341,13 +342,12 @@ def _trial_deadline(timeout_s: float | None) -> Iterator[None]:
     main thread of a worker process).  Elsewhere the deadline is a no-op
     rather than an error, so studies stay portable.
     """
-    usable = (
-        timeout_s is not None
-        and timeout_s > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if (
+        timeout_s is None
+        or timeout_s <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
         yield
         return
 

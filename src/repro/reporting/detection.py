@@ -52,7 +52,7 @@ def _cdf_section(result: CampaignResult) -> str:
     rtts = result.min_rtts()
     points = np.array([0.3, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0])
     fractions = cdf_at(rtts, points)
-    rows = [[f"{p:g} ms", round(float(f), 3)] for p, f in zip(points, fractions)]
+    rows = [[f"{p:g} ms", f"{float(f):.3f}"] for p, f in zip(points, fractions)]
     return render_table(["min RTT <=", "fraction"], rows,
                         title="Minimum-RTT distribution (Figure 2)")
 

@@ -39,16 +39,17 @@ def economics_report(
     )
 
     rows = [
-        ["transit price p", base.p],
-        ["direct fixed g / unit u", f"{base.g} / {base.u}"],
-        ["remote fixed h / unit v", f"{base.h} / {base.v}"],
-        ["decay rate b", round(base.b, 3)],
-        ["optimal direct IXPs ñ (eq. 11)", round(model.optimal_direct(), 2)],
-        ["direct traffic share d̃", round(model.optimal_direct_fraction(), 2)],
+        ["transit price p", f"{base.p:.2f}"],
+        ["direct fixed g / unit u", f"{base.g:.2f} / {base.u:.2f}"],
+        ["remote fixed h / unit v", f"{base.h:.2f} / {base.v:.2f}"],
+        ["decay rate b", f"{base.b:.3f}"],
+        ["optimal direct IXPs ñ (eq. 11)", f"{model.optimal_direct():.2f}"],
+        ["direct traffic share d̃",
+         f"{model.optimal_direct_fraction():.2f}"],
         ["optimal remote IXPs m̃ (eq. 13)",
-         round(model.optimal_remote_extra(), 2)],
-        ["viability ratio g(p-v)/(h(p-u))", round(verdict.ratio, 2)],
-        ["viability threshold e^b", round(verdict.threshold, 2)],
+         f"{model.optimal_remote_extra():.2f}"],
+        ["viability ratio g(p-v)/(h(p-u))", f"{verdict.ratio:.2f}"],
+        ["viability threshold e^b", f"{verdict.threshold:.2f}"],
         ["remote peering viable (eq. 14)", "YES" if verdict.viable else "no"],
     ]
     model_section = render_table(["quantity", "value"], rows,

@@ -89,7 +89,7 @@ def _reachability_section(estimator: OffloadEstimator) -> str:
     world = estimator.world
     steps = greedy_reachability(world, estimator.groups, 4, max_ixps=5)
     rows = [
-        [s.rank, s.ixp, round(s.remaining_billions, 2)] for s in steps
+        [s.rank, s.ixp, f"{s.remaining_billions:.2f}"] for s in steps
     ]
     table = render_table(
         ["#", "IXP", "transit-only addresses (B)"],

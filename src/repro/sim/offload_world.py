@@ -35,10 +35,15 @@ Engines and the draw order
   calls.
 
 Both engines consume **identical random draws**: every stage draws its
-arrays from a dedicated child stream in a fixed, documented order, so the
-two engines produce bit-identical worlds (the engine-equivalence suite
+arrays from a dedicated child stream in a fixed order, so the two
+engines produce bit-identical worlds (the engine-equivalence suite
 asserts graphs, memberships, traffic and the greedy IXP expansion order
-all match).  Stage streams and their draw order:
+all match).  The authoritative per-engine stream inventory is now
+*generated*, not hand-maintained: ``repro lint --draw-programs``
+extracts it statically, and the ``draw-engine-parity`` lint rule fails
+the build if the engines' streams ever diverge.  What no extractor can
+read off is the draw order *within* each stream — that contract stays
+documented here:
 
 * ``(seed, "offload", "giants")`` — provider keys ``U(G, T)``; each giant
   takes the two lowest-key tier-1s of its row.
@@ -440,6 +445,8 @@ class OffloadWorld:
         customer cone (members themselves included).
         """
         mask = np.zeros(len(self.contributing), dtype=bool)
+        # Scattering True into a boolean mask is commutative: any member
+        # order produces the same mask.  # repro-lint: ok[det-set-iter]
         for member in members:
             mask[self.cone_contrib_indices(member)] = True
         return mask

@@ -1,0 +1,22 @@
+"""Known-bad fixture: every determinism rule should fire in here."""
+
+import random                                   # det-random
+
+import numpy as np
+
+
+def draw_everything(counts: dict, items: set) -> list:
+    value = random.random()                     # det-random
+    noise = np.random.rand(3)                   # det-np-random
+    unseeded = np.random.default_rng()          # det-np-random
+    import time
+
+    stamp = time.time()                         # det-wallclock
+    import os
+
+    token = os.urandom(8)                       # det-entropy
+    pair = counts.popitem()                     # det-popitem
+    ordered = [x for x in items]                # det-set-iter
+    for item in {1, 2, 3}:                      # det-set-iter
+        ordered.append(item)
+    return [value, noise, unseeded, stamp, token, pair, ordered]

@@ -1,0 +1,18 @@
+"""Known-bad fixture: computed stream tags (draw-nonliteral-tag)."""
+
+from repro.rand import child_rng, derive_seed
+
+
+def build(seed: int, name: str, index: int) -> list:
+    streams = [
+        child_rng(seed, f"ixp-{index}"),        # f-string family label
+        child_rng(seed, name),                  # non-literal family label
+        derive_seed(seed, "world", name + "!"),  # computed later label
+        derive_seed(seed, "world", compute()),   # call result as label
+        child_rng(seed),                         # no tag at all
+    ]
+    return streams
+
+
+def compute() -> str:
+    return "tag"

@@ -1,0 +1,9 @@
+"""Known-bad fixture: unstable rendering (every reporting rule)."""
+
+
+def render(values, names: set) -> str:
+    rows = [round(v, 2) for v in values]        # rpt-round
+    ratio = f"{values[0] / values[1]}"          # rpt-float-format
+    constant = f"{0.123456}"                    # rpt-float-format
+    listed = ", ".join(str(n) for n in names)   # rpt-set-iter
+    return "\n".join([str(rows), ratio, constant, listed])

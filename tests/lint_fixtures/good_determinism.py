@@ -1,0 +1,17 @@
+"""Known-good fixture: deterministic idioms the rules must accept."""
+
+import numpy as np
+
+from repro.rand import child_rng, make_rng
+
+
+def draw_everything(seed: int, counts: dict, items: set) -> list:
+    rng = make_rng(seed)
+    child = child_rng(seed, "fixture", "stage-a")
+    explicit = np.random.default_rng(seed)
+    ordered = [x for x in sorted(items)]        # sorted(...) is fine
+    size = len(items)                           # len() never iterates
+    member = 3 in items                         # membership is order-free
+    for key in sorted(counts):
+        ordered.append(counts[key])
+    return [rng, child, explicit, ordered, size, member]

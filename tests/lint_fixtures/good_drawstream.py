@@ -1,0 +1,13 @@
+"""Known-good fixture: literal stream families, simple later labels."""
+
+from repro.rand import child_rng, derive_seed
+
+STAGE = "membership"
+
+
+def build(seed: int, acronym: str, spec) -> list:
+    return [
+        child_rng(seed, "ixp", acronym),
+        child_rng(seed, STAGE, spec.acronym),   # module constant family
+        derive_seed(seed, "faults", "backoff", acronym, 3),
+    ]

@@ -1,0 +1,16 @@
+"""Known-good fixture: a module-level pure worker."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _pure_worker(spec) -> list:
+    results = []
+    for item in spec.items:
+        results.append(item * 2)
+    return results
+
+
+def run_all(specs) -> list:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_pure_worker, spec) for spec in specs]
+    return [f.result() for f in futures]

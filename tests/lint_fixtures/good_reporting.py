@@ -1,0 +1,9 @@
+"""Known-good fixture: width-stable rendering."""
+
+
+def render(values, names: set) -> str:
+    rows = [f"{v:.2f}" for v in values]
+    ratio = f"{values[0] / values[1]:.3f}"
+    share = f"{0.25:.0%}"
+    listed = ", ".join(str(n) for n in sorted(names))
+    return "\n".join([str(rows), ratio, share, listed])

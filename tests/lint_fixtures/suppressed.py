@@ -1,0 +1,8 @@
+"""Fixture: violations silenced by ``# repro-lint: ok[...]`` comments."""
+
+
+def tally(counts: dict, items: set) -> list:
+    # Order-independent accumulation.  # repro-lint: ok[det-set-iter]
+    total = [x for x in items]
+    pair = counts.popitem()  # repro-lint: ok[*]
+    return [total, pair]

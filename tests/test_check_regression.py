@@ -112,3 +112,60 @@ class TestMissingStages:
             "--fresh", str(fresh_path),
         ])
         assert code == 1
+
+
+class TestSchemaGate:
+    """A baseline written by a *newer* bench_speed schema must hard-fail."""
+
+    def versioned(self, generation, **timings):
+        return {"schema": f"bench_speed/v{generation}", "timings_s": timings}
+
+    def test_newer_baseline_schema_fails(
+        self, check_regression, tmp_path, capsys
+    ):
+        newer = check_regression.KNOWN_SCHEMA_GENERATION + 1
+        code = run_check(
+            check_regression, tmp_path,
+            self.versioned(newer, a=1.0), payload(a=1.0),
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "newer" in out
+        assert "KNOWN_SCHEMA_GENERATION" in out
+
+    def test_current_generation_passes(self, check_regression, tmp_path):
+        known = check_regression.KNOWN_SCHEMA_GENERATION
+        code = run_check(
+            check_regression, tmp_path,
+            self.versioned(known, a=1.0), payload(a=1.0),
+        )
+        assert code == 0
+
+    def test_older_generation_passes(self, check_regression, tmp_path):
+        code = run_check(
+            check_regression, tmp_path,
+            self.versioned(1, a=1.0), payload(a=1.0),
+        )
+        assert code == 0
+
+    def test_unversioned_schema_never_trips_gate(
+        self, check_regression, tmp_path
+    ):
+        # The test payloads themselves use "bench_speed/test": no vN, no
+        # generation, no gate.
+        assert check_regression.schema_generation("bench_speed/test") is None
+        assert check_regression.schema_generation(None) is None
+        code = run_check(
+            check_regression, tmp_path, payload(a=1.0), payload(a=1.0)
+        )
+        assert code == 0
+
+    def test_committed_baseline_is_not_newer_than_checker(
+        self, check_regression
+    ):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_speed.json").read_text()
+        )
+        generation = check_regression.schema_generation(committed["schema"])
+        assert generation is not None
+        assert generation <= check_regression.KNOWN_SCHEMA_GENERATION
