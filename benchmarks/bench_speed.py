@@ -3,16 +3,19 @@
 Times the hot paths of every study — detection-world build under the
 vectorized *and* the scalar engine, the probing campaign under the batch
 *and* the scalar engine, the filter pipeline (array-stat pass), a
-16-trial mini-world detection ensemble, the offload-world build under the
-vectorized *and* the scalar engine, the peer-group/cone-table setup, the
-greedy IXP expansion, a 16-trial paper-scale offload ensemble, a
-16-trial small-world *economics* ensemble (Sections 3+4+5 end-to-end),
-a 16-trial small joint detection→offload ensemble (measured
-detection confusion propagated into the offload peer map and the bill),
-and the small ``failover`` scenario (pseudowire dark windows priced
-against the 95th-percentile rule) — and writes ``BENCH_speed.json``
-(schema ``bench_speed/v6``) at the repo root so the perf trajectory is
-tracked across PRs.
+16-trial mini-world detection ensemble, a 256-trial small-world
+detection campaign (the trial-batch scheduling path at scale), the
+offload-world build under the vectorized *and* the scalar engine, the
+peer-group/cone-table setup, the greedy IXP expansion, a 16-trial
+paper-scale offload ensemble under the per-trial *and* the trial-batch
+engine (``StudyConfig.trial_batch``: whole seed batches realized as one
+array program), a 16-trial small-world *economics* ensemble (Sections
+3+4+5 end-to-end), a 16-trial small joint detection→offload ensemble
+(measured detection confusion propagated into the offload peer map and
+the bill), and the small ``failover`` scenario (pseudowire dark windows
+priced against the 95th-percentile rule) — and writes
+``BENCH_speed.json`` (schema ``bench_speed/v7``) at the repo root so
+the perf trajectory is tracked across PRs.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
@@ -21,8 +24,10 @@ Run it directly (it is a script, not a pytest-benchmark module)::
 
 ``--quick`` (what ``make smoke`` uses through
 ``benchmarks/check_regression.py --quick``) skips the slow reference
-stages — the scalar engines and the paper-scale offload ensemble — and
-compares only the stages it ran.  ``benchmarks/check_regression.py``
+stages — the scalar engines, the per-trial paper-scale offload
+ensemble, and the 256-trial detection campaign — and compares only the
+stages it ran.  The *batched* paper-scale offload ensemble stays in
+quick mode: it is the fastest full-scale end-to-end gate in the suite.  ``benchmarks/check_regression.py``
 reruns these stages and fails when any of them regresses more than 2x
 against the committed baseline.
 """
@@ -30,6 +35,7 @@ against the committed baseline.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import time
@@ -43,6 +49,10 @@ CAMPAIGN_SEED = 7
 
 
 def _timed(fn):
+    # Drain the previous stage's garbage before starting the clock so
+    # each stage is timed against a clean heap, not its predecessor's
+    # leftovers (the same hygiene ``timeit`` applies by disabling GC).
+    gc.collect()
     start = time.perf_counter()
     value = fn()
     return value, time.perf_counter() - start
@@ -133,6 +143,23 @@ def collect_payload(quick: bool = False) -> dict:
     )
     (ensemble_summary,) = ensemble_result.summaries()
 
+    if not quick:
+        big_ensemble, timings["detection_ensemble_256trials_small"] = _timed(
+            lambda: run_ensemble(
+                EnsembleConfig(
+                    seeds=tuple(range(256)),
+                    variants=(
+                        ConfigVariant(
+                            name="mini3",
+                            world=DetectionWorldConfig(specs=mini_specs()),
+                        ),
+                    ),
+                    trial_batch=16,
+                )
+            )
+        )
+        (big_ensemble_summary,) = big_ensemble.summaries()
+
     offload_world, timings["offload_world_build"] = _timed(
         lambda: scenarios.rediris(seed=WORLD_SEED)
     )
@@ -164,6 +191,17 @@ def collect_payload(quick: bool = False) -> dict:
             )
         )
         (offload_summary,) = offload_ensemble.summaries()
+
+    batched_ensemble, timings["offload_ensemble_16trials_batched"] = _timed(
+        lambda: run_offload_ensemble(
+            OffloadEnsembleConfig(
+                seeds=tuple(range(16)),
+                variants=(OffloadVariant(name="paper65"),),
+                trial_batch=16,
+            )
+        )
+    )
+    (batched_summary,) = batched_ensemble.summaries()
 
     economics_ensemble, timings["economics_ensemble_small_16trials"] = _timed(
         lambda: run_economics_ensemble(
@@ -213,7 +251,7 @@ def collect_payload(quick: bool = False) -> dict:
     (failover_summary,) = failover_ensemble.summaries()
 
     payload = {
-        "schema": "bench_speed/v6",
+        "schema": "bench_speed/v7",
         "python": platform.python_version(),
         "quick": quick,
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
@@ -274,7 +312,35 @@ def collect_payload(quick: bool = False) -> dict:
             "billing_error_mean": round(joint_summary.billing_error.mean, 4),
         },
     }
+    payload["offload_ensemble_batched"] = {
+        "trials": batched_summary.trials,
+        "inbound_mean": round(batched_summary.inbound_fraction.mean, 4),
+        "outbound_mean": round(batched_summary.outbound_fraction.mean, 4),
+        "rank1_ixp": (
+            batched_summary.expansion_consensus[0].ixp
+            if batched_summary.expansion_consensus else None
+        ),
+    }
     if not quick:
+        payload["detection_ensemble_256"] = {
+            "trials": big_ensemble_summary.trials,
+            "precision_mean": round(big_ensemble_summary.precision.mean, 4),
+            "recall_mean": round(big_ensemble_summary.recall.mean, 4),
+        }
+        # The trial-batch engine must reproduce the per-trial ensemble
+        # exactly (same seeds, same variant), so the two summaries agree
+        # to the last digit; the baseline records that invariant.
+        payload["offload_batched_equals_pertrial"] = (
+            batched_summary.inbound_fraction == offload_summary.inbound_fraction
+            and batched_summary.outbound_fraction
+            == offload_summary.outbound_fraction
+            and batched_summary.expansion_consensus
+            == offload_summary.expansion_consensus
+        )
+        payload["offload_ensemble_speedup_batched_vs_pertrial"] = round(
+            timings["offload_ensemble_16trials"]
+            / timings["offload_ensemble_16trials_batched"], 2
+        )
         payload["collect_speedup_batch_vs_scalar"] = round(
             timings["collect_scalar"] / timings["collect_batch"], 2
         )

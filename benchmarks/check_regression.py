@@ -35,7 +35,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: a baseline from a *newer* generation may have renamed or re-scoped
 #: stages, and silently comparing mismatched stage names would turn the
 #: guard into a no-op.
-KNOWN_SCHEMA_GENERATION = 6
+KNOWN_SCHEMA_GENERATION = 7
 
 _SCHEMA_RE = re.compile(r"bench_speed/v(\d+)\Z")
 

@@ -246,8 +246,12 @@ class ProbeCampaign:
         start_s = 0.0
         end_s = self.world.window.duration_s
         for slot in measurements.values():
-            first = pipeline.identify(acronym, slot.address, start_s)
-            last = pipeline.identify(acronym, slot.address, end_s)
+            # One span query per slot: the sources resolve each registry
+            # record once and reuse the (time-independent) coverage draw
+            # for both endpoints — bit-identical to two identify() calls.
+            first, last = pipeline.identify_span(
+                acronym, slot.address, start_s, end_s
+            )
             slot.asn_at_start = first.asn
             slot.asn_at_end = last.asn
             slot.identification_source = first.source or last.source

@@ -81,6 +81,11 @@ class _Scope:
     #: across engines (e.g. _sweep_server_scalar vs _sweep_server_batch)
     #: while their stream contracts must match.
     alias: str | None = None
+    #: Module holding this scope when it differs from the subsystem's
+    #: module (e.g. the trial-batch offload engine lives in its own file
+    #: but subclasses — and must stream-match — the in-module builders).
+    #: MRO entries not found here are resolved in the subsystem module.
+    module: str | None = None
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,13 @@ SUBSYSTEMS: tuple[SubsystemSpec, ...] = (
             "vectorized": (_Scope("class", "_VectorOffloadBuilder",
                                   mro=("_VectorOffloadBuilder",
                                        "_OffloadBuilderBase")),),
+            # The trial-batch engine realizes k seeds per call but draws
+            # every per-seed stream through the same sites, so its program
+            # must match the single-world engines entry for entry.
+            "batched": (_Scope("class", "_BatchSeedBuilder",
+                               mro=("_BatchSeedBuilder",
+                                    "_OffloadBuilderBase"),
+                               module="repro/sim/offload_batch.py"),),
         },
     ),
     SubsystemSpec(
@@ -266,7 +278,11 @@ def tags_in_function(
     return sites
 
 
-def _scope_sites(index: _ModuleIndex, scope: _Scope) -> list[DrawSite]:
+def _scope_sites(
+    index: _ModuleIndex,
+    scope: _Scope,
+    fallback: _ModuleIndex | None = None,
+) -> list[DrawSite]:
     if scope.kind == "function":
         func = index.functions.get(scope.name)
         if func is None:
@@ -287,40 +303,60 @@ def _scope_sites(index: _ModuleIndex, scope: _Scope) -> list[DrawSite]:
     # kind == "class": resolve effective methods over the configured MRO,
     # base-most first so scalar and vectorized engines list shared
     # methods in the same (base-defined) order; an override replaces the
-    # base implementation in place.
+    # base implementation in place.  MRO entries may span modules (a
+    # cross-module subclass resolves its bases in the subsystem module);
+    # each method's tags normalize against its *defining* module's
+    # constants.
     order: list[str] = []
-    impl: dict[str, tuple[str, ast.FunctionDef]] = {}
+    impl: dict[str, tuple[str, ast.FunctionDef, dict[str, str]]] = {}
     for cls_name in reversed(scope.mro):
-        methods = index.classes.get(cls_name)
+        methods = None
+        constants = index.constants
+        if cls_name in index.classes:
+            methods = index.classes[cls_name]
+        elif fallback is not None and cls_name in fallback.classes:
+            methods = fallback.classes[cls_name]
+            constants = fallback.constants
         if methods is None:
             raise LookupError(f"class {cls_name!r} not found")
         for method_name, func in methods.items():
             if method_name not in impl:
                 order.append(method_name)
-            impl[method_name] = (cls_name, func)
+            impl[method_name] = (cls_name, func, constants)
     sites: list[DrawSite] = []
     for method_name in order:
-        cls_name, func = impl[method_name]
+        cls_name, func, constants = impl[method_name]
         sites.extend(tags_in_function(
-            func, index.constants, f"{cls_name}.{method_name}"
+            func, constants, f"{cls_name}.{method_name}"
         ))
     return sites
 
 
 def extract_draw_programs(src_root: Path) -> list[DrawProgram]:
     """Extract every configured engine's draw program from the live tree."""
+    indexes: dict[str, _ModuleIndex] = {}
+
+    def module_index(module: str) -> _ModuleIndex:
+        if module not in indexes:
+            module_path = Path(src_root) / module
+            tree = ast.parse(module_path.read_text(encoding="utf-8"))
+            indexes[module] = _ModuleIndex(tree)
+        return indexes[module]
+
     programs: list[DrawProgram] = []
     for spec in SUBSYSTEMS:
-        module_path = Path(src_root) / spec.module
-        tree = ast.parse(module_path.read_text(encoding="utf-8"))
-        index = _ModuleIndex(tree)
+        index = module_index(spec.module)
         shared_sites: list[DrawSite] = []
         for scope in spec.shared:
             shared_sites.extend(_scope_sites(index, scope))
         for engine, scopes in spec.engines.items():
             sites = list(shared_sites)
             for scope in scopes:
-                sites.extend(_scope_sites(index, scope))
+                scope_index = (
+                    module_index(scope.module) if scope.module else index
+                )
+                sites.extend(_scope_sites(scope_index, scope,
+                                          fallback=index))
             programs.append(DrawProgram(
                 subsystem=spec.name,
                 engine=engine,

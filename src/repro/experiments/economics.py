@@ -32,6 +32,7 @@ The CLI front end is ``repro study economics`` (see :mod:`repro.cli`);
 
 from __future__ import annotations
 
+import gc
 import itertools
 import time
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -56,6 +57,7 @@ from repro.experiments.aggregate import MeanCI, mean_ci
 from repro.experiments.engine import StudyConfig, run_study
 from repro.netflow.billing import offload_billing_report
 from repro.rand import derive_seed
+from repro.sim.offload_batch import OffloadWorldView, build_offload_views
 from repro.sim.offload_world import (
     OffloadWorld,
     OffloadWorldConfig,
@@ -246,7 +248,9 @@ def run_economics_trial(spec: EconomicsTrialSpec) -> EconomicsTrialResult:
 
 
 def measure_economics_trial(
-    spec: EconomicsTrialSpec, world: OffloadWorld, build_s: float
+    spec: EconomicsTrialSpec,
+    world: OffloadWorld | OffloadWorldView,
+    build_s: float,
 ) -> EconomicsTrialResult:
     """Sections 4 → 2.1 → 5 against an already-built world."""
     t1 = time.perf_counter()
@@ -361,6 +365,31 @@ class EconomicsStudy:
     ) -> EconomicsTrialResult:
         return measure_economics_trial(spec, world, build_s)
 
+    def run_batch(
+        self, specs: Sequence[EconomicsTrialSpec]
+    ) -> list[EconomicsTrialResult]:
+        """Measure a same-variant seed batch against batched world views.
+
+        The economics pipeline reads only the view surface (estimator
+        inputs plus the collector's aggregate-series arithmetic), and the
+        billing-series seeds derive from ``spec.seed``, so results are
+        bit-identical per seed to ``build`` + ``measure``.
+        """
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            t0 = time.perf_counter()
+            views = build_offload_views([spec.world for spec in specs])
+            build_s = (time.perf_counter() - t0) / max(len(specs), 1)
+            return [
+                measure_economics_trial(spec, view, build_s)
+                for spec, view in zip(specs, views)
+            ]
+        finally:
+            if resume_gc:
+                gc.enable()
+
     def metrics(self, result: EconomicsTrialResult) -> dict[str, float]:
         return {
             "savings_fraction": result.savings_fraction,
@@ -377,11 +406,17 @@ class EconomicsStudy:
 
 @dataclass(frozen=True, slots=True)
 class EconomicsEnsembleConfig:
-    """Seed list × economics variant grid, plus parallelism."""
+    """Seed list × economics variant grid, plus parallelism.
+
+    ``trial_batch > 1`` realizes same-variant seeds in batches through
+    the trial-axis engine (:mod:`repro.sim.offload_batch`) — results are
+    bit-identical per seed; only timing fields change.
+    """
 
     seeds: tuple[int, ...]
     variants: tuple[EconomicsVariant, ...] = (EconomicsVariant(name="base"),)
     workers: int = 0
+    trial_batch: int = 1
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -394,6 +429,8 @@ class EconomicsEnsembleConfig:
             raise ConfigurationError("variant names must be distinct")
         if self.workers < 0:
             raise ConfigurationError("workers cannot be negative")
+        if self.trial_batch < 1:
+            raise ConfigurationError("trial_batch must be at least 1")
 
     def trials(self) -> list[EconomicsTrialSpec]:
         """The fully-resolved trial list, variant-major, in a stable order."""
@@ -487,7 +524,7 @@ def run_economics_ensemble(
     result = run_study(
         EconomicsStudy(variants=config.variants),
         StudyConfig(seeds=config.seeds, workers=config.workers,
-                    out_dir=out_dir),
+                    out_dir=out_dir, trial_batch=config.trial_batch),
     )
     return EconomicsEnsembleResult(
         config=config,

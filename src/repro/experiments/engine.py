@@ -125,6 +125,14 @@ class StudyConfig:
     #: artifact row and the study completes over the survivors; off, the
     #: first trial exception propagates and tears the run down.
     quarantine: bool = True
+    #: Seed-batch width for studies exposing a ``run_batch`` hook: pending
+    #: trials of one variant are realized in chunks of up to this many
+    #: seeds by a single batched call (one array program over the whole
+    #: chunk).  ``1`` (default) keeps the per-trial path; studies without
+    #: the hook ignore the setting.  A chunk that fails for any reason
+    #: falls back to per-trial execution, so timeout / retry / quarantine
+    #: semantics are identical to an unbatched run.
+    trial_batch: int = 1
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -137,6 +145,8 @@ class StudyConfig:
             raise ConfigurationError("trial_timeout_s must be positive")
         if self.trial_retries < 0:
             raise ConfigurationError("trial_retries cannot be negative")
+        if self.trial_batch < 1:
+            raise ConfigurationError("trial_batch must be at least 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -170,6 +180,12 @@ class StudyResult:
     #: Quarantined trials (trial-id order); ``trials`` holds survivors only.
     failures: list[TrialFailure] = field(default_factory=list)
     pool_restarts: int = 0  # broken process pools survived this run
+    #: Trials that fell back from a failed seed batch to the per-trial
+    #: path.  Distinct from ``trial_retries`` bookkeeping: a fallback trial
+    #: may still succeed on its first per-trial attempt, so it is not a
+    #: retry and not (necessarily) a failure — just a slower route to the
+    #: same bit-identical result.
+    batch_fallbacks: int = 0
 
     def by_variant(self) -> dict[str, list[Any]]:
         """Trials grouped by variant name, in trial order."""
@@ -179,17 +195,30 @@ class StudyResult:
         return grouped
 
     def coverage_note(self) -> str | None:
-        """Human-readable degraded-coverage warning, or None when clean."""
-        if not self.failures:
-            return None
-        ids = ", ".join(str(f.trial_id) for f in self.failures[:8])
-        suffix = ", ..." if len(self.failures) > 8 else ""
-        return (
-            f"degraded coverage: {len(self.failures)} of "
-            f"{len(self.trials) + len(self.failures)} trials failed and "
-            f"were quarantined (trial ids {ids}{suffix}); aggregates "
-            "cover the surviving trials only"
-        )
+        """Human-readable degraded-coverage warning, or None when clean.
+
+        Batch fallbacks are reported separately from quarantined trials:
+        a fallback re-executes the same trials per-trial (identical
+        results, no lost coverage), while a quarantined trial is missing
+        from the aggregates.
+        """
+        parts: list[str] = []
+        if self.failures:
+            ids = ", ".join(str(f.trial_id) for f in self.failures[:8])
+            suffix = ", ..." if len(self.failures) > 8 else ""
+            parts.append(
+                f"degraded coverage: {len(self.failures)} of "
+                f"{len(self.trials) + len(self.failures)} trials failed and "
+                f"were quarantined (trial ids {ids}{suffix}); aggregates "
+                "cover the surviving trials only"
+            )
+        if self.batch_fallbacks:
+            parts.append(
+                f"{self.batch_fallbacks} trial(s) fell back from batched "
+                "to per-trial execution (results are unaffected; batching "
+                "is a performance path only)"
+            )
+        return "; ".join(parts) if parts else None
 
 
 def expand_trials(study: Study, seeds: Sequence[int]) -> list[Any]:
@@ -422,6 +451,40 @@ def _run_group(
     return results
 
 
+def _run_batch_group(
+    study: Study,
+    specs: list[Any],
+    timeout_s: float | None = None,
+    retries: int = 0,
+    quarantine: bool = True,
+) -> tuple[list[Any], int]:
+    """Realize one same-variant seed chunk via the study's batched engine.
+
+    Returns ``(results, fallback_count)``.  The batched call covers the
+    whole chunk under a single deadline; any failure (or a result-count
+    mismatch, which would mis-assign trials) abandons the batch and
+    re-runs every trial through :func:`_run_group`, whose timeout / retry
+    / quarantine semantics are then applied per trial exactly as in an
+    unbatched study.  :class:`ConfigurationError` propagates immediately —
+    a misconfigured study must not be retried into quarantine.
+    """
+    if len(specs) > 1:
+        try:
+            with _trial_deadline(timeout_s):
+                results = list(study.run_batch(specs))  # type: ignore[attr-defined]
+            if len(results) == len(specs):
+                return results, 0
+        except ConfigurationError:
+            raise
+        except (_TrialTimeout, Exception):
+            pass
+    fallbacks = len(specs) if len(specs) > 1 else 0
+    results = []
+    for spec in specs:
+        results.extend(_run_group(study, [spec], timeout_s, retries, quarantine))
+    return results, fallbacks
+
+
 def run_study(study: Study, config: StudyConfig) -> StudyResult:
     """Run every not-yet-completed trial of ``study`` under ``config``.
 
@@ -440,14 +503,35 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         )
     resumed = len(completed)
 
-    # Group the remaining trials by world key, preserving trial order
-    # within and across groups: every trial in a group reuses one build.
-    groups: dict[Hashable, list[Any]] = {}
-    for spec in specs:
-        if spec.trial_id in completed:
-            continue
-        groups.setdefault(study.world_key(spec), []).append(spec)
-    group_list = list(groups.values())
+    # Group the remaining trials for execution.  Default: by world key,
+    # preserving trial order within and across groups, so every trial in
+    # a group reuses one build.  Batched mode (``trial_batch > 1`` on a
+    # study with a ``run_batch`` hook): same-variant trials are chunked
+    # into seed batches instead — each chunk is realized as one array
+    # program with a leading trial axis, and every seed builds its own
+    # (lightweight) world, so the world cache does not apply.
+    use_batches = (
+        config.trial_batch > 1
+        and getattr(study, "run_batch", None) is not None
+    )
+    if use_batches:
+        by_variant: dict[str, list[Any]] = {}
+        for spec in specs:
+            if spec.trial_id in completed:
+                continue
+            by_variant.setdefault(spec.variant, []).append(spec)
+        group_list = [
+            chunk[i:i + config.trial_batch]
+            for chunk in by_variant.values()
+            for i in range(0, len(chunk), config.trial_batch)
+        ]
+    else:
+        groups: dict[Hashable, list[Any]] = {}
+        for spec in specs:
+            if spec.trial_id in completed:
+                continue
+            groups.setdefault(study.world_key(spec), []).append(spec)
+        group_list = list(groups.values())
 
     streams: dict[str, dict[str, StreamingMeanCI]] = {}
 
@@ -468,7 +552,20 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
 
     group_args = (config.trial_timeout_s, config.trial_retries,
                   config.quarantine)
+    run_one = _run_batch_group if use_batches else _run_group
     pool_restarts = 0
+    batch_fallbacks = 0
+
+    def consume(payload: Any) -> None:
+        nonlocal batch_fallbacks
+        if use_batches:
+            results, fell_back = payload
+            batch_fallbacks += fell_back
+        else:
+            results = payload
+        for result in results:
+            record(result)
+
     writer = _ArtifactWriter(study, config.out_dir, fingerprint)
     try:
         workers = config.workers or min(
@@ -476,8 +573,7 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         )
         if workers <= 1 or len(group_list) <= 1:
             for group in group_list:
-                for result in _run_group(study, group, *group_args):
-                    record(result)
+                consume(run_one(study, group, *group_args))
         else:
             # A crashed worker (OOM kill, segfault, os._exit) breaks the
             # whole pool; one restart resubmits the not-yet-completed
@@ -488,18 +584,28 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
                     with ProcessPoolExecutor(
                         max_workers=min(workers, len(pending))
                     ) as pool:
-                        futures = [
-                            pool.submit(_run_group, study, group, *group_args)
-                            for group in pending
-                        ]
+                        # Two submit sites (not one via an alias) so the
+                        # pool-submit-module-fn lint can statically see a
+                        # module-level worker at each.
+                        if use_batches:
+                            futures = [
+                                pool.submit(_run_batch_group, study,
+                                            group, *group_args)
+                                for group in pending
+                            ]
+                        else:
+                            futures = [
+                                pool.submit(_run_group, study,
+                                            group, *group_args)
+                                for group in pending
+                            ]
                         # Drain in completion order so finished groups land
                         # in the resume artifact immediately — a slow
                         # head-of-line group must not hold every other
                         # group's trials hostage to a mid-run kill.  Trial
                         # order is restored at the end.
                         for future in as_completed(futures):
-                            for result in future.result():
-                                record(result)
+                            consume(future.result())
                     break
                 except BrokenProcessPool:
                     pending = [
@@ -514,14 +620,17 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         writer.close()
 
     executed = sum(len(group) for group in group_list)
+    # In batched mode every seed realizes its own (lightweight) world, so
+    # there is no cross-trial build sharing to account for.
+    world_builds = executed if use_batches else len(group_list)
     ordered = [completed[i] for i in range(len(specs))]
     return StudyResult(
         study=study.name,
         config=config,
         trials=[r for r in ordered if not isinstance(r, TrialFailure)],
         wall_s=time.perf_counter() - t0,
-        world_builds=len(group_list),
-        world_reuses=executed - len(group_list),
+        world_builds=world_builds,
+        world_reuses=executed - world_builds,
         resumed=resumed,
         streaming={
             variant: {m: s.snapshot() for m, s in metrics.items()}
@@ -529,4 +638,5 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         },
         failures=[r for r in ordered if isinstance(r, TrialFailure)],
         pool_restarts=pool_restarts,
+        batch_fallbacks=batch_fallbacks,
     )

@@ -33,6 +33,7 @@ Grids sweep any :class:`OffloadWorldConfig` field via dotted
 
 from __future__ import annotations
 
+import gc
 import itertools
 import time
 from collections import Counter
@@ -48,6 +49,7 @@ from repro.core.offload import (
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import MeanCI, mean_ci
 from repro.experiments.engine import StudyConfig, run_study
+from repro.sim.offload_batch import OffloadWorldView, build_offload_views
 from repro.sim.offload_world import (
     OffloadWorld,
     OffloadWorldConfig,
@@ -159,11 +161,15 @@ class OffloadEnsembleConfig:
 
     ``workers=1`` runs trials inline in this process (what tests use);
     ``workers=0`` uses one process per core, capped at the trial count.
+    ``trial_batch > 1`` realizes same-variant seeds in batches through
+    the trial-axis engine (:mod:`repro.sim.offload_batch`) — results are
+    bit-identical per seed; only timing fields change.
     """
 
     seeds: tuple[int, ...]
     variants: tuple[OffloadVariant, ...] = (OffloadVariant(name="base"),)
     workers: int = 0
+    trial_batch: int = 1
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -176,6 +182,8 @@ class OffloadEnsembleConfig:
             raise ConfigurationError("variant names must be distinct")
         if self.workers < 0:
             raise ConfigurationError("workers cannot be negative")
+        if self.trial_batch < 1:
+            raise ConfigurationError("trial_batch must be at least 1")
 
     def trials(self) -> list[OffloadTrialSpec]:
         """The fully-resolved trial list, variant-major, in a stable order.
@@ -221,7 +229,9 @@ def run_offload_trial(spec: OffloadTrialSpec) -> OffloadTrialResult:
 
 
 def measure_offload_trial(
-    spec: OffloadTrialSpec, world: OffloadWorld, build_s: float
+    spec: OffloadTrialSpec,
+    world: OffloadWorld | OffloadWorldView,
+    build_s: float,
 ) -> OffloadTrialResult:
     """Measure one trial against an already-built world.
 
@@ -307,6 +317,34 @@ class OffloadStudy:
         self, spec: OffloadTrialSpec, world: OffloadWorld, build_s: float
     ) -> OffloadTrialResult:
         return measure_offload_trial(spec, world, build_s)
+
+    def run_batch(
+        self, specs: Sequence[OffloadTrialSpec]
+    ) -> list[OffloadTrialResult]:
+        """Measure a same-variant seed batch against batched world views.
+
+        Bit-identical per seed to ``build`` + ``measure`` — the views
+        share the static tables but every seed consumes its own child
+        streams (see :mod:`repro.sim.offload_batch`) — so only the
+        amortized ``build_s`` timing differs from per-trial runs.
+        """
+        # Realization and measurement allocate ~100k short-lived arrays
+        # per seed; generational collections mid-batch scan the shared
+        # statics repeatedly for nothing.
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            t0 = time.perf_counter()
+            views = build_offload_views([spec.world for spec in specs])
+            build_s = (time.perf_counter() - t0) / max(len(specs), 1)
+            return [
+                measure_offload_trial(spec, view, build_s)
+                for spec, view in zip(specs, views)
+            ]
+        finally:
+            if resume_gc:
+                gc.enable()
 
     def metrics(self, result: OffloadTrialResult) -> dict[str, float]:
         return {
@@ -422,7 +460,7 @@ def run_offload_ensemble(
     result = run_study(
         OffloadStudy(variants=config.variants),
         StudyConfig(seeds=config.seeds, workers=config.workers,
-                    out_dir=out_dir),
+                    out_dir=out_dir, trial_batch=config.trial_batch),
     )
     return OffloadEnsembleResult(
         config=config,

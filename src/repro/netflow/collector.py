@@ -23,9 +23,16 @@ from repro.types import ASN, TrafficDirection
 
 @dataclass
 class FlowCollector:
-    """Produces flow records and aggregate series for the studied network."""
+    """Produces flow records and aggregate series for the studied network.
 
-    table: RoutingTable
+    ``table`` may be None for collectors built by the trial-batch world
+    views, which never materialize a routing table: the aggregate-series
+    arithmetic (what the economics study consumes) only needs the traffic
+    matrix, while per-flow records require the BGP join and raise without
+    a table.
+    """
+
+    table: RoutingTable | None
     matrix: TrafficMatrix
     counterparties: list[ASN]
     days: int = 28
@@ -46,6 +53,11 @@ class FlowCollector:
         the offload arithmetic consumes.  Emitting all ~30k counterparties
         per bin is possible but rarely useful; ``top_n`` keeps it sane.
         """
+        if self.table is None:
+            raise AnalysisError(
+                "flow records need a routing table for the BGP join; this "
+                "collector was built without one (trial-batch world view)"
+            )
         order = np.argsort(self.matrix.total_bps)[::-1]
         if top_n is not None:
             order = order[:top_n]

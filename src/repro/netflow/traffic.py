@@ -110,21 +110,35 @@ def rank_profile_totals(
 
 def split_totals_by_kind(
     totals: np.ndarray,
-    kinds: list[NetworkKind],
+    kinds: list[NetworkKind] | None,
     config: TrafficMatrixConfig,
     rng: np.random.Generator,
+    base_share: np.ndarray | None = None,
 ) -> TrafficMatrix:
     """Split per-network totals into in/out by business type and normalise.
 
     Content networks originate (inbound to the studied NREN), access
     networks sink (outbound); totals are scaled so each direction matches
     the configured aggregate exactly.
+
+    Callers that already hold the per-network inbound shares as an array
+    (the trial-batch world builder assembles them by kind *code*, skipping
+    ~30k enum-keyed lookups) pass ``base_share`` instead of ``kinds``; the
+    values must equal the ``_INBOUND_SHARE`` gather bit-for-bit, which a
+    table built from the same dict guarantees.
     """
-    count = len(kinds)
-    if totals.shape != (count,):
-        raise ConfigurationError("totals must align with kinds")
-    share = np.array([_INBOUND_SHARE[kind] for kind in kinds], dtype=float)
-    share = np.clip(share + rng.normal(0.0, 0.08, size=count), 0.05, 0.95)
+    if totals.ndim != 1:
+        raise ConfigurationError("totals must be one-dimensional")
+    count = int(totals.shape[0])
+    if base_share is None:
+        if kinds is None or len(kinds) != count:
+            raise ConfigurationError("totals must align with kinds")
+        base_share = np.array(
+            [_INBOUND_SHARE[kind] for kind in kinds], dtype=float
+        )
+    elif base_share.shape != totals.shape:
+        raise ConfigurationError("totals must align with base_share")
+    share = np.clip(base_share + rng.normal(0.0, 0.08, size=count), 0.05, 0.95)
     inbound = totals * share
     outbound = totals * (1.0 - share)
     inbound *= config.inbound_total_bps / inbound.sum()

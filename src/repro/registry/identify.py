@@ -59,6 +59,38 @@ class IdentificationPipeline:
                 return IdentificationResult(address=address, asn=asn, source=name)
         return IdentificationResult(address=address, asn=None, source=None)
 
+    def identify_span(
+        self,
+        ixp: str,
+        address: IPv4Address,
+        start_s: float,
+        end_s: float,
+    ) -> tuple[IdentificationResult, IdentificationResult]:
+        """Identify one address at both campaign endpoints in one pass.
+
+        Bit-identical to calling :meth:`identify` at each endpoint:
+        coverage draws are pure in (seed, source, address) — time never
+        enters them — and each endpoint independently takes the first
+        source with a non-None ASN.  Campaigns query every address at both
+        endpoints, so sharing the registry resolutions between the two
+        halves the identification cost of a trial.
+        """
+        first = last = None
+        for name, source in self._sources:
+            asns = source.answers(ixp, address, (start_s, end_s))  # type: ignore[attr-defined]
+            if first is None and asns[0] is not None:
+                first = IdentificationResult(
+                    address=address, asn=asns[0], source=name
+                )
+            if last is None and asns[1] is not None:
+                last = IdentificationResult(
+                    address=address, asn=asns[1], source=name
+                )
+            if first is not None and last is not None:
+                break
+        missing = IdentificationResult(address=address, asn=None, source=None)
+        return first or missing, last or missing
+
     def asn_changed(
         self,
         ixp: str,
@@ -72,8 +104,7 @@ class IdentificationPipeline:
         that is identifiable at one end only is not flagged (the paper's
         filter needs a observed change, not missing data).
         """
-        first = self.identify(ixp, address, start_s)
-        last = self.identify(ixp, address, end_s)
+        first, last = self.identify_span(ixp, address, start_s, end_s)
         if first.asn is None or last.asn is None:
             return False
         return first.asn != last.asn

@@ -31,6 +31,23 @@ def _covered(seed: int, label: str, address: IPv4Address, coverage: float) -> bo
     return _coverage_draw(seed, label, address.value) < coverage * 10_000
 
 
+def _record_answers(
+    source, label: str, ixp: str, address: IPv4Address, times: tuple[float, ...]
+) -> list[ASN | None]:
+    """Per-time answers with one record resolution and one coverage draw.
+
+    Coverage membership is pure in (seed, source, address) — time never
+    enters the draw — so resolving the record once and reading ``asn_at``
+    per time is bit-identical to one ``lookup`` call per time.
+    """
+    record = source.directory.record_for(ixp, address)
+    if not record.well_known and not _covered(
+        source.seed, label, address, source.coverage
+    ):
+        return [None] * len(times)
+    return [record.asn_at(t) for t in times]
+
+
 @dataclass(frozen=True, slots=True)
 class PeeringDBSource:
     """PeeringDB-style lookup: good ASN data, partial coverage."""
@@ -51,6 +68,12 @@ class PeeringDBSource:
         ):
             return None
         return record.asn_at(time_s)
+
+    def answers(
+        self, ixp: str, address: IPv4Address, times: tuple[float, ...]
+    ) -> list[ASN | None]:
+        """One ``lookup`` answer per time, sharing the record resolution."""
+        return _record_answers(self, "peeringdb", ixp, address, times)
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +96,12 @@ class IXPWebsiteSource:
         ):
             return None
         return record.asn_at(time_s)
+
+    def answers(
+        self, ixp: str, address: IPv4Address, times: tuple[float, ...]
+    ) -> list[ASN | None]:
+        """One ``lookup`` answer per time, sharing the record resolution."""
+        return _record_answers(self, "website", ixp, address, times)
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +139,22 @@ class ReverseDNSSource:
         if name is None:
             return None
         return parse_asn_from_hostname(name)
+
+    def answers(
+        self, ixp: str, address: IPv4Address, times: tuple[float, ...]
+    ) -> list[ASN | None]:
+        """One ``lookup`` answer per time, sharing the record resolution.
+
+        Answers still round-trip through the PTR hostname parse so any
+        ASN the hostname grammar would mangle stays mangled.
+        """
+        label = ixp.lower().replace(" ", "").replace("_", "-")
+        return [
+            None
+            if asn is None
+            else parse_asn_from_hostname(f"as{asn}.{label}.example.net")
+            for asn in _record_answers(self, "rdns", ixp, address, times)
+        ]
 
 
 def parse_asn_from_hostname(hostname: str) -> ASN | None:

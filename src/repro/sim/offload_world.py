@@ -34,6 +34,12 @@ Engines and the draw order
   time through the fully-checked ``add_as``/``add_customer_provider``
   calls.
 
+A third realizer lives in :mod:`repro.sim.offload_batch`: the
+trial-batched builder inherits this module's draw-bearing stages
+unchanged and stacks k seeds' worlds over shared static tables for
+``StudyConfig.trial_batch`` runs — same streams, same order, once per
+seed, so a batched build is bit-identical to k single builds.
+
 Both engines consume **identical random draws**: every stage draws its
 arrays from a dedicated child stream in a fixed order, so the two
 engines produce bit-identical worlds (the engine-equivalence suite

@@ -159,15 +159,19 @@ class TestLiveTree:
 class TestDrawPrograms:
     """Static stream extraction: the cross-engine parity invariant."""
 
-    def test_dual_engine_programs_identical(self):
+    def test_multi_engine_programs_identical(self):
         programs = extract_draw_programs(SRC_ROOT)
         by_subsystem: dict[str, list] = {}
         for program in programs:
             by_subsystem.setdefault(program.subsystem, []).append(program)
-        for subsystem in ("detection-world", "offload-world", "netpool",
-                          "campaign"):
+        # The offload world registers three engines: the trial-batched
+        # realizer (repro/sim/offload_batch.py) must open the same
+        # streams as both single-world engines.
+        engine_counts = {"detection-world": 2, "offload-world": 3,
+                         "netpool": 2, "campaign": 2}
+        for subsystem, expected in engine_counts.items():
             group = by_subsystem[subsystem]
-            assert len(group) == 2, subsystem
+            assert len(group) == expected, subsystem
             sequences = {p.parity_sequence() for p in group}
             assert len(sequences) == 1, f"{subsystem} engines diverge"
             assert group[0].sites, f"{subsystem} extracted no streams"
