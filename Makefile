@@ -5,12 +5,13 @@
 #   make smoke       quick gate: fast tests + perf regression guard
 #   make lint        static analysis: repro lint (+ ruff/mypy when installed)
 #   make chaos       fault-injection gate: chaos suites + a small failover run
+#   make mega-smoke  mega-scale gate: 20k-world study over shm transport
 #   make bench       retime every stage and rewrite BENCH_speed.json
 #   make regression  full perf guard against the committed baseline
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint chaos bench regression
+.PHONY: test smoke lint chaos mega-smoke bench regression
 
 test:
 	$(PY) -m pytest -x -q
@@ -45,6 +46,15 @@ chaos:
 	$(PY) -m pytest -q tests/test_faults.py tests/test_campaign_faults.py \
 		tests/test_engine_quarantine.py tests/test_failover_scenario.py
 	$(PY) -m repro scenarios run failover --preset small --seeds 2 --workers 1
+
+# The mega-scale gate: the ~20k-network smoke world through the study
+# engine over the zero-copy shared-memory transport.  --strict-transport
+# fails the target if any trial fell back to pickling, so the shm path
+# cannot silently rot.
+mega-smoke:
+	$(PY) -m pytest -q tests/test_megatopo.py tests/test_transport.py
+	$(PY) -m repro study mega --scenario mega-smoke --seeds 4 \
+		--strict-transport
 
 bench:
 	$(PY) benchmarks/bench_speed.py

@@ -13,9 +13,18 @@ array program), a 16-trial small-world *economics* ensemble (Sections
 3+4+5 end-to-end), a 16-trial small joint detection→offload ensemble
 (measured detection confusion propagated into the offload peer map and
 the bill), and the small ``failover`` scenario (pseudowire dark windows
-priced against the 95th-percentile rule) — and writes
-``BENCH_speed.json`` (schema ``bench_speed/v7``) at the repo root so
+priced against the 95th-percentile rule), the 100k-network mega-world
+build (columnar pool + CAIDA-style hierarchy) and the shared-memory
+world transport dispatch against its pickle reference — and writes
+``BENCH_speed.json`` (schema ``bench_speed/v8``) at the repo root so
 the perf trajectory is tracked across PRs.
+
+Since v8 every stage also records the process peak RSS (``memory_mb``,
+the ``ru_maxrss`` high-water mark sampled after the stage completes).
+The mark is cumulative over the process, so stage order matters: the
+mega stages run *first*, making their readings (gated by the
+``MEMORY_BUDGETS_MB`` table in ``check_regression.py``) a faithful
+ceiling on what the mega build itself allocates.
 
 Run it directly (it is a script, not a pytest-benchmark module)::
 
@@ -37,7 +46,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import pickle
 import platform
+import resource
 import time
 from pathlib import Path
 
@@ -46,6 +57,9 @@ OUT_PATH = REPO_ROOT / "BENCH_speed.json"
 
 WORLD_SEED = 42
 CAMPAIGN_SEED = 7
+
+#: Trials dispatched per transport in the shm-vs-pickle comparison.
+TRANSPORT_TRIALS = 8
 
 
 def _timed(fn):
@@ -56,6 +70,11 @@ def _timed(fn):
     start = time.perf_counter()
     value = fn()
     return value, time.perf_counter() - start
+
+
+def _peak_rss_mb() -> float:
+    """The process peak-RSS high-water mark in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def collect_payload(quick: bool = False) -> dict:
@@ -85,29 +104,77 @@ def collect_payload(quick: bool = False) -> dict:
         run_joint_ensemble,
         run_offload_ensemble,
     )
+    from repro.experiments.transport import SegmentManager, attach_columns
     from repro.faults import FaultConfig
     from repro.sim import (
         DetectionWorldConfig,
         OffloadWorldConfig,
         build_detection_world,
+        build_mega_world,
         build_offload_world,
         scenarios,
     )
     from repro.sim.scenarios import (
         joint_preset_configs,
+        mega_config,
         mini_specs,
         rediris_small_config,
     )
 
     timings: dict[str, float] = {}
+    memory_mb: dict[str, float] = {}
 
-    world, timings["detection_world_build"] = _timed(
-        lambda: scenarios.paper22(seed=WORLD_SEED)
+    def stage(name: str, fn):
+        value, timings[name] = _timed(fn)
+        memory_mb[name] = round(_peak_rss_mb(), 1)
+        return value
+
+    # -- mega world + transport (first: their RSS marks stay faithful) -----
+    mega_world = stage(
+        "mega_world_build_100k",
+        lambda: build_mega_world(mega_config(seed=WORLD_SEED)),
+    )
+    mega_meta, mega_columns = mega_world.config, mega_world.export_columns()
+    world_nbytes = int(sum(a.nbytes for a in mega_columns.values()))
+
+    def _pickle_dispatch() -> None:
+        # The pickle transport's per-trial cost: the whole world crosses
+        # the executor channel (dumps in the parent, loads in the worker)
+        # once per dispatched trial.
+        for _ in range(TRANSPORT_TRIALS):
+            blob = pickle.dumps(
+                (mega_meta, mega_columns), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            pickle.loads(blob)
+
+    def _shm_dispatch() -> None:
+        # The shm transport's per-trial cost: the columns cross once at
+        # create(); each trial ships only the descriptor and attaches
+        # zero-copy views.
+        manager = SegmentManager()
+        try:
+            descriptor = manager.create(mega_columns, refs=TRANSPORT_TRIALS)
+            for _ in range(TRANSPORT_TRIALS):
+                blob = pickle.dumps(
+                    descriptor, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                attached = attach_columns(pickle.loads(blob))
+                attached.close()
+                manager.release(descriptor.segment)
+        finally:
+            manager.close_all()
+
+    _, pickle_dispatch_s = _timed(_pickle_dispatch)
+    stage("study_transport_shm_vs_pickle", _shm_dispatch)
+    shm_dispatch_s = timings["study_transport_shm_vs_pickle"]
+    del mega_columns, mega_world
+
+    world = stage(
+        "detection_world_build", lambda: scenarios.paper22(seed=WORLD_SEED)
     )
 
     if not quick:
-        _, timings["detection_world_build_scalar"] = _timed(
-            lambda: build_detection_world(
+        stage("detection_world_build_scalar", lambda: build_detection_world(
                 DetectionWorldConfig(seed=WORLD_SEED, engine="scalar")
             )
         )
@@ -115,21 +182,19 @@ def collect_payload(quick: bool = False) -> dict:
     batch_campaign = ProbeCampaign(
         world, CampaignConfig(seed=CAMPAIGN_SEED, engine="batch")
     )
-    batch_measurements, timings["collect_batch"] = _timed(batch_campaign.collect)
+    batch_measurements = stage("collect_batch", batch_campaign.collect)
 
     if not quick:
         scalar_campaign = ProbeCampaign(
             world, CampaignConfig(seed=CAMPAIGN_SEED, engine="scalar")
         )
-        _, timings["collect_scalar"] = _timed(scalar_campaign.collect)
+        stage("collect_scalar", scalar_campaign.collect)
 
     pipeline = FilterPipeline()
-    report, timings["filter_pipeline"] = _timed(
-        lambda: pipeline.run(batch_measurements)
+    report = stage("filter_pipeline", lambda: pipeline.run(batch_measurements)
     )
 
-    ensemble_result, timings["ensemble_mini3_16trials"] = _timed(
-        lambda: run_ensemble(
+    ensemble_result = stage("ensemble_mini3_16trials", lambda: run_ensemble(
             EnsembleConfig(
                 seeds=tuple(range(16)),
                 variants=(
@@ -144,8 +209,7 @@ def collect_payload(quick: bool = False) -> dict:
     (ensemble_summary,) = ensemble_result.summaries()
 
     if not quick:
-        big_ensemble, timings["detection_ensemble_256trials_small"] = _timed(
-            lambda: run_ensemble(
+        big_ensemble = stage("detection_ensemble_256trials_small", lambda: run_ensemble(
                 EnsembleConfig(
                     seeds=tuple(range(256)),
                     variants=(
@@ -160,30 +224,25 @@ def collect_payload(quick: bool = False) -> dict:
         )
         (big_ensemble_summary,) = big_ensemble.summaries()
 
-    offload_world, timings["offload_world_build"] = _timed(
-        lambda: scenarios.rediris(seed=WORLD_SEED)
+    offload_world = stage("offload_world_build", lambda: scenarios.rediris(seed=WORLD_SEED)
     )
     if not quick:
-        _, timings["offload_world_build_scalar"] = _timed(
-            lambda: build_offload_world(
+        stage("offload_world_build_scalar", lambda: build_offload_world(
                 OffloadWorldConfig(seed=WORLD_SEED, engine="scalar")
             )
         )
-    (groups, estimator), timings["offload_groups_build"] = _timed(
-        lambda: (
+    (groups, estimator) = stage("offload_groups_build", lambda: (
             (g := PeerGroups.build(offload_world)),
             OffloadEstimator(offload_world, g),
         )
     )
-    steps, timings["greedy_expansion"] = _timed(
-        lambda: greedy_expansion(estimator, 4, max_ixps=8)
+    steps = stage("greedy_expansion", lambda: greedy_expansion(estimator, 4, max_ixps=8)
     )
     all_ixps = estimator.reachable_ixps()
     max_in, max_out = estimator.offload_fractions(all_ixps, 4)
 
     if not quick:
-        offload_ensemble, timings["offload_ensemble_16trials"] = _timed(
-            lambda: run_offload_ensemble(
+        offload_ensemble = stage("offload_ensemble_16trials", lambda: run_offload_ensemble(
                 OffloadEnsembleConfig(
                     seeds=tuple(range(16)),
                     variants=(OffloadVariant(name="paper65"),),
@@ -192,8 +251,7 @@ def collect_payload(quick: bool = False) -> dict:
         )
         (offload_summary,) = offload_ensemble.summaries()
 
-    batched_ensemble, timings["offload_ensemble_16trials_batched"] = _timed(
-        lambda: run_offload_ensemble(
+    batched_ensemble = stage("offload_ensemble_16trials_batched", lambda: run_offload_ensemble(
             OffloadEnsembleConfig(
                 seeds=tuple(range(16)),
                 variants=(OffloadVariant(name="paper65"),),
@@ -203,8 +261,7 @@ def collect_payload(quick: bool = False) -> dict:
     )
     (batched_summary,) = batched_ensemble.summaries()
 
-    economics_ensemble, timings["economics_ensemble_small_16trials"] = _timed(
-        lambda: run_economics_ensemble(
+    economics_ensemble = stage("economics_ensemble_small_16trials", lambda: run_economics_ensemble(
             EconomicsEnsembleConfig(
                 seeds=tuple(range(16)),
                 variants=(
@@ -218,8 +275,7 @@ def collect_payload(quick: bool = False) -> dict:
     (economics_summary,) = economics_ensemble.summaries()
 
     joint_detection, joint_offload = joint_preset_configs("small")
-    joint_ensemble, timings["joint_study_small_16trials"] = _timed(
-        lambda: run_joint_ensemble(
+    joint_ensemble = stage("joint_study_small_16trials", lambda: run_joint_ensemble(
             JointEnsembleConfig(
                 seeds=tuple(range(16)),
                 variants=(
@@ -234,8 +290,7 @@ def collect_payload(quick: bool = False) -> dict:
     )
     (joint_summary,) = joint_ensemble.summaries()
 
-    failover_ensemble, timings["failover_scenario_small"] = _timed(
-        lambda: run_failover_ensemble(
+    failover_ensemble = stage("failover_scenario_small", lambda: run_failover_ensemble(
             FailoverEnsembleConfig(
                 seeds=tuple(range(16)),
                 variants=(
@@ -251,11 +306,29 @@ def collect_payload(quick: bool = False) -> dict:
     (failover_summary,) = failover_ensemble.summaries()
 
     payload = {
-        "schema": "bench_speed/v7",
+        "schema": "bench_speed/v8",
         "python": platform.python_version(),
         "quick": quick,
         "seeds": {"world": WORLD_SEED, "campaign": CAMPAIGN_SEED},
         "timings_s": {name: round(value, 4) for name, value in timings.items()},
+        "memory_mb": memory_mb,
+        "mega_world": {
+            "networks": mega_meta.size,
+            "ixps": 65,
+            "columns_nbytes": world_nbytes,
+        },
+        "transport": {
+            "trials": TRANSPORT_TRIALS,
+            "pickle_dispatch_ms_per_trial": round(
+                pickle_dispatch_s / TRANSPORT_TRIALS * 1000, 3
+            ),
+            "shm_dispatch_ms_per_trial": round(
+                shm_dispatch_s / TRANSPORT_TRIALS * 1000, 3
+            ),
+            "speedup_shm_vs_pickle": round(
+                pickle_dispatch_s / shm_dispatch_s, 2
+            ),
+        },
         "detection": {
             "candidates": len(batch_measurements),
             "replies": sum(m.reply_count() for m in batch_measurements),

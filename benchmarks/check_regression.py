@@ -7,6 +7,13 @@ machine noise, tight enough to catch a vectorized path silently falling
 back to a scalar loop).  Stages present on only one side are reported but
 never fail the check, so adding or retiring stages does not break CI.
 
+Since schema v8 the payload also carries per-stage peak-RSS marks
+(``memory_mb``); stages listed in ``MEMORY_BUDGETS_MB`` must stay under
+their absolute ceiling — an *absolute* gate, unlike the relative timing
+ratios, because a memory blow-through signals a design regression
+(per-network objects materializing on a columnar path), not a slow
+machine.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -35,7 +42,32 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: a baseline from a *newer* generation may have renamed or re-scoped
 #: stages, and silently comparing mismatched stage names would turn the
 #: guard into a no-op.
-KNOWN_SCHEMA_GENERATION = 7
+KNOWN_SCHEMA_GENERATION = 8
+
+#: Absolute peak-RSS ceilings (MB) per stage, checked against the fresh
+#: payload's ``memory_mb`` marks (schema v8+).  ``ru_maxrss`` is the
+#: *process* high-water mark — cumulative, never resetting — so budgets
+#: are ordering-aware: bench_speed runs the mega stages first, which
+#: makes their marks a faithful ceiling on the mega build itself, while
+#: later stages inherit everything before them and get correspondingly
+#: wider budgets.  Unlike timing ratios these are absolute: a budget
+#: blow-through means the columnar/zero-copy design regressed into
+#: materializing per-network state, which machine speed cannot excuse.
+#: Stages without an entry are unbudgeted; budgeted stages missing from
+#: a payload (``--quick``, old baselines) are skipped, never failed.
+MEMORY_BUDGETS_MB = {
+    # The tentpole budget: a 100k-network world in < 1.5 GB (measured
+    # ~60 MB — two orders of magnitude of headroom before the object
+    # regression this guards against).
+    "mega_world_build_100k": 1536.0,
+    # One extra world copy crosses create(); still far under the build.
+    "study_transport_shm_vs_pickle": 1792.0,
+    # Paper-scale single worlds, early in the run.
+    "detection_world_build": 2048.0,
+    "offload_world_build": 3072.0,
+    # End of the full sequence: every ensemble's cumulative high water.
+    "failover_scenario_small": 6144.0,
+}
 
 _SCHEMA_RE = re.compile(r"bench_speed/v(\d+)\Z")
 
@@ -143,14 +175,34 @@ def main(argv: list[str] | None = None) -> int:
             "drift? nothing was actually compared"
         )
 
-    if regressions:
-        print(
-            f"\nFAIL: {len(regressions)} stage(s) regressed more than "
-            f"{args.factor}x: {', '.join(regressions)}"
-        )
+    fresh_memory: dict[str, float] = fresh.get("memory_mb", {})
+    memory_failures: list[str] = []
+    budgeted = sorted(MEMORY_BUDGETS_MB.keys() & fresh_memory.keys())
+    if budgeted:
+        print(f"\n{'stage':{width}}  {'peak RSS':>9}  {'budget':>9}")
+        for name in budgeted:
+            used = fresh_memory[name]
+            budget = MEMORY_BUDGETS_MB[name]
+            over = used > budget
+            flag = "  <-- OVER BUDGET" if over else ""
+            print(f"{name:{width}}  {used:7.1f}MB  {budget:7.1f}MB{flag}")
+            if over:
+                memory_failures.append(name)
+
+    if regressions or memory_failures:
+        if regressions:
+            print(
+                f"\nFAIL: {len(regressions)} stage(s) regressed more than "
+                f"{args.factor}x: {', '.join(regressions)}"
+            )
+        if memory_failures:
+            print(
+                f"\nFAIL: {len(memory_failures)} stage(s) exceeded their "
+                f"peak-RSS budget: {', '.join(memory_failures)}"
+            )
         return 1
     print(f"\nOK: no stage regressed more than {args.factor}x "
-          f"({len(shared)} compared)")
+          f"({len(shared)} compared, {len(budgeted)} memory budget(s) held)")
     return 0
 
 

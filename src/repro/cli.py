@@ -631,6 +631,133 @@ def joint_study_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def mega_study_main(argv: list[str] | None = None) -> int:
+    """Run the mega-scale Euro-IX expansion study (10⁵+ network worlds)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study-mega",
+        description="Multi-seed mega-scale expansion study: a CAIDA-style "
+        "tiered world over a columnar 10⁵+-network pool and the full "
+        "Euro-IX catalog, dispatched to workers over zero-copy "
+        "shared-memory transport; reports mean ± 95% CI covered-traffic "
+        "fractions and the greedy IXP expansion.",
+    )
+    parser.add_argument(
+        "--scenario", choices=("mega-smoke", "mega"), default="mega-smoke",
+        help="world scale: the ~20k-network CI smoke world (default) or "
+        "the 100k-network mega world",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=4,
+        help="number of trial seeds (default: 4)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="first seed (seeds are offset..offset+N-1)",
+    )
+    parser.add_argument(
+        "--max-ixps", type=int, default=8, help="greedy expansion depth"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="trial processes (0 = one per core, 1 = inline)",
+    )
+    parser.add_argument(
+        "--transport", choices=("shm", "pickle"), default="shm",
+        help="world transport to workers: zero-copy shared-memory "
+        "segments (default) or per-group pickling",
+    )
+    parser.add_argument(
+        "--strict-transport", action="store_true",
+        help="fail (exit 1) if any trial fell back from shared-memory "
+        "to pickle transport",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory: completed trials are written as JSONL "
+        "and skipped on rerun (resumable studies)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+    if args.max_ixps < 1:
+        parser.error("--max-ixps must be at least 1")
+
+    from repro.errors import ConfigurationError
+    from repro.experiments import MegaStudy, MegaVariant
+    from repro.experiments.engine import StudyConfig, run_study
+    from repro.sim.scenarios import mega_preset_config
+
+    try:
+        study = MegaStudy(
+            variants=(
+                MegaVariant(
+                    name=args.scenario,
+                    world=mega_preset_config(args.scenario),
+                    max_ixps=args.max_ixps,
+                ),
+            ),
+        )
+        config = StudyConfig(
+            seeds=tuple(range(args.seed_offset, args.seed_offset + args.seeds)),
+            workers=args.workers,
+            out_dir=args.out,
+            transport=args.transport,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    result = run_study(study, config)
+
+    def _pct(ci) -> str:
+        if ci is None:
+            return "n/a"
+        return f"{ci.mean:.1%} ± {ci.half_width:.1%}"
+
+    rows = []
+    for variant in study.variant_names():
+        stats = result.streaming.get(variant, {})
+        covered = stats.get("covered_fraction")
+        five = stats.get("five_ixp_share")
+        members = stats.get("covered_networks")
+        rows.append([
+            variant,
+            _pct(covered),
+            _pct(five),
+            "n/a" if members is None else f"{members.mean:,.0f}",
+        ])
+    trials = len(result.trials) + len(result.failures)
+    print(render_table(
+        ["variant", "covered traffic", "5-IXP share", "covered networks"],
+        rows,
+        title=(
+            f"Mega expansion: {trials} trials "
+            f"({len(study.variants)} variant(s) x {args.seeds} seed(s), "
+            f"{result.wall_s:.1f} s wall, transport={args.transport})"
+        ),
+    ))
+    if result.trials:
+        first = result.trials[0]
+        print(
+            f"\nWorld: {first.network_count:,} networks, "
+            f"{first.member_total:,} IXP memberships "
+            f"(build {first.build_s:.2f} s, trial {first.study_s:.2f} s)."
+        )
+        print("Greedy expansion (seed "
+              f"{first.seed}): {' -> '.join(first.expansion)}")
+    note = result.coverage_note()
+    if note:
+        print(f"\nNote: {note}")
+    if args.strict_transport and result.transport_fallbacks:
+        print(
+            f"error: --strict-transport set and {result.transport_fallbacks} "
+            "trial(s) fell back to pickle transport",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def lint_main(argv: list[str] | None = None) -> int:
     """``repro lint`` — the determinism & draw-stream static analysis.
 
@@ -758,6 +885,7 @@ _STUDIES.update({
     "offload": offload_ensemble_main,
     "economics": economics_study_main,
     "joint": joint_study_main,
+    "mega": mega_study_main,
 })
 
 

@@ -145,8 +145,13 @@ SUBSYSTEMS: tuple[SubsystemSpec, ...] = (
         engines={
             "scalar": (_Scope("function", "_generate_scalar",
                               alias="generate"),),
-            "vectorized": (_Scope("function", "_generate_vectorized",
+            # vectorized and columnar both realize _draw_pool_columns —
+            # one code object, so their parity is structural, but both
+            # engines stay in the inventory (and the rendered table).
+            "vectorized": (_Scope("function", "_draw_pool_columns",
                                   alias="generate"),),
+            "columnar": (_Scope("function", "_draw_pool_columns",
+                                alias="generate"),),
         },
     ),
     SubsystemSpec(
@@ -168,6 +173,20 @@ SUBSYSTEMS: tuple[SubsystemSpec, ...] = (
         shared=(),
         engines={
             "shared": (_Scope("function", "build_fault_schedule"),),
+        },
+    ),
+    SubsystemSpec(
+        # Single-engine, extracted for the stream inventory: the mega
+        # world draws its pool through the columnar netpool engine
+        # (seed derived via ``(seed, "megatopo", "pool")``) and its
+        # hierarchy + memberships from dedicated ``(seed, "megatopo",
+        # "t1"/"t2"/"stubs"/"membership", ...)`` child streams.
+        name="megatopo",
+        module="repro/sim/megatopo.py",
+        shared=(),
+        engines={
+            "shared": (_Scope("function", "_pool_config"),
+                       _Scope("function", "_build")),
         },
     ),
 )

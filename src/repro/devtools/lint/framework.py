@@ -168,6 +168,7 @@ def all_checkers() -> list[type[Checker]]:
         determinism.SetIterationChecker,
         drawstream.DrawTagChecker,
         poolpurity.PoolPurityChecker,
+        poolpurity.SharedMemoryChecker,
         reportrules.ReportFloatChecker,
         reportrules.ReportSetIterationChecker,
     ]

@@ -16,6 +16,14 @@ Rules
     A submitted worker must not use ``global``/``nonlocal`` and must not
     store into module-level bindings (including item/attribute stores on
     module-level objects).
+``pool-raw-shm``
+    ``multiprocessing.shared_memory.SharedMemory`` may be constructed
+    only inside :mod:`repro.experiments.transport` — the refcounted
+    segment lifecycle (create → per-trial refs → unlink at zero, swept
+    by ``close_all`` on every engine exit path) is what guarantees a
+    killed study leaks nothing into ``/dev/shm``.  A raw segment
+    anywhere else is exactly the one that survives a crash as an
+    orphan.
 """
 
 from __future__ import annotations
@@ -127,3 +135,37 @@ class PoolPurityChecker(Checker):
                                 f"worker {func.name!r} stores into "
                                 f"module-level {root.id!r}; the write "
                                 "only mutates the worker's copy")
+
+
+#: The one module allowed to construct shared-memory segments.
+_TRANSPORT_MODULE = "repro/experiments/transport.py"
+
+
+class SharedMemoryChecker(Checker):
+    """All shared-memory segments go through the refcounted transport."""
+
+    packages = ()  # project-wide: an orphaned segment can come from anywhere
+    rules = {
+        "pool-raw-shm":
+            "SharedMemory segments must be created via "
+            "repro.experiments.transport",
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.relpath != _TRANSPORT_MODULE:
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "SharedMemory":
+                self.report(
+                    node, "pool-raw-shm",
+                    "raw SharedMemory construction bypasses the "
+                    "refcounted segment lifecycle; use "
+                    "repro.experiments.transport (SegmentManager / "
+                    "attach_columns) so crashed runs cannot leak "
+                    "/dev/shm segments",
+                )
+        self.generic_visit(node)

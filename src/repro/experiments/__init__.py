@@ -29,6 +29,14 @@ package runs those distributions through a single *study engine*:
     ``run_economics_ensemble`` / ``run_joint_ensemble`` /
     ``run_failover_ensemble`` are thin front ends over ``run_study``.
 
+``mega`` / ``transport``
+    The mega-scale tier: :class:`MegaStudy` runs the greedy Euro-IX
+    expansion over 10⁵+-network :class:`~repro.sim.megatopo.MegaWorld`
+    worlds (columnar pool, CAIDA-style hierarchy, no per-network
+    objects), and :mod:`~repro.experiments.transport` is the zero-copy
+    shared-memory world transport those worlds ride to worker processes
+    (see the lifecycle section below).  CLI: ``repro study mega``.
+
 ``scenarios``
     The scenario library: named, parameterized grids over these studies
     (``behavior-stress``, ``exclusion-ablation``, ``price-plane``,
@@ -87,6 +95,43 @@ only the unwritten trials), and a group whose ``run_batch`` raises
 wrong number of results falls back to per-trial execution — counted in
 ``StudyResult.batch_fallbacks`` and surfaced by ``coverage_note()`` —
 so batching can never lose a trial or change a number.
+
+The shared-memory world transport (build once → attach everywhere)
+-------------------------------------------------------------------
+``StudyConfig.transport = "shm"`` (CLI: ``--transport shm``) turns on
+the zero-copy dispatch path for studies exposing the two transport
+hooks — ``export_world(world) -> (meta, columns)`` returning plain
+numeric numpy arrays, and ``attach_world(meta, columns) -> world``
+rebuilding a view-backed world.  The lifecycle, end to end:
+
+1. **Build + publish (parent).**  For each world-key group the parent
+   builds the world once (under the trial deadline), exports its
+   columns and packs them into one
+   ``multiprocessing.shared_memory`` segment via
+   :class:`~repro.experiments.transport.SegmentManager`, created with
+   one reference per trial in the group.
+2. **Dispatch (tiny pickles).**  Each trial ships only a
+   :class:`~repro.experiments.transport.SegmentDescriptor` (segment
+   name + per-column dtype/shape/offset) — bytes, not megabytes —
+   through the normal executor channel.
+3. **Attach (worker).**  The worker attaches, drops the duplicate
+   ``resource_tracker`` registration (the parent owns the lifetime),
+   rebuilds read-only numpy views over the shared pages and measures
+   the trial; its ``finally`` closes the mapping.
+4. **Release + unlink (parent).**  As each trial's future completes
+   (success, failure or retry exhaustion) the parent releases one
+   reference; the segment is unlinked at zero.  ``close_all()`` runs
+   in the engine's ``finally`` so quarantined groups, pool restarts,
+   and interrupted runs all converge on the same sweep — a killed
+   study never leaks ``/dev/shm`` segments.
+
+A world that cannot cross the transport (export raises, or a column
+holds Python objects) falls back to the pickle path for that group —
+counted in ``StudyResult.transport_fallbacks`` and surfaced by
+``coverage_note()``; results are unaffected.  Raw ``SharedMemory``
+construction outside :mod:`repro.experiments.transport` is a lint
+error (``pool-raw-shm``), keeping every segment inside the refcounted
+lifecycle above.
 
 The trial-quarantine lifecycle
 ------------------------------
@@ -234,6 +279,20 @@ from repro.experiments.failover import (
     measure_failover_trial,
     run_failover_ensemble,
 )
+from repro.experiments.mega import (
+    MegaStudy,
+    MegaTrialResult,
+    MegaTrialSpec,
+    MegaVariant,
+    measure_mega_trial,
+)
+from repro.experiments.transport import (
+    AttachedColumns,
+    ColumnSpec,
+    SegmentDescriptor,
+    SegmentManager,
+    attach_columns,
+)
 from repro.experiments.scenarios import (
     SCENARIOS,
     Scenario,
@@ -250,6 +309,8 @@ from repro.experiments.report import (
 )
 
 __all__ = [
+    "AttachedColumns",
+    "ColumnSpec",
     "ConfigVariant",
     "DetectionStudy",
     "EconomicsEnsembleConfig",
@@ -276,6 +337,10 @@ __all__ = [
     "JointVariant",
     "JointVariantSummary",
     "MeanCI",
+    "MegaStudy",
+    "MegaTrialResult",
+    "MegaTrialSpec",
+    "MegaVariant",
     "OffloadEnsembleConfig",
     "OffloadEnsembleResult",
     "OffloadStudy",
@@ -287,6 +352,8 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioRun",
+    "SegmentDescriptor",
+    "SegmentManager",
     "StreamingMeanCI",
     "Study",
     "StudyConfig",
@@ -294,12 +361,14 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "VariantSummary",
+    "attach_columns",
     "economics_grid_variants",
     "expand_trials",
     "get_scenario",
     "grid_variants",
     "mean_ci",
     "measure_failover_trial",
+    "measure_mega_trial",
     "offload_grid_variants",
     "render_economics_ensemble_report",
     "render_ensemble_report",

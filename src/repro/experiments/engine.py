@@ -17,6 +17,14 @@ duplicate:
 * **resumable sharded execution** — with ``out_dir`` set, every finished
   trial is appended to a JSONL artifact; a rerun with the same
   configuration loads the completed trials and only executes the rest;
+* **zero-copy world transport** — with ``transport="shm"`` on a study
+  exposing ``export_world``/``attach_world`` hooks, the parent builds
+  each world once, packs its array columns into a shared-memory segment
+  (:mod:`repro.experiments.transport`), and dispatches trials carrying
+  only a tiny segment descriptor; workers attach views instead of
+  unpickling the world.  Export failures fall back to the pickle path
+  (counted in ``StudyResult.transport_fallbacks``), and every exit path
+  — success, quarantine, pool restart — releases the segments;
 * **streaming aggregation** — per-variant Welford accumulators over the
   study's headline metrics, updated as trials finish, so mean ± 95% CI
   summaries are available without a second pass over the results.
@@ -42,6 +50,7 @@ from pathlib import Path
 from typing import Any, Hashable, Iterator, Protocol, Sequence, TextIO
 
 from repro.errors import ConfigurationError
+from repro.experiments import transport
 from repro.experiments.aggregate import MeanCI, StreamingMeanCI
 
 #: Schema tag written to every artifact header line.  Success rows are
@@ -133,6 +142,16 @@ class StudyConfig:
     #: falls back to per-trial execution, so timeout / retry / quarantine
     #: semantics are identical to an unbatched run.
     trial_batch: int = 1
+    #: How built worlds reach the worker processes.  ``"pickle"``
+    #: (default) ships each trial group's study+specs and rebuilds the
+    #: world inside the worker.  ``"shm"`` builds each world-key group's
+    #: world once in the parent and publishes its array columns through
+    #: a refcounted shared-memory segment; workers attach zero-copy
+    #: views.  Requires ``export_world``/``attach_world`` hooks on the
+    #: study (studies without them silently keep the pickle path) and is
+    #: mutually exclusive with ``trial_batch`` batching, whose per-seed
+    #: lightweight worlds have nothing to share.
+    transport: str = "pickle"
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -147,6 +166,11 @@ class StudyConfig:
             raise ConfigurationError("trial_retries cannot be negative")
         if self.trial_batch < 1:
             raise ConfigurationError("trial_batch must be at least 1")
+        if self.transport not in ("pickle", "shm"):
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r} "
+                "(expected 'pickle' or 'shm')"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,6 +210,11 @@ class StudyResult:
     #: retry and not (necessarily) a failure — just a slower route to the
     #: same bit-identical result.
     batch_fallbacks: int = 0
+    #: Trials whose world could not cross the shared-memory transport
+    #: (export failed / non-array columns) and were dispatched through
+    #: the pickle path instead.  Like ``batch_fallbacks``, a fallback is
+    #: a performance detour, not lost coverage.
+    transport_fallbacks: int = 0
 
     def by_variant(self) -> dict[str, list[Any]]:
         """Trials grouped by variant name, in trial order."""
@@ -217,6 +246,12 @@ class StudyResult:
                 f"{self.batch_fallbacks} trial(s) fell back from batched "
                 "to per-trial execution (results are unaffected; batching "
                 "is a performance path only)"
+            )
+        if self.transport_fallbacks:
+            parts.append(
+                f"{self.transport_fallbacks} trial(s) fell back from "
+                "shared-memory to pickle world transport (results are "
+                "unaffected; the transport is a performance path only)"
             )
         return "; ".join(parts) if parts else None
 
@@ -430,7 +465,20 @@ def _run_group(
             raise
         return [_failure(spec, error, attempts=1) for spec in specs]
     build_s = time.perf_counter() - start
+    return _measure_specs(study, specs, world, build_s,
+                          timeout_s, retries, quarantine)
 
+
+def _measure_specs(
+    study: Study,
+    specs: list[Any],
+    world: Any,
+    build_s: float,
+    timeout_s: float | None,
+    retries: int,
+    quarantine: bool,
+) -> list[Any]:
+    """The per-trial measure loop shared by every dispatch path."""
     results: list[Any] = []
     for spec in specs:
         last_error: BaseException | None = None
@@ -449,6 +497,46 @@ def _run_group(
         if last_error is not None:
             results.append(_failure(spec, last_error, attempts=1 + retries))
     return results
+
+
+def _run_group_attached(
+    study: Study,
+    specs: list[Any],
+    descriptor: "transport.SegmentDescriptor",
+    meta: Any,
+    build_s: float,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    quarantine: bool = True,
+) -> list[Any]:
+    """Worker half of the shared-memory transport.
+
+    The parent already built the world and published its array columns;
+    this attaches zero-copy views, rebuilds the world around them
+    (``study.attach_world``), and runs the standard measure loop.  The
+    attachment is closed on the way out — segment *ownership* stays with
+    the parent, which releases its reference when the group's future
+    completes.
+    """
+    attached = None
+    try:
+        with _trial_deadline(timeout_s):
+            attached = transport.attach_columns(descriptor)
+            world = study.attach_world(meta, attached.arrays)  # type: ignore[attr-defined]
+    except ConfigurationError:
+        raise
+    except (_TrialTimeout, Exception) as error:
+        if attached is not None:
+            attached.close()
+        if not quarantine:
+            raise
+        return [_failure(spec, error, attempts=1) for spec in specs]
+    try:
+        return _measure_specs(study, specs, world, build_s,
+                              timeout_s, retries, quarantine)
+    finally:
+        world = None
+        attached.close()
 
 
 def _run_batch_group(
@@ -514,6 +602,16 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         config.trial_batch > 1
         and getattr(study, "run_batch", None) is not None
     )
+    # Shared-memory transport: world-key groups are built once in the
+    # parent and fan out per trial; studies without the export/attach
+    # hooks keep the pickle path.  Mutually exclusive with seed batching
+    # (batched seeds each realize their own lightweight world).
+    use_shm = (
+        config.transport == "shm"
+        and not use_batches
+        and getattr(study, "export_world", None) is not None
+        and getattr(study, "attach_world", None) is not None
+    )
     if use_batches:
         by_variant: dict[str, list[Any]] = {}
         for spec in specs:
@@ -555,6 +653,7 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
     run_one = _run_batch_group if use_batches else _run_group
     pool_restarts = 0
     batch_fallbacks = 0
+    transport_fallbacks = 0
 
     def consume(payload: Any) -> None:
         nonlocal batch_fallbacks
@@ -567,11 +666,95 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
             record(result)
 
     writer = _ArtifactWriter(study, config.out_dir, fingerprint)
+    manager: transport.SegmentManager | None = None
     try:
         workers = config.workers or min(
             os.cpu_count() or 1, max(len(group_list), 1)
         )
-        if workers <= 1 or len(group_list) <= 1:
+        if use_shm:
+            # Parent-side builds: one world per world-key group, columns
+            # published through a refcounted segment, one dispatch item
+            # per trial so the pool stays saturated.  ``None`` attach
+            # info marks a pickle fallback for that whole group.
+            manager = transport.SegmentManager()
+            shm_items: list[tuple[list[Any], tuple[Any, ...] | None]] = []
+            for group in group_list:
+                start = time.perf_counter()
+                try:
+                    with _trial_deadline(config.trial_timeout_s):
+                        world = study.build(group[0])
+                except ConfigurationError:
+                    raise
+                except (_TrialTimeout, Exception) as error:
+                    if not config.quarantine:
+                        raise
+                    for spec in group:
+                        record(_failure(spec, error, attempts=1))
+                    continue
+                build_s = time.perf_counter() - start
+                try:
+                    meta, columns = study.export_world(world)  # type: ignore[attr-defined]
+                    descriptor = manager.create(columns, refs=len(group))
+                except ConfigurationError:
+                    raise
+                except Exception:
+                    transport_fallbacks += len(group)
+                    shm_items.append((group, None))
+                    continue
+                for spec in group:
+                    shm_items.append(([spec], (descriptor, meta, build_s)))
+            pending_items = shm_items
+            if workers <= 1 or len(pending_items) <= 1:
+                for item_specs, attach in pending_items:
+                    if attach is None:
+                        consume(_run_group(study, item_specs, *group_args))
+                        continue
+                    descriptor, meta, build_s = attach
+                    consume(_run_group_attached(
+                        study, item_specs, descriptor, meta, build_s,
+                        *group_args,
+                    ))
+                    manager.release(descriptor.segment)
+            else:
+                for attempt in (0, 1):
+                    try:
+                        with ProcessPoolExecutor(
+                            max_workers=min(workers, len(pending_items))
+                        ) as pool:
+                            future_segment: dict[Any, str | None] = {}
+                            for item_specs, attach in pending_items:
+                                if attach is None:
+                                    future = pool.submit(
+                                        _run_group, study, item_specs,
+                                        *group_args)
+                                    future_segment[future] = None
+                                    continue
+                                descriptor, meta, build_s = attach
+                                future = pool.submit(
+                                    _run_group_attached, study, item_specs,
+                                    descriptor, meta, build_s, *group_args)
+                                future_segment[future] = descriptor.segment
+                            for future in as_completed(future_segment):
+                                consume(future.result())
+                                segment = future_segment[future]
+                                if segment is not None:
+                                    manager.release(segment)
+                        break
+                    except BrokenProcessPool:
+                        pending_items = [
+                            ([s for s in item_specs
+                              if s.trial_id not in completed], attach)
+                            for item_specs, attach in pending_items
+                        ]
+                        pending_items = [
+                            (item_specs, attach)
+                            for item_specs, attach in pending_items
+                            if item_specs
+                        ]
+                        if attempt == 1 or not pending_items:
+                            raise
+                        pool_restarts += 1
+        elif workers <= 1 or len(group_list) <= 1:
             for group in group_list:
                 consume(run_one(study, group, *group_args))
         else:
@@ -584,9 +767,9 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
                     with ProcessPoolExecutor(
                         max_workers=min(workers, len(pending))
                     ) as pool:
-                        # Two submit sites (not one via an alias) so the
-                        # pool-submit-module-fn lint can statically see a
-                        # module-level worker at each.
+                        # Distinct submit sites (not one via an alias) so
+                        # the pool-submit-module-fn lint can statically
+                        # see a module-level worker at each.
                         if use_batches:
                             futures = [
                                 pool.submit(_run_batch_group, study,
@@ -618,6 +801,11 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
                     pool_restarts += 1
     finally:
         writer.close()
+        if manager is not None:
+            # Belt and braces: every exit path (success, quarantine,
+            # BrokenProcessPool, KeyboardInterrupt) unlinks whatever
+            # segments the refcounts have not already released.
+            manager.close_all()
 
     executed = sum(len(group) for group in group_list)
     # In batched mode every seed realizes its own (lightweight) world, so
@@ -639,4 +827,5 @@ def run_study(study: Study, config: StudyConfig) -> StudyResult:
         failures=[r for r in ordered if isinstance(r, TrialFailure)],
         pool_restarts=pool_restarts,
         batch_fallbacks=batch_fallbacks,
+        transport_fallbacks=transport_fallbacks,
     )

@@ -1,0 +1,235 @@
+"""Zero-copy world transport over POSIX shared memory.
+
+At mega scale (10⁵–10⁶-network worlds) the dominant cost of a study is
+no longer computing trials but *moving the world*: pickling a built
+world into every ``ProcessPoolExecutor`` worker copies hundreds of
+megabytes per dispatch.  This module moves the arrays exactly once:
+
+1. the study parent builds the world, asks it for its array columns
+   (``export_columns``) and packs them into one
+   :class:`multiprocessing.shared_memory.SharedMemory` segment;
+2. each worker receives only a tiny :class:`SegmentDescriptor` (segment
+   name + per-column dtype/shape/offset) through the normal pickle
+   channel, attaches, and rebuilds numpy views directly over the shared
+   pages — no copy, no deserialization proportional to world size;
+3. the parent refcounts the segment (one reference per dispatched trial
+   group) and unlinks it when the last reference is released;
+   :meth:`SegmentManager.close_all` is the belt-and-braces sweep the
+   study engine runs on *every* exit path (success, quarantine, pool
+   restart, KeyboardInterrupt), so a killed run never leaks segments.
+
+Raw ``SharedMemory`` construction anywhere else in the tree is a lint
+error (``pool-raw-shm`` in :mod:`repro.devtools.lint.poolpurity`):
+segments that bypass the refcounted lifecycle are exactly the ones that
+survive crashes as orphans in ``/dev/shm``.
+
+Workers must *attach*, never own: :func:`attach_columns` unregisters the
+mapping from :mod:`multiprocessing.resource_tracker`, because the
+tracker would otherwise unlink the parent's segment when the first
+worker exits (the well-known CPython 3.11 over-tracking behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Column starts are aligned so every dtype's natural alignment holds.
+_ALIGN = 64
+
+#: Segment names created by *this* process.  Attaching from the creating
+#: process (the inline ``workers=1`` path, tests) must keep the resource
+#: tracker registration — it is the only one — while worker-side attaches
+#: drop their duplicate registration (see :func:`attach_columns`).
+_OWNED: set[str] = set()
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSpec:
+    """Layout of one array inside a segment (enough to rebuild a view)."""
+
+    name: str
+    dtype: str   # numpy dtype string, e.g. "<i8"
+    shape: tuple[int, ...]
+    offset: int  # byte offset of the column inside the segment
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentDescriptor:
+    """Everything a worker needs to attach: tiny, picklable, arrays-free."""
+
+    segment: str
+    columns: tuple[ColumnSpec, ...]
+    nbytes: int
+
+
+class AttachedColumns:
+    """A worker-side attachment: named views plus the mapping they pin."""
+
+    def __init__(
+        self,
+        descriptor: SegmentDescriptor,
+        shm: shared_memory.SharedMemory,
+    ) -> None:
+        self.descriptor = descriptor
+        self._shm = shm
+        self.arrays: dict[str, np.ndarray] = {}
+        for spec in descriptor.columns:
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=shm.buf,
+                offset=spec.offset,
+            )
+            view.flags.writeable = False
+            self.arrays[spec.name] = view
+
+    def close(self) -> None:
+        """Drop the views and unmap.
+
+        Numpy views exported from the buffer keep the mmap pinned; if a
+        measured result (or the world object) still holds one, closing
+        would raise ``BufferError`` — treat that as "the OS unmaps at
+        process exit" rather than an error, since workers never own the
+        segment.
+        """
+        self.arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # views still alive; freed at process exit
+            pass
+
+
+def _layout(
+    columns: dict[str, np.ndarray],
+) -> tuple[tuple[ColumnSpec, ...], int]:
+    """Aligned packing order of ``columns`` and the total byte size."""
+    specs: list[ColumnSpec] = []
+    offset = 0
+    for name, array in columns.items():
+        if array.dtype.hasobject:
+            raise ConfigurationError(
+                f"column {name!r} holds Python objects; only plain "
+                "numeric arrays can cross the shared-memory transport"
+            )
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(
+            ColumnSpec(
+                name=name,
+                dtype=array.dtype.str,
+                shape=tuple(array.shape),
+                offset=offset,
+            )
+        )
+        offset += array.nbytes
+    return tuple(specs), max(offset, 1)
+
+
+class SegmentManager:
+    """Parent-side owner of every world segment of one study run.
+
+    ``create`` packs columns into a fresh segment with an initial
+    reference count; ``add_refs``/``release`` track outstanding trial
+    groups; the segment is unlinked when the count reaches zero.
+    ``close_all`` force-releases everything — the study engine calls it
+    in a ``finally`` so quarantined groups, pool restarts and hard kills
+    of the run all converge on the same cleanup path.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[str, int] = {}
+
+    def create(
+        self, columns: dict[str, np.ndarray], refs: int = 1
+    ) -> SegmentDescriptor:
+        """Pack ``columns`` into a new segment holding ``refs`` references."""
+        if refs < 1:
+            raise ConfigurationError("a new segment needs >= 1 reference")
+        specs, nbytes = _layout(columns)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        for spec in specs:
+            array = np.ascontiguousarray(columns[spec.name])
+            dest = np.ndarray(
+                spec.shape,
+                dtype=array.dtype,
+                buffer=shm.buf,
+                offset=spec.offset,
+            )
+            dest[...] = array
+        self._segments[shm.name] = shm
+        self._refs[shm.name] = refs
+        _OWNED.add(shm.name)
+        return SegmentDescriptor(
+            segment=shm.name, columns=specs, nbytes=nbytes
+        )
+
+    def add_refs(self, segment: str, count: int) -> None:
+        """Register ``count`` more outstanding references on ``segment``."""
+        if segment not in self._refs:
+            raise ConfigurationError(f"unknown segment {segment!r}")
+        self._refs[segment] += count
+
+    def release(self, segment: str) -> None:
+        """Drop one reference; unlink the segment at zero.
+
+        Releasing an already-destroyed segment is a no-op: the engine
+        releases per completed future, and ``close_all`` may already
+        have swept the table on an error path.
+        """
+        if segment not in self._refs:
+            return
+        self._refs[segment] -= 1
+        if self._refs[segment] <= 0:
+            self._destroy(segment)
+
+    def live_segments(self) -> tuple[str, ...]:
+        """Names of segments not yet unlinked (test/diagnostic hook)."""
+        return tuple(sorted(self._segments))
+
+    def close_all(self) -> None:
+        """Unlink every remaining segment regardless of reference count."""
+        for name in sorted(self._segments):
+            self._destroy(name)
+
+    def _destroy(self, segment: str) -> None:
+        shm = self._segments.pop(segment, None)
+        self._refs.pop(segment, None)
+        _OWNED.discard(segment)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # parent-side views still alive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already gone (external cleanup)
+            pass
+
+
+def attach_columns(descriptor: SegmentDescriptor) -> AttachedColumns:
+    """Attach to a parent-owned segment and rebuild the column views.
+
+    The resource tracker registration is dropped immediately: the
+    *parent* owns the segment's lifetime, and leaving the registration
+    in place makes the first exiting worker's tracker unlink the
+    segment under every other worker still using it.
+    """
+    shm = shared_memory.SharedMemory(name=descriptor.segment)
+    if shm.name not in _OWNED:
+        try:
+            resource_tracker.unregister(f"/{shm.name}", "shared_memory")
+        except (KeyError, ValueError):  # pragma: no cover - tracker internals
+            pass
+    return AttachedColumns(descriptor, shm)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether the named segment is still linked (test/diagnostic hook)."""
+    return os.path.exists(f"/dev/shm/{name.lstrip('/')}")

@@ -108,6 +108,29 @@ _SYNTHETIC: tuple[tuple[str, str, str, int], ...] = (
 )
 
 
+#: Pool size the catalog's absolute ``member_count`` figures assume — the
+#: default :class:`~repro.sim.netpool.NetworkPoolConfig` population the
+#: paper-scale worlds draw members from.
+REFERENCE_POOL_SIZE = 5600
+
+
+def scaled_member_count(
+    spec: EuroIXSpec, pool_size: int, floor: int = 8
+) -> int:
+    """``spec.member_count`` rescaled to a ``pool_size``-network world.
+
+    The catalog's absolute counts describe a :data:`REFERENCE_POOL_SIZE`
+    pool; the mega tier keeps each IXP's *share* of the pool constant as
+    the world grows to 10⁵–10⁶ networks, so AMS-IX stays ~11% of the
+    population rather than freezing at 2013's absolute membership.
+    ``floor`` keeps the smallest exchanges statistically meaningful.
+    """
+    if pool_size <= 0:
+        raise ConfigurationError("pool_size must be positive")
+    scaled = round(spec.member_count * pool_size / REFERENCE_POOL_SIZE)
+    return max(floor, scaled)
+
+
 def euroix_catalog() -> tuple[EuroIXSpec, ...]:
     """The 65-IXP reachable set: 22 studied + named extras + synthetic fill."""
     specs: list[EuroIXSpec] = []

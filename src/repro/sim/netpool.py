@@ -7,18 +7,25 @@ networks), their advertised peering policy, and where they live.  The pool
 generator encodes those distributions once so that the detection and
 offload worlds draw from consistent populations.
 
-Two generation engines produce the same distributions:
+Three generation engines produce the same distributions:
 
 * ``"vectorized"`` (default) draws every attribute as one array over the
   whole pool — continent, city-within-continent, kind, policy,
   bicontinental coin + partner continent, address space, in that fixed
   order — so a 5,600-network pool costs a handful of numpy calls;
+* ``"columnar"`` consumes the *identical* draws (both engines realize
+  :func:`_draw_pool_columns`, so the lint-verified draw program is the
+  same code object) but keeps the pool as struct-of-arrays columns — no
+  per-network :class:`PooledNetwork` / ``AutonomousSystem`` objects are
+  created until a caller explicitly materializes an index.  This is the
+  backend the 10⁵–10⁶-network mega worlds are built on: a 1M-network
+  pool is eight numpy arrays, not a million Python objects;
 * ``"scalar"`` replays the seed implementation's per-network loop and is
   kept as the statistical reference.
 
-The engines consume the same seed in different orders, so pools agree in
-distribution (continent/kind/policy mixes, propensity law, scope law) but
-not network-for-network.
+``vectorized`` and ``columnar`` pools are bit-identical entry for entry
+(``tests/test_sim_netpool.py`` pins it); the scalar engine consumes the
+same seed in a different order, so it agrees in distribution only.
 """
 
 from __future__ import annotations
@@ -88,7 +95,9 @@ class NetworkPoolConfig:
     global_scope_fraction: float = 0.04
     #: Fraction with a two-continent scope.
     bicontinental_fraction: float = 0.18
-    #: ``"vectorized"`` (array draws, default) or ``"scalar"`` (reference).
+    #: ``"vectorized"`` (array draws, default), ``"columnar"`` (same
+    #: draws, struct-of-arrays storage, lazy views) or ``"scalar"``
+    #: (per-network reference loop).
     engine: str = "vectorized"
 
     def __post_init__(self) -> None:
@@ -98,7 +107,7 @@ class NetworkPoolConfig:
             raise ConfigurationError("first ASN must be positive")
         if not 0 <= self.global_scope_fraction <= 1:
             raise ConfigurationError("fractions must be in [0, 1]")
-        if self.engine not in ("vectorized", "scalar"):
+        if self.engine not in ("vectorized", "scalar", "columnar"):
             raise ConfigurationError(f"unknown pool engine {self.engine!r}")
 
 
@@ -128,7 +137,7 @@ class NetworkPool:
 
     networks: list[PooledNetwork]
     _by_asn: dict[ASN, PooledNetwork] = field(default_factory=dict)
-    _eligible_cache: dict[str, list[PooledNetwork]] = field(default_factory=dict)
+    _eligible_cache: dict[str, np.ndarray] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self._by_asn:
@@ -144,18 +153,32 @@ class NetworkPool:
         except KeyError:
             raise ConfigurationError(f"AS{asn} not in pool") from None
 
-    def eligible_for(self, continent: str) -> list[PooledNetwork]:
-        """Networks whose scope includes ``continent``, ASN-sorted.
+    def eligible_for(self, continent: str) -> np.ndarray:
+        """Indices (into ``networks``) whose scope includes ``continent``.
 
-        Pools are treated as immutable after generation, so the result is
-        cached per continent (world builders ask once per IXP).
+        Returns an ASN-sorted **index array**, not objects — at pool
+        sizes in the 10⁵–10⁶ range the old ``list[PooledNetwork]``
+        return was an O(n) object path on every continent filter.
+        Pools are treated as immutable after generation, so the result
+        is cached per continent (world builders ask once per IXP).
+        Callers that want the entries themselves use
+        :meth:`eligible_networks`.
         """
         cached = self._eligible_cache.get(continent)
         if cached is None:
-            found = [n for n in self.networks if continent in n.scope]
-            cached = sorted(found, key=lambda n: n.asn)
+            # Networks are generated in ascending-ASN order, so index
+            # order *is* ASN order — same ordering the old object list
+            # had after its sort.
+            found = [
+                i for i, n in enumerate(self.networks) if continent in n.scope
+            ]
+            cached = np.array(found, dtype=np.int64)
             self._eligible_cache[continent] = cached
         return cached
+
+    def eligible_networks(self, continent: str) -> list[PooledNetwork]:
+        """Compat shim over :meth:`eligible_for`: the entries, ASN-sorted."""
+        return [self.networks[i] for i in self.eligible_for(continent)]
 
     def sample_members(
         self,
@@ -171,16 +194,153 @@ class NetworkPool:
         propensity networks recur across IXPs — that recurrence *is* the
         IXP-count distribution of Figure 4a.
         """
-        pool = candidates if candidates is not None else self.eligible_for(continent)
+        if candidates is not None:
+            pool = candidates
+            if exclude:
+                pool = [n for n in pool if n.asn not in exclude]
+            if count > len(pool):
+                raise ConfigurationError(
+                    f"cannot draw {count} members from {len(pool)} "
+                    "eligible networks"
+                )
+            weights = np.array([n.propensity for n in pool], dtype=float)
+            idx = weighted_index_sample(rng, weights, count)
+            return [pool[i] for i in idx]
+        eligible = self.eligible_for(continent)
         if exclude:
-            pool = [n for n in pool if n.asn not in exclude]
-        if count > len(pool):
-            raise ConfigurationError(
-                f"cannot draw {count} members from {len(pool)} eligible networks"
+            # Propensity (mutable on the objects) is read per call; only
+            # the immutable ASN column is needed for the exclusion mask.
+            keep = np.array(
+                [self.networks[i].asn not in exclude for i in eligible]
             )
-        weights = np.array([n.propensity for n in pool], dtype=float)
+            eligible = eligible[keep]
+        if count > len(eligible):
+            raise ConfigurationError(
+                f"cannot draw {count} members from {len(eligible)} "
+                "eligible networks"
+            )
+        weights = np.array(
+            [self.networks[i].propensity for i in eligible], dtype=float
+        )
         idx = weighted_index_sample(rng, weights, count)
-        return [pool[i] for i in idx]
+        return [self.networks[i] for i in eligible[idx]]
+
+
+#: Continent order defining the scope bitmask bits of the columnar pool.
+SCOPE_CONTINENTS: tuple[str, ...] = tuple(_CONTINENT_WEIGHTS)
+
+
+@dataclass
+class ColumnarNetworkPool:
+    """Struct-of-arrays pool: the mega-scale backend.
+
+    Holds the same population as a :class:`NetworkPool` generated with
+    the vectorized engine — bit-identical draws — but as columns:
+
+    * ``asn``            int64, ascending (``first_asn + arange``)
+    * ``continent_idx``  index into :data:`SCOPE_CONTINENTS`
+    * ``city_idx``       index into the continent's name-sorted city list
+    * ``kind_idx`` / ``policy_idx``  indices into the weight-table orders
+    * ``propensity``     float64 Zipf-by-rank weights
+    * ``scope_mask``     uint8 bitmask over :data:`SCOPE_CONTINENTS`
+    * ``address_space``  int64 announced IPv4 space
+
+    No per-network Python object exists until :meth:`network` is called
+    for an explicit index; world builders at the 10⁵–10⁶ scale never
+    call it.  Sampling returns index arrays and consumes the exact
+    draw stream of :meth:`NetworkPool.sample_members` over the same
+    eligible sets, so small-n worlds agree bit-for-bit across backends.
+    """
+
+    config: NetworkPoolConfig
+    asn: np.ndarray
+    continent_idx: np.ndarray
+    city_idx: np.ndarray
+    kind_idx: np.ndarray
+    policy_idx: np.ndarray
+    propensity: np.ndarray
+    scope_mask: np.ndarray
+    address_space: np.ndarray
+    cities_by_continent: dict[str, list[City]]
+    _eligible_cache: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.asn)
+
+    def eligible_for(self, continent: str) -> np.ndarray:
+        """ASN-sorted indices whose scope covers ``continent`` (cached)."""
+        cached = self._eligible_cache.get(continent)
+        if cached is None:
+            try:
+                bit = 1 << SCOPE_CONTINENTS.index(continent)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown continent {continent!r}"
+                ) from None
+            cached = np.flatnonzero(self.scope_mask & bit).astype(np.int64)
+            self._eligible_cache[continent] = cached
+        return cached
+
+    def sample_member_indices(
+        self,
+        rng: np.random.Generator,
+        continent: str,
+        count: int,
+        exclude_asns: "set[ASN] | np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Index-array twin of :meth:`NetworkPool.sample_members`.
+
+        Identical eligible set, identical weight vector, identical
+        :func:`weighted_index_sample` call — so the consumed draws (and
+        therefore the selected ASNs) match the object backend exactly.
+        ``exclude_asns`` may be a set or an ASN array.
+        """
+        eligible = self.eligible_for(continent)
+        if exclude_asns is not None and len(exclude_asns):
+            banned = np.array(sorted(exclude_asns), dtype=np.int64)
+            eligible = eligible[~np.isin(self.asn[eligible], banned)]
+        if count > len(eligible):
+            raise ConfigurationError(
+                f"cannot draw {count} members from {len(eligible)} "
+                "eligible networks"
+            )
+        weights = self.propensity[eligible]
+        idx = weighted_index_sample(rng, weights, count)
+        return eligible[idx]
+
+    def scope_of(self, i: int) -> frozenset[str]:
+        """The continent-code scope of entry ``i`` (decoded from the mask)."""
+        mask = int(self.scope_mask[i])
+        return frozenset(
+            code for bit, code in enumerate(SCOPE_CONTINENTS)
+            if mask & (1 << bit)
+        )
+
+    def network(self, i: int) -> PooledNetwork:
+        """Materialize entry ``i`` as a :class:`PooledNetwork` on demand.
+
+        The lazy index view: bit-identical to the object the vectorized
+        engine would have built at the same position.
+        """
+        continent = SCOPE_CONTINENTS[int(self.continent_idx[i])]
+        city = self.cities_by_continent[continent][int(self.city_idx[i])]
+        kinds = list(_KIND_WEIGHTS)
+        policies = list(_POLICY_WEIGHTS)
+        return _make_network(
+            asn=ASN(int(self.asn[i])),
+            city=city,
+            kind=kinds[int(self.kind_idx[i])],
+            policy=policies[int(self.policy_idx[i])],
+            propensity=float(self.propensity[i]),
+            scope=self.scope_of(i),
+            address_space=int(self.address_space[i]),
+        )
+
+    def materialize(self) -> NetworkPool:
+        """Full object-backed pool (small-n equivalence tests only)."""
+        return NetworkPool(
+            networks=[self.network(i) for i in range(len(self))]
+        )
 
 
 def weighted_index_sample(
@@ -221,11 +381,13 @@ def _weighted_choice(rng: np.random.Generator, table: dict) -> object:
 
 def generate_network_pool(
     city_db: CityDB, config: NetworkPoolConfig | None = None
-) -> NetworkPool:
+) -> NetworkPool | ColumnarNetworkPool:
     """Generate the network pool deterministically from ``config.seed``."""
     config = config or NetworkPoolConfig()
     if config.engine == "scalar":
         return _generate_scalar(city_db, config)
+    if config.engine == "columnar":
+        return _draw_pool_columns(city_db, config)
     return _generate_vectorized(city_db, config)
 
 
@@ -249,14 +411,16 @@ def _make_network(
     return PooledNetwork(asys=asys, propensity=propensity, scope=scope)
 
 
-def _generate_vectorized(
+def _draw_pool_columns(
     city_db: CityDB, config: NetworkPoolConfig
-) -> NetworkPool:
-    """Array-draw engine: one draw per attribute over the whole pool.
+) -> ColumnarNetworkPool:
+    """The shared array draw program: one draw per attribute over the pool.
 
     Draw order (fixed; see the module docstring): rank permutation,
     continent, city-within-continent, kind, policy, bicontinental coin,
-    partner continent, address-space normal deviates.
+    partner continent, address-space normal deviates.  Both the
+    vectorized and the columnar engine realize this function, so their
+    draw programs are one code object and parity is structural.
     """
     rng = make_rng(config.seed)
     size = config.size
@@ -293,28 +457,38 @@ def _generate_vectorized(
     log2_size = np.clip(means + 1.5 * space_z, 8.0, 22.0)
     address_space = (2.0**log2_size).astype(np.int64)
 
+    # Scope as a bitmask over SCOPE_CONTINENTS: all bits for the global
+    # top ranks, home|partner for bicontinentals, home otherwise.
     top_global = int(config.global_scope_fraction * size)
-    global_scope = frozenset(continents)
-    networks: list[PooledNetwork] = []
-    for i in range(size):
-        continent = continents[continent_idx[i]]
-        if ranks[i] < top_global:
-            scope = global_scope
-        elif bicontinental[i]:
-            scope = frozenset({continent, continents[other_idx[i]]})
-        else:
-            scope = frozenset({continent})
-        networks.append(
-            _make_network(
-                asn=ASN(config.first_asn + i),
-                city=cities_by_continent[continent][city_idx[i]],
-                kind=kinds[kind_idx[i]],
-                policy=policies[policy_idx[i]],
-                propensity=float(propensity[i]),
-                scope=scope,
-                address_space=int(address_space[i]),
-            )
-        )
+    home_bit = np.left_shift(1, continent_idx).astype(np.uint8)
+    other_bit = np.left_shift(1, other_idx).astype(np.uint8)
+    scope_mask = np.where(bicontinental, home_bit | other_bit, home_bit)
+    scope_mask = np.where(
+        ranks < top_global,
+        np.uint8((1 << len(continents)) - 1),
+        scope_mask,
+    ).astype(np.uint8)
+
+    return ColumnarNetworkPool(
+        config=config,
+        asn=config.first_asn + np.arange(size, dtype=np.int64),
+        continent_idx=continent_idx.astype(np.int16),
+        city_idx=city_idx.astype(np.int32),
+        kind_idx=kind_idx.astype(np.int16),
+        policy_idx=policy_idx.astype(np.int16),
+        propensity=propensity,
+        scope_mask=scope_mask,
+        address_space=address_space,
+        cities_by_continent=cities_by_continent,
+    )
+
+
+def _generate_vectorized(
+    city_db: CityDB, config: NetworkPoolConfig
+) -> NetworkPool:
+    """Array-draw engine: the columnar draws, materialized as objects."""
+    columns = _draw_pool_columns(city_db, config)
+    networks = [columns.network(i) for i in range(len(columns))]
     return NetworkPool(networks=networks)
 
 

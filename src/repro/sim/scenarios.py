@@ -14,6 +14,7 @@ from repro.sim.detection_world import (
     DetectionWorldConfig,
     build_detection_world,
 )
+from repro.sim.megatopo import MegaWorld, MegaWorldConfig, build_mega_world
 from repro.sim.offload_world import (
     OffloadWorld,
     OffloadWorldConfig,
@@ -81,7 +82,36 @@ def rediris_small(seed: int = 5) -> OffloadWorld:
     return build_offload_world(rediris_small_config(seed))
 
 
+def mega_config(seed: int = 0) -> MegaWorldConfig:
+    """Config of the 100k-network mega world over the full Euro-IX catalog.
+
+    The first internet-scale tier: a CAIDA-style clique/T1/T2/stub
+    hierarchy over a columnar pool — no per-network Python objects are
+    materialized anywhere on the build or study path.
+    """
+    return MegaWorldConfig(size=100_000, seed=seed)
+
+
+def mega_smoke_config(seed: int = 0) -> MegaWorldConfig:
+    """The ~20k-network mega world CI smokes (same shape, smaller pool)."""
+    return MegaWorldConfig(size=20_000, seed=seed)
+
+
+def mega(seed: int = 0) -> MegaWorld:
+    """The built 100k-network mega world."""
+    return build_mega_world(mega_config(seed))
+
+
 # -- named study presets (the `repro study` CLI's --scenario values) ----------
+
+
+def mega_preset_config(name: str) -> MegaWorldConfig:
+    """Mega-world config of a named preset (seeds are set per trial)."""
+    if name == "mega-smoke":
+        return mega_smoke_config()
+    if name == "mega":
+        return mega_config()
+    raise ConfigurationError(f"unknown mega preset {name!r}")
 
 
 def detection_preset_specs(name: str) -> tuple:

@@ -68,6 +68,29 @@ def network_pool_pair(size: int = 2000, seed: int = 7):
     )
 
 
+def columnar_pool_pair(size: int = 2000, seed: int = 7):
+    """(vectorized NetworkPool, ColumnarNetworkPool) from one fixed seed.
+
+    The columnar backend holds to the *bit-exact* standard, not the
+    statistical one: both engines realize ``_draw_pool_columns``, so the
+    materialized views must equal the vectorized objects field for field.
+    """
+    db = default_city_db()
+    return tuple(
+        generate_network_pool(
+            db, NetworkPoolConfig(size=size, seed=seed, engine=engine)
+        )
+        for engine in ("vectorized", "columnar")
+    )
+
+
+def assert_network_pools_identical(measured, reference):
+    """Every pool entry equal field-for-field (dataclass equality)."""
+    assert len(measured) == len(reference)
+    for got, want in zip(measured.networks, reference.networks):
+        assert got == want
+
+
 def detection_world_pair(seed: int = 11, acronyms: tuple[str, ...] | None = None):
     """(vectorized, scalar) detection worlds from one fixed seed.
 

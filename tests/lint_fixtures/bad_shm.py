@@ -1,0 +1,12 @@
+"""Known-bad fixture: raw shared-memory segments outside the transport."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(nbytes: int):
+    return SharedMemory(create=True, size=nbytes)       # pool-raw-shm
+
+
+def leaky_attach(name: str):
+    return shared_memory.SharedMemory(name=name)        # pool-raw-shm

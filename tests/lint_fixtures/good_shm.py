@@ -1,0 +1,17 @@
+"""Known-good fixture: segments go through the refcounted transport."""
+
+from repro.experiments.transport import SegmentManager, attach_columns
+
+
+def publish(columns: dict, trials: int):
+    manager = SegmentManager()
+    descriptor = manager.create(columns, refs=trials)
+    return manager, descriptor
+
+
+def consume(descriptor):
+    attached = attach_columns(descriptor)
+    try:
+        return {name: view.sum() for name, view in attached.arrays.items()}
+    finally:
+        attached.close()

@@ -114,6 +114,70 @@ class TestMissingStages:
         assert code == 1
 
 
+class TestMemoryBudgets:
+    """Schema v8: per-stage peak-RSS marks gated by absolute budgets."""
+
+    def budgeted_stage(self, check_regression):
+        return next(iter(check_regression.MEMORY_BUDGETS_MB))
+
+    def test_within_budget_passes(self, check_regression, tmp_path, capsys):
+        name = self.budgeted_stage(check_regression)
+        budget = check_regression.MEMORY_BUDGETS_MB[name]
+        fresh = payload(a=1.0)
+        fresh["memory_mb"] = {name: budget / 2}
+        code = run_check(check_regression, tmp_path, payload(a=1.0), fresh)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory budget(s) held" in out
+        assert "OVER BUDGET" not in out
+
+    def test_over_budget_fails(self, check_regression, tmp_path, capsys):
+        name = self.budgeted_stage(check_regression)
+        budget = check_regression.MEMORY_BUDGETS_MB[name]
+        fresh = payload(a=1.0)
+        fresh["memory_mb"] = {name: budget * 2}
+        code = run_check(check_regression, tmp_path, payload(a=1.0), fresh)
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "OVER BUDGET" in out and name in out
+        assert "exceeded their peak-RSS budget" in out
+
+    def test_unbudgeted_stage_never_fails(
+        self, check_regression, tmp_path
+    ):
+        fresh = payload(a=1.0)
+        fresh["memory_mb"] = {"some_unbudgeted_stage": 10_000_000.0}
+        code = run_check(check_regression, tmp_path, payload(a=1.0), fresh)
+        assert code == 0
+
+    def test_payload_without_memory_marks_passes(
+        self, check_regression, tmp_path
+    ):
+        # Old baselines and --fresh test payloads carry no memory_mb.
+        code = run_check(
+            check_regression, tmp_path, payload(a=1.0), payload(a=1.0)
+        )
+        assert code == 0
+
+    def test_mega_budget_matches_issue_ceiling(self, check_regression):
+        # The tentpole acceptance: a 100k-network world under 1.5 GB.
+        assert check_regression.MEMORY_BUDGETS_MB[
+            "mega_world_build_100k"
+        ] <= 1536.0
+
+    def test_committed_baseline_memory_within_budgets(
+        self, check_regression
+    ):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_speed.json").read_text()
+        )
+        marks = committed.get("memory_mb", {})
+        assert marks, "v8 baseline must carry memory_mb marks"
+        for name, budget in check_regression.MEMORY_BUDGETS_MB.items():
+            if name in marks:
+                assert marks[name] <= budget, name
+
+
 class TestSchemaGate:
     """A baseline written by a *newer* bench_speed schema must hard-fail."""
 

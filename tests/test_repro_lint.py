@@ -47,6 +47,8 @@ class TestBadFixtures:
          {"pool-submit-module-fn", "pool-worker-globals"}),
         ("bad_reporting.py", "repro/reporting/fixture.py",
          {"rpt-round", "rpt-float-format", "rpt-set-iter"}),
+        ("bad_shm.py", "repro/experiments/fixture.py",
+         {"pool-raw-shm"}),
     ])
     def test_expected_rules_fire(self, name, relpath, expected):
         rules = {v.rule for v in lint_fixture(name, relpath)}
@@ -80,6 +82,7 @@ class TestGoodFixtures:
         ("good_drawstream.py", "repro/sim/fixture.py"),
         ("good_poolpurity.py", "repro/experiments/fixture.py"),
         ("good_reporting.py", "repro/reporting/fixture.py"),
+        ("good_shm.py", "repro/experiments/fixture.py"),
     ])
     def test_clean(self, name, relpath):
         violations = lint_fixture(name, relpath)
@@ -89,6 +92,23 @@ class TestGoodFixtures:
         # The same bad source outside the audited packages is ignored.
         source = (FIXTURES / "bad_determinism.py").read_text()
         assert lint_source(source, "repro/analysis/fixture.py") == []
+
+    def test_raw_shm_rule_is_project_wide(self):
+        # pool-raw-shm has no package scoping: an orphaned segment can
+        # come from anywhere in the tree.
+        source = (FIXTURES / "bad_shm.py").read_text()
+        rules = {v.rule for v in lint_source(source, "repro/sim/fixture.py")}
+        assert "pool-raw-shm" in rules
+
+    def test_transport_module_exempt_from_raw_shm(self):
+        # The transport module is the one place allowed to construct
+        # segments — the bad fixture linted *as* that module is clean.
+        source = (FIXTURES / "bad_shm.py").read_text()
+        rules = {
+            v.rule
+            for v in lint_source(source, "repro/experiments/transport.py")
+        }
+        assert "pool-raw-shm" not in rules
 
 
 class TestSuppressions:
@@ -152,6 +172,7 @@ class TestLiveTree:
                 "det-entropy", "det-popitem", "det-set-iter",
                 "draw-nonliteral-tag", "draw-engine-parity",
                 "pool-submit-module-fn", "pool-worker-globals",
+                "pool-raw-shm",
                 "rpt-round", "rpt-float-format", "rpt-set-iter",
                 } <= set(catalog)
 
@@ -166,9 +187,11 @@ class TestDrawPrograms:
             by_subsystem.setdefault(program.subsystem, []).append(program)
         # The offload world registers three engines: the trial-batched
         # realizer (repro/sim/offload_batch.py) must open the same
-        # streams as both single-world engines.
+        # streams as both single-world engines.  The netpool registers
+        # three too: scalar, plus vectorized and columnar, which both
+        # realize _draw_pool_columns.
         engine_counts = {"detection-world": 2, "offload-world": 3,
-                         "netpool": 2, "campaign": 2}
+                         "netpool": 3, "campaign": 2}
         for subsystem, expected in engine_counts.items():
             group = by_subsystem[subsystem]
             assert len(group) == expected, subsystem
@@ -187,6 +210,19 @@ class TestDrawPrograms:
             assert ("'offload'", f"'{stage}'") in tags, stage
         assert any(tag[0] == "'traffic'" for tag in tags)
         assert any(tag[0] == "'membership'" for tag in tags)
+
+    def test_megatopo_streams_extracted(self):
+        # The mega world's whole draw program: the pool seed derivation
+        # plus the dedicated hierarchy and membership child streams.
+        programs = extract_draw_programs(SRC_ROOT)
+        mega = next(p for p in programs if p.subsystem == "megatopo")
+        tags = {site.tag for site in mega.sites}
+        assert ("'megatopo'", "'pool'") in tags
+        for stage in ("t1", "t2", "stubs"):
+            assert ("'megatopo'", f"'{stage}'") in tags, stage
+        assert any(
+            tag[:2] == ("'megatopo'", "'membership'") for tag in tags
+        )
 
     def test_faults_constants_resolved_to_literals(self):
         programs = extract_draw_programs(SRC_ROOT)

@@ -3,9 +3,19 @@
 import numpy as np
 import pytest
 
+from engine_equivalence import (
+    assert_network_pools_identical,
+    columnar_pool_pair,
+)
 from repro.errors import ConfigurationError
 from repro.geo.cities import default_city_db
-from repro.sim.netpool import NetworkPool, NetworkPoolConfig, generate_network_pool
+from repro.sim.netpool import (
+    SCOPE_CONTINENTS,
+    ColumnarNetworkPool,
+    NetworkPool,
+    NetworkPoolConfig,
+    generate_network_pool,
+)
 from repro.types import ASN
 
 
@@ -57,7 +67,7 @@ class TestGeneration:
 
 class TestSampling:
     def test_eligibility(self, pool):
-        for n in pool.eligible_for("SA"):
+        for n in pool.eligible_networks("SA"):
             assert "SA" in n.scope
 
     def test_sample_members_distinct_and_eligible(self, pool):
@@ -81,7 +91,7 @@ class TestSampling:
         """The recurrence of high-propensity networks across draws is what
         produces Figure 4a's IXP-count tail."""
         rng = np.random.default_rng(1)
-        top = max(pool.eligible_for("EU"), key=lambda n: n.propensity)
+        top = max(pool.eligible_networks("EU"), key=lambda n: n.propensity)
         hits = 0
         for _ in range(20):
             members = pool.sample_members(rng, "EU", 60)
@@ -93,3 +103,45 @@ class TestSampling:
         assert pool.get(n.asn) is n
         with pytest.raises(ConfigurationError):
             pool.get(ASN(1))
+
+
+class TestColumnarBackend:
+    """The struct-of-arrays pool against the vectorized object pool.
+
+    Both engines realize the same ``_draw_pool_columns`` program, so the
+    standard here is *bit-exact* identity, not statistical closeness.
+    """
+
+    @pytest.fixture(scope="class")
+    def pools(self):
+        return columnar_pool_pair(size=2000, seed=7)
+
+    def test_materialized_views_match_object_pool(self, pools):
+        vec, col = pools
+        assert isinstance(col, ColumnarNetworkPool)
+        assert_network_pools_identical(col.materialize(), vec)
+
+    def test_eligibility_indices_match(self, pools):
+        vec, col = pools
+        for continent in SCOPE_CONTINENTS:
+            assert np.array_equal(
+                col.eligible_for(continent), vec.eligible_for(continent)
+            ), continent
+
+    def test_sampling_matches_object_pool_asn_for_asn(self, pools):
+        vec, col = pools
+        exclude = {vec.networks[0].asn, vec.networks[7].asn}
+        objects = vec.sample_members(
+            np.random.default_rng(3), "EU", 40, exclude=exclude
+        )
+        indices = col.sample_member_indices(
+            np.random.default_rng(3), "EU", 40,
+            exclude_asns=np.fromiter(exclude, dtype=np.int64),
+        )
+        assert [n.asn for n in objects] == col.asn[indices].tolist()
+
+    def test_lazy_network_view_round_trips(self, pools):
+        vec, col = pools
+        for i in (0, 1234, len(vec) - 1):
+            assert col.network(i) == vec.networks[i]
+            assert col.scope_of(i) == vec.networks[i].scope

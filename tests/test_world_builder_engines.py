@@ -369,7 +369,7 @@ class TestShortfall:
         naive weighted choice raises ValueError here)."""
         db = default_city_db()
         pool = generate_network_pool(db, NetworkPoolConfig(size=50, seed=1))
-        eligible = pool.eligible_for("EU")
+        eligible = pool.eligible_networks("EU")
         positive = {n.asn for n in eligible[:3]}
         for network in pool.networks:
             network.propensity = 1.0 if network.asn in positive else 0.0
