@@ -6,12 +6,13 @@
 #   make lint        static analysis: repro lint (+ ruff/mypy when installed)
 #   make chaos       fault-injection gate: chaos suites + a small failover run
 #   make mega-smoke  mega-scale gate: 20k-world study over shm transport
+#   make serve-smoke service gate: HTTP submit → cache hit → thread deadline
 #   make bench       retime every stage and rewrite BENCH_speed.json
 #   make regression  full perf guard against the committed baseline
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint chaos mega-smoke bench regression
+.PHONY: test smoke lint chaos mega-smoke serve-smoke bench regression
 
 test:
 	$(PY) -m pytest -x -q
@@ -55,6 +56,16 @@ mega-smoke:
 	$(PY) -m pytest -q tests/test_megatopo.py tests/test_transport.py
 	$(PY) -m repro study mega --scenario mega-smoke --seeds 4 \
 		--strict-transport
+
+# The service gate: the scheduler and HTTP suites, then the end-to-end
+# smoke — the real asyncio server on an ephemeral port, driven over HTTP
+# through a cold run, a byte-identical resubmission that must be a 100%
+# store hit (0 trials recomputed), and a timing-out study whose trials
+# must be quarantined by the thread-safe deadline from a scheduler
+# (non-main) thread.
+serve-smoke:
+	$(PY) -m pytest -q tests/test_scheduler.py tests/test_serve.py
+	$(PY) -m repro serve --smoke
 
 bench:
 	$(PY) benchmarks/bench_speed.py

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.bgp.relationships import ASGraph, Relationship
 from repro.bgp.routing import ASPath, RouteComputation, RouteKind
-from repro.errors import RoutingError
+from repro.errors import FallbackExhausted, RoutingError
 from repro.types import ASN
 
 
@@ -93,13 +93,20 @@ class RoutingTable:
         is unaffected are returned unchanged; withdrawn ones are re-homed
         through the viewpoint's providers (deterministically: lowest
         provider ASN with a route wins).
+
+        The exhausted case degrades deterministically too: a viewpoint
+        with no providers, with every provider itself dark, or with no
+        loop-free provider path raises :class:`FallbackExhausted` (a
+        :class:`RoutingError` subclass) whose message states which of
+        the three it was — the failover model's "traffic is blackholed
+        while the circuit is down" outcome, never an arbitrary route.
         """
         entry = self.lookup(destination)
         if entry.next_hop == self._viewpoint or entry.next_hop not in dark_peers:
             return entry
-        for provider in sorted(self._graph.providers_of(self._viewpoint)):
-            if provider in dark_peers:
-                continue
+        providers = sorted(self._graph.providers_of(self._viewpoint))
+        live_providers = [p for p in providers if p not in dark_peers]
+        for provider in live_providers:
             path = self._computation.path(provider, destination)
             if path is None or self._viewpoint in path.asns:
                 continue  # the provider's own path loops back through us
@@ -109,9 +116,18 @@ class RoutingTable:
                 next_hop=provider,
                 kind=RouteKind.PROVIDER,
             )
-        raise RoutingError(
+        if not providers:
+            reason = "the viewpoint has no transit providers"
+        elif not live_providers:
+            reason = f"all {len(providers)} provider(s) are dark"
+        else:
+            reason = (
+                f"none of {len(live_providers)} live provider(s) has a "
+                "loop-free path"
+            )
+        raise FallbackExhausted(
             f"AS{self._viewpoint} has no fallback route to AS{destination} "
-            f"while {len(dark_peers)} peer(s) are dark"
+            f"while {len(dark_peers)} peer(s) are dark: {reason}"
         )
 
 

@@ -769,6 +769,58 @@ def lint_main(argv: list[str] | None = None) -> int:
     return run_lint(argv)
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro serve`` — the study engine as a long-running HTTP service.
+
+    Lazy import: the serve package spins up scheduler threads and an
+    asyncio loop, none of which belongs in study start-up.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve studies over HTTP: POST /studies submits a "
+        "declarative study request onto a priority job queue, GET "
+        "/studies/{id}?watch=1 streams progress, and repeated identical "
+        "submissions are answered from the content-addressed result "
+        "store without recomputing a single trial.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8072,
+        help="TCP port (0 = ephemeral; default: 8072)",
+    )
+    parser.add_argument(
+        "--store", default="runs/store", metavar="DIR",
+        help="content-addressed artifact store + job journal "
+        "(default: runs/store)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=2,
+        help="concurrent studies (each may fan out its own trial "
+        "processes; default: 2)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the end-to-end service smoke (ephemeral port, temp "
+        "store) and exit 0 on success instead of serving",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        from repro.serve.smoke import run_smoke
+
+        return run_smoke()
+    if args.threads < 1:
+        parser.error("--threads must be at least 1")
+    from repro.serve import serve
+
+    return serve(
+        host=args.host, port=args.port, store_dir=args.store,
+        threads=args.threads,
+    )
+
+
 def scenarios_main(argv: list[str] | None = None) -> int:
     """``repro scenarios list|run <name>`` — the scenario-library front end."""
     parser = argparse.ArgumentParser(
@@ -876,6 +928,7 @@ _COMMANDS = {
     "report": report_main,
     "ensemble": ensemble_main,
     "scenarios": scenarios_main,
+    "serve": serve_main,
     "study": study_main,
     "lint": lint_main,
 }

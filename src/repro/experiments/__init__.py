@@ -7,13 +7,25 @@ package runs those distributions through a single *study engine*:
 
 ``engine``
     The :class:`~repro.experiments.engine.Study` protocol (``build → run
-    → measure`` per trial, typed ``TrialResult`` payloads) and the shared
-    :func:`~repro.experiments.engine.run_study` scheduler.  The engine
-    owns the seed × grid expansion, ``ProcessPoolExecutor`` fan-out,
-    per-variant world caching (trials that share a world configuration
-    reuse one build), resumable sharded execution (JSONL trial artifacts
-    under an ``out_dir``, skip-completed on rerun) and streaming
-    mean ± 95% CI aggregation.
+    → measure`` per trial, typed ``TrialResult`` payloads) plus the data
+    model and artifact format: :class:`StudyConfig`, :class:`StudyResult`,
+    content-addressed JSONL artifacts
+    (``<study>_<fingerprint>_trials.jsonl`` — see
+    :func:`~repro.experiments.engine.study_fingerprint`) and
+    :func:`~repro.experiments.engine.run_study`, a blocking front end
+    over the scheduler's execution core.
+
+``scheduler``
+    The execution machinery, split out of ``run_study``:
+    :func:`~repro.experiments.scheduler.execute_study` owns the
+    seed × grid expansion, ``ProcessPoolExecutor`` fan-out, per-variant
+    world caching (trials that share a world configuration reuse one
+    build), resumable sharded execution (skip-completed on rerun),
+    streaming mean ± 95% CI aggregation, thread-safe per-trial deadlines
+    and the ``on_trial`` / ``cancel`` hooks; and
+    :class:`~repro.experiments.scheduler.StudyScheduler` is a resumable
+    priority job queue over it (the engine room of ``repro serve`` — see
+    the data-flow section below).
 
 ``ensemble`` / ``offload`` / ``economics`` / ``joint`` / ``failover``
     The five studies: :class:`DetectionStudy` (Section 3 pipeline:
@@ -155,6 +167,39 @@ malformed grid should abort loudly.  A ``BrokenProcessPool`` (a worker
 died mid-group) restarts the executor once over the unfinished groups
 before surfacing.
 
+The serve data flow (HTTP request → job queue → content-addressed store)
+-------------------------------------------------------------------------
+``repro serve`` (package :mod:`repro.serve`) fronts the scheduler over
+stdlib-only asyncio HTTP.  One submission flows:
+
+1. **Resolve.**  ``POST /studies`` carries a declarative JSON request
+   (``{"study": "detection", "config": {...}}``);
+   :func:`repro.serve.jobs.resolve_request` turns it into a live
+   ``(Study, StudyConfig)`` pair — and the scheduler journals the JSON
+   verbatim to ``<store>/jobs.jsonl``, so a killed service re-enqueues
+   the job on restart (:meth:`StudyScheduler.recover`).
+2. **Queue.**  The job enters the priority queue (higher ``priority``
+   first, FIFO ties) with ``out_dir`` redirected into the scheduler's
+   store directory, making every artifact content-addressed by the
+   configuration fingerprint.
+3. **Execute or answer from the store.**  A scheduler thread runs
+   :func:`execute_study` under a per-fingerprint lock: trials already
+   in the artifact resume without executing (counted as *trial hits*),
+   and a submission whose fingerprint has every trial on disk completes
+   as a *full cache hit* without running anything — duplicate
+   submissions can never compute the same trial twice.  Per-trial
+   deadlines hold on these non-main threads via the reaped helper
+   (SIGALRM stays the main-thread fast path).
+4. **Observe.**  ``GET /studies/{id}`` snapshots progress (``?watch=1``
+   streams it as chunked JSON lines), ``DELETE`` cancels (queued jobs
+   immediately; running jobs at the next dispatch step, sweeping shm
+   segments), ``GET /results/{fingerprint}`` replays artifact rows, and
+   ``GET /metrics`` exposes the hit/miss counters.
+
+``experiments`` never imports ``serve`` — the resolver is injected — so
+the engine stays usable without the service.  CLI: ``repro serve``
+(``--smoke`` runs the end-to-end gate behind ``make serve-smoke``).
+
 The joint data flow (detected set → offload → billing)
 ------------------------------------------------------
 :class:`JointStudy` is the one study whose trials cross the Section 3/4
@@ -220,6 +265,14 @@ from repro.experiments.engine import (
     StudyResult,
     expand_trials,
     run_study,
+    study_fingerprint,
+)
+from repro.experiments.scheduler import (
+    JobState,
+    StudyCancelled,
+    StudyJob,
+    StudyScheduler,
+    execute_study,
 )
 from repro.experiments.ensemble import (
     ConfigVariant,
@@ -333,6 +386,7 @@ __all__ = [
     "JointEnsembleResult",
     "JointStudy",
     "JointTrialResult",
+    "JobState",
     "JointTrialSpec",
     "JointVariant",
     "JointVariantSummary",
@@ -356,13 +410,17 @@ __all__ = [
     "SegmentManager",
     "StreamingMeanCI",
     "Study",
+    "StudyCancelled",
     "StudyConfig",
+    "StudyJob",
     "StudyResult",
+    "StudyScheduler",
     "TrialResult",
     "TrialSpec",
     "VariantSummary",
     "attach_columns",
     "economics_grid_variants",
+    "execute_study",
     "expand_trials",
     "get_scenario",
     "grid_variants",
@@ -386,4 +444,5 @@ __all__ = [
     "run_study",
     "run_trial",
     "scenario_names",
+    "study_fingerprint",
 ]

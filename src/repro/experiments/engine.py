@@ -1,57 +1,40 @@
-"""The generic study engine: one pluggable trial scheduler for every study.
+"""The generic study engine: one pluggable trial contract for every study.
 
 A *study* is anything that follows the ``build → run → measure`` trial
 contract of the :class:`Study` protocol: detection (Section 3), offload
 (Section 4) and the end-to-end economics pipeline (Sections 3+4+5) are all
-instances.  The engine owns everything the per-study runners used to
-duplicate:
+instances.  This module owns the **data model** of a study run — the
+protocol itself, :class:`StudyConfig`, :class:`StudyResult`, the
+content-addressed JSONL artifact format and its resumable reader/writer —
+while the **execution machinery** (seed × grid expansion into world-key
+groups, ``ProcessPoolExecutor`` fan-out, shared-memory transport,
+per-trial deadlines, retry and quarantine) lives in
+:mod:`repro.experiments.scheduler`, where the same code also powers the
+``repro serve`` job queue.  :func:`run_study` remains the one-call
+blocking front end: it delegates to
+:func:`repro.experiments.scheduler.execute_study` with no hooks attached.
 
-* **seed × grid expansion** — a stable, variant-major trial order, so
-  adding variants never perturbs existing trials;
-* **scheduling** — trials fan out over a ``ProcessPoolExecutor``
-  (``workers=1`` runs inline, which tests use);
-* **per-variant world caching** — trials that share a world configuration
-  are dispatched as one group and reuse a single world build (a detection
-  grid over filter thresholds builds each seed's world once, not once per
-  variant);
-* **resumable sharded execution** — with ``out_dir`` set, every finished
-  trial is appended to a JSONL artifact; a rerun with the same
-  configuration loads the completed trials and only executes the rest;
-* **zero-copy world transport** — with ``transport="shm"`` on a study
-  exposing ``export_world``/``attach_world`` hooks, the parent builds
-  each world once, packs its array columns into a shared-memory segment
-  (:mod:`repro.experiments.transport`), and dispatches trials carrying
-  only a tiny segment descriptor; workers attach views instead of
-  unpickling the world.  Export failures fall back to the pickle path
-  (counted in ``StudyResult.transport_fallbacks``), and every exit path
-  — success, quarantine, pool restart — releases the segments;
-* **streaming aggregation** — per-variant Welford accumulators over the
-  study's headline metrics, updated as trials finish, so mean ± 95% CI
-  summaries are available without a second pass over the results.
-
-Studies stay thin: they resolve variant names into picklable trial specs,
-build worlds, measure, and (for resume) encode/decode their typed
-``TrialResult`` payloads to and from JSON dictionaries.
+Artifacts are **content-addressed**: every run's trial rows land in
+``<out_dir>/<study>_<fingerprint>_trials.jsonl``, where the fingerprint
+hashes the study name plus every resolved trial spec.  Two different
+configurations of the same study therefore coexist in one directory, and
+a repeated identical configuration is answered from the artifact without
+recomputation — the property the ``repro serve`` result store is built
+on.  Pre-fingerprint artifacts (``<study>_trials.jsonl``) are still read
+and appended when their header fingerprint matches the current
+configuration.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import signal
-import threading
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Hashable, Iterator, Protocol, Sequence, TextIO
+from typing import Any, Hashable, Protocol, Sequence, TextIO
 
 from repro.errors import ConfigurationError
-from repro.experiments import transport
-from repro.experiments.aggregate import MeanCI, StreamingMeanCI
+from repro.experiments.aggregate import MeanCI
 
 #: Schema tag written to every artifact header line.  Success rows are
 #: ``{"trial_id", "variant", "seed", "result"}``; quarantined trials add
@@ -117,16 +100,23 @@ class StudyConfig:
     ``workers=1`` runs trials inline in this process (what tests use);
     ``workers=0`` uses one process per core, capped at the group count.
     With ``out_dir`` set the run is resumable: completed trials are
-    appended to ``<out_dir>/<study>_trials.jsonl`` as they finish, and a
-    rerun with an identical study configuration skips them.
+    appended to ``<out_dir>/<study>_<fingerprint>_trials.jsonl`` as they
+    finish, and a rerun with an identical study configuration skips them.
+    Different configurations hash to different fingerprints, so many
+    studies — or many variants of one study — share a single directory
+    without colliding: that directory *is* the content-addressed result
+    store ``repro serve`` answers repeated submissions from.
     """
 
     seeds: tuple[int, ...]
     workers: int = 0
     out_dir: str | None = None
-    #: Wall-clock budget per trial (None: unlimited).  Enforced with a
-    #: SIGALRM deadline where the platform supports it; a trial that blows
-    #: the budget is retried and then quarantined like any other failure.
+    #: Wall-clock budget per trial (None: unlimited).  On a main thread
+    #: the deadline is a SIGALRM itimer; on any other thread (the
+    #: ``repro serve`` scheduler) the trial body runs on a reaped helper
+    #: thread instead, so the budget is enforced everywhere.  A trial
+    #: that blows the budget is retried and then quarantined like any
+    #: other failure.
     trial_timeout_s: float | None = None
     #: Extra measure attempts before a trial is declared poison.
     trial_retries: int = 0
@@ -266,18 +256,98 @@ def expand_trials(study: Study, seeds: Sequence[int]) -> list[Any]:
 
 
 def _fingerprint(study: Study, specs: Sequence[Any]) -> str:
-    """Configuration fingerprint guarding artifact reuse.
+    """Configuration fingerprint addressing the run's artifact.
 
     Dataclass reprs are deterministic and cover every resolved field, so
-    any change to seeds, variants or study knobs invalidates old artifacts
-    instead of silently mixing two configurations in one file.
+    any change to seeds, variants or study knobs hashes to a *different*
+    artifact path instead of silently mixing two configurations in one
+    file — and an identical configuration always hashes to the same one,
+    which is what lets the result store answer repeats without running a
+    single trial.
     """
     payload = json.dumps([study.name, [repr(s) for s in specs]])
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
-def _artifact_path(study: Study, out_dir: str) -> Path:
+def study_fingerprint(study: Study, seeds: Sequence[int]) -> str:
+    """Public fingerprint of ``study`` run over ``seeds``.
+
+    The content address of the run's artifact: equal configurations map
+    to equal fingerprints.  ``repro serve`` keys its result store and
+    ``GET /results/{fingerprint}`` lookups on this value.
+    """
+    return _fingerprint(study, expand_trials(study, seeds))
+
+
+def _legacy_artifact_path(study: Study, out_dir: str) -> Path:
+    """Pre-fingerprint artifact name (one configuration per directory)."""
     return Path(out_dir) / f"{study.name}_trials.jsonl"
+
+
+def _artifact_path(
+    study: Study, out_dir: str, fingerprint: str | None = None
+) -> Path:
+    """The artifact path of one study run under ``out_dir``.
+
+    With ``fingerprint`` given, the exact content-addressed path.
+    Without it — the form tests and tools use to locate an artifact
+    after a run — the single existing fingerprint-named artifact of
+    this study in the directory, falling back to the legacy
+    (un-fingerprinted) name when there is not exactly one candidate.
+    """
+    if fingerprint is not None:
+        return Path(out_dir) / f"{study.name}_{fingerprint}_trials.jsonl"
+    candidates = sorted(Path(out_dir).glob(f"{study.name}_*_trials.jsonl"))
+    if len(candidates) == 1:
+        return candidates[0]
+    return _legacy_artifact_path(study, out_dir)
+
+
+def _artifact_header(path: Path) -> dict[str, Any]:
+    """Parse and validate an artifact's header line.
+
+    Raises :class:`ConfigurationError` for files that are not study
+    artifacts at all (unparseable first line, wrong schema tag) — a
+    foreign file squatting on an artifact name should fail loudly, not
+    be silently shadowed.
+    """
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        raise ConfigurationError(f"{path} is not a study artifact file")
+    if not isinstance(header, dict) or header.get("schema") != ARTIFACT_SCHEMA:
+        raise ConfigurationError(
+            f"{path} has schema "
+            f"{header.get('schema') if isinstance(header, dict) else None!r}, "
+            f"expected {ARTIFACT_SCHEMA!r}"
+        )
+    return header
+
+
+def _resolve_artifact_path(
+    study: Study, out_dir: str, fingerprint: str
+) -> Path:
+    """The path this run reads *and* appends: content-addressed, with a
+    legacy fallback.
+
+    Preference order: an existing fingerprint-named artifact; else a
+    legacy ``<study>_trials.jsonl`` whose header fingerprint matches the
+    current configuration (pre-content-addressing runs stay resumable in
+    place); else the fingerprint-named path, created fresh.  A legacy
+    file written by a *different* configuration is left untouched — the
+    two configurations coexist, which is the point of content
+    addressing.
+    """
+    path = _artifact_path(study, out_dir, fingerprint)
+    if path.exists():
+        return path
+    legacy = _legacy_artifact_path(study, out_dir)
+    if legacy.exists() and legacy.stat().st_size > 0:
+        if _artifact_header(legacy).get("fingerprint") == fingerprint:
+            return legacy
+    return path
 
 
 def _load_artifacts(
@@ -285,49 +355,52 @@ def _load_artifacts(
 ) -> dict[int, Any]:
     """Completed trials from a previous run (empty when none are usable).
 
-    A truncated final line (a killed run) is skipped; a header whose
-    fingerprint disagrees with the current configuration raises instead of
-    silently merging results from two different studies.
+    The file is streamed line-by-line — service-scale artifacts
+    (hundreds of seeds × many variants) must not be slurped into one
+    list — with the original healing semantics intact: a truncated
+    final line (a killed run) is skipped; a header whose fingerprint
+    disagrees with the current configuration raises instead of silently
+    merging results from two different studies.
     """
     if not path.exists():
         return {}
     completed: dict[int, Any] = {}
     with path.open("r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    if not lines:
-        return {}
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError:
-        raise ConfigurationError(f"{path} is not a study artifact file")
-    if header.get("schema") != ARTIFACT_SCHEMA:
-        raise ConfigurationError(
-            f"{path} has schema {header.get('schema')!r}, "
-            f"expected {ARTIFACT_SCHEMA!r}"
-        )
-    if header.get("fingerprint") != fingerprint:
-        raise ConfigurationError(
-            f"{path} was written by a different study configuration "
-            "(seeds/variants changed?); use a fresh --out directory"
-        )
-    for line in lines[1:]:
+        first = handle.readline()
+        if not first:
+            return {}
         try:
-            record = json.loads(line)
+            header = json.loads(first)
         except json.JSONDecodeError:
-            continue  # partial write from a killed run
-        trial_id = record.get("trial_id")
-        if not (isinstance(trial_id, int) and 0 <= trial_id < trial_count):
-            continue
-        if record.get("status") == "failed":
-            completed[trial_id] = TrialFailure(
-                trial_id=trial_id,
-                variant=record.get("variant", ""),
-                seed=record.get("seed", 0),
-                error=record.get("error", ""),
-                attempts=record.get("attempts", 1),
+            raise ConfigurationError(f"{path} is not a study artifact file")
+        if header.get("schema") != ARTIFACT_SCHEMA:
+            raise ConfigurationError(
+                f"{path} has schema {header.get('schema')!r}, "
+                f"expected {ARTIFACT_SCHEMA!r}"
             )
-        else:
-            completed[trial_id] = study.decode(record["result"])
+        if header.get("fingerprint") != fingerprint:
+            raise ConfigurationError(
+                f"{path} was written by a different study configuration "
+                "(seeds/variants changed?); use a fresh --out directory"
+            )
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # partial write from a killed run
+            trial_id = record.get("trial_id")
+            if not (isinstance(trial_id, int) and 0 <= trial_id < trial_count):
+                continue
+            if record.get("status") == "failed":
+                completed[trial_id] = TrialFailure(
+                    trial_id=trial_id,
+                    variant=record.get("variant", ""),
+                    seed=record.get("seed", 0),
+                    error=record.get("error", ""),
+                    attempts=record.get("attempts", 1),
+                )
+            else:
+                completed[trial_id] = study.decode(record["result"])
     return completed
 
 
@@ -341,7 +414,7 @@ class _ArtifactWriter:
         self._study = study
         if out_dir is None:
             return
-        path = _artifact_path(study, out_dir)
+        path = _resolve_artifact_path(study, out_dir, fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not path.exists() or path.stat().st_size == 0
         needs_newline = False
@@ -393,439 +466,15 @@ class _ArtifactWriter:
             self._handle = None
 
 
-class _TrialTimeout(Exception):
-    """A trial blew its wall-clock budget (internal control flow)."""
-
-
-@contextmanager
-def _trial_deadline(timeout_s: float | None) -> Iterator[None]:
-    """Raise :class:`_TrialTimeout` if the body runs past ``timeout_s``.
-
-    Uses a real-time SIGALRM itimer, which only works in a main thread on
-    a platform that has it — exactly where trials run (inline, or the
-    main thread of a worker process).  Elsewhere the deadline is a no-op
-    rather than an error, so studies stay portable.
-    """
-    if (
-        timeout_s is None
-        or timeout_s <= 0
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
-
-    def _on_alarm(signum: int, frame: Any) -> None:
-        raise _TrialTimeout(f"trial exceeded its {timeout_s:g}s deadline")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _failure(spec: Any, error: BaseException, attempts: int) -> TrialFailure:
-    return TrialFailure(
-        trial_id=spec.trial_id,
-        variant=spec.variant,
-        seed=spec.seed,
-        error=f"{type(error).__name__}: {error}",
-        attempts=attempts,
-    )
-
-
-def _run_group(
-    study: Study,
-    specs: list[Any],
-    timeout_s: float | None = None,
-    retries: int = 0,
-    quarantine: bool = True,
-) -> list[Any]:
-    """Build the group's shared world once, then measure every trial.
-
-    One poison trial must not lose the group: each trial is retried up
-    to ``retries`` times under the per-trial deadline and then, with
-    quarantine on, recorded as a :class:`TrialFailure` while the rest of
-    the group keeps running.  :class:`ConfigurationError` always
-    propagates — a misconfigured study is a programmer error, not chaos
-    to absorb.  A failed world build fails every trial of the group (there
-    is nothing to measure against).
-    """
-    start = time.perf_counter()
-    try:
-        with _trial_deadline(timeout_s):
-            world = study.build(specs[0])
-    except ConfigurationError:
-        raise
-    except (_TrialTimeout, Exception) as error:
-        if not quarantine:
-            raise
-        return [_failure(spec, error, attempts=1) for spec in specs]
-    build_s = time.perf_counter() - start
-    return _measure_specs(study, specs, world, build_s,
-                          timeout_s, retries, quarantine)
-
-
-def _measure_specs(
-    study: Study,
-    specs: list[Any],
-    world: Any,
-    build_s: float,
-    timeout_s: float | None,
-    retries: int,
-    quarantine: bool,
-) -> list[Any]:
-    """The per-trial measure loop shared by every dispatch path."""
-    results: list[Any] = []
-    for spec in specs:
-        last_error: BaseException | None = None
-        for attempt in range(1 + retries):
-            try:
-                with _trial_deadline(timeout_s):
-                    results.append(study.measure(spec, world, build_s))
-                last_error = None
-                break
-            except ConfigurationError:
-                raise
-            except (_TrialTimeout, Exception) as error:
-                if not quarantine:
-                    raise
-                last_error = error
-        if last_error is not None:
-            results.append(_failure(spec, last_error, attempts=1 + retries))
-    return results
-
-
-def _run_group_attached(
-    study: Study,
-    specs: list[Any],
-    descriptor: "transport.SegmentDescriptor",
-    meta: Any,
-    build_s: float,
-    timeout_s: float | None = None,
-    retries: int = 0,
-    quarantine: bool = True,
-) -> list[Any]:
-    """Worker half of the shared-memory transport.
-
-    The parent already built the world and published its array columns;
-    this attaches zero-copy views, rebuilds the world around them
-    (``study.attach_world``), and runs the standard measure loop.  The
-    attachment is closed on the way out — segment *ownership* stays with
-    the parent, which releases its reference when the group's future
-    completes.
-    """
-    attached = None
-    try:
-        with _trial_deadline(timeout_s):
-            attached = transport.attach_columns(descriptor)
-            world = study.attach_world(meta, attached.arrays)  # type: ignore[attr-defined]
-    except ConfigurationError:
-        raise
-    except (_TrialTimeout, Exception) as error:
-        if attached is not None:
-            attached.close()
-        if not quarantine:
-            raise
-        return [_failure(spec, error, attempts=1) for spec in specs]
-    try:
-        return _measure_specs(study, specs, world, build_s,
-                              timeout_s, retries, quarantine)
-    finally:
-        world = None
-        attached.close()
-
-
-def _run_batch_group(
-    study: Study,
-    specs: list[Any],
-    timeout_s: float | None = None,
-    retries: int = 0,
-    quarantine: bool = True,
-) -> tuple[list[Any], int]:
-    """Realize one same-variant seed chunk via the study's batched engine.
-
-    Returns ``(results, fallback_count)``.  The batched call covers the
-    whole chunk under a single deadline; any failure (or a result-count
-    mismatch, which would mis-assign trials) abandons the batch and
-    re-runs every trial through :func:`_run_group`, whose timeout / retry
-    / quarantine semantics are then applied per trial exactly as in an
-    unbatched study.  :class:`ConfigurationError` propagates immediately —
-    a misconfigured study must not be retried into quarantine.
-    """
-    if len(specs) > 1:
-        try:
-            with _trial_deadline(timeout_s):
-                results = list(study.run_batch(specs))  # type: ignore[attr-defined]
-            if len(results) == len(specs):
-                return results, 0
-        except ConfigurationError:
-            raise
-        except (_TrialTimeout, Exception):
-            pass
-    fallbacks = len(specs) if len(specs) > 1 else 0
-    results = []
-    for spec in specs:
-        results.extend(_run_group(study, [spec], timeout_s, retries, quarantine))
-    return results, fallbacks
-
-
 def run_study(study: Study, config: StudyConfig) -> StudyResult:
     """Run every not-yet-completed trial of ``study`` under ``config``.
 
-    Results come back in trial order regardless of completion order, so
-    studies are reproducible artifacts: same configuration, same report.
+    The blocking front end over
+    :func:`repro.experiments.scheduler.execute_study` (no progress hook,
+    no cancellation).  Results come back in trial order regardless of
+    completion order, so studies are reproducible artifacts: same
+    configuration, same report.
     """
-    t0 = time.perf_counter()
-    specs = expand_trials(study, config.seeds)
-    fingerprint = _fingerprint(study, specs)
+    from repro.experiments.scheduler import execute_study
 
-    completed: dict[int, Any] = {}
-    if config.out_dir is not None:
-        completed = _load_artifacts(
-            study, _artifact_path(study, config.out_dir), fingerprint,
-            trial_count=len(specs),
-        )
-    resumed = len(completed)
-
-    # Group the remaining trials for execution.  Default: by world key,
-    # preserving trial order within and across groups, so every trial in
-    # a group reuses one build.  Batched mode (``trial_batch > 1`` on a
-    # study with a ``run_batch`` hook): same-variant trials are chunked
-    # into seed batches instead — each chunk is realized as one array
-    # program with a leading trial axis, and every seed builds its own
-    # (lightweight) world, so the world cache does not apply.
-    use_batches = (
-        config.trial_batch > 1
-        and getattr(study, "run_batch", None) is not None
-    )
-    # Shared-memory transport: world-key groups are built once in the
-    # parent and fan out per trial; studies without the export/attach
-    # hooks keep the pickle path.  Mutually exclusive with seed batching
-    # (batched seeds each realize their own lightweight world).
-    use_shm = (
-        config.transport == "shm"
-        and not use_batches
-        and getattr(study, "export_world", None) is not None
-        and getattr(study, "attach_world", None) is not None
-    )
-    if use_batches:
-        by_variant: dict[str, list[Any]] = {}
-        for spec in specs:
-            if spec.trial_id in completed:
-                continue
-            by_variant.setdefault(spec.variant, []).append(spec)
-        group_list = [
-            chunk[i:i + config.trial_batch]
-            for chunk in by_variant.values()
-            for i in range(0, len(chunk), config.trial_batch)
-        ]
-    else:
-        groups: dict[Hashable, list[Any]] = {}
-        for spec in specs:
-            if spec.trial_id in completed:
-                continue
-            groups.setdefault(study.world_key(spec), []).append(spec)
-        group_list = list(groups.values())
-
-    streams: dict[str, dict[str, StreamingMeanCI]] = {}
-
-    def absorb(result: Any) -> None:
-        if isinstance(result, TrialFailure):
-            return  # survivors only: failures carry no metrics
-        per_variant = streams.setdefault(result.variant, {})
-        for metric, value in study.metrics(result).items():
-            per_variant.setdefault(metric, StreamingMeanCI()).add(value)
-
-    def record(result: Any) -> None:
-        completed[result.trial_id] = result
-        writer.append(result)
-        absorb(result)
-
-    for result in completed.values():
-        absorb(result)
-
-    group_args = (config.trial_timeout_s, config.trial_retries,
-                  config.quarantine)
-    run_one = _run_batch_group if use_batches else _run_group
-    pool_restarts = 0
-    batch_fallbacks = 0
-    transport_fallbacks = 0
-
-    def consume(payload: Any) -> None:
-        nonlocal batch_fallbacks
-        if use_batches:
-            results, fell_back = payload
-            batch_fallbacks += fell_back
-        else:
-            results = payload
-        for result in results:
-            record(result)
-
-    writer = _ArtifactWriter(study, config.out_dir, fingerprint)
-    manager: transport.SegmentManager | None = None
-    try:
-        workers = config.workers or min(
-            os.cpu_count() or 1, max(len(group_list), 1)
-        )
-        if use_shm:
-            # Parent-side builds: one world per world-key group, columns
-            # published through a refcounted segment, one dispatch item
-            # per trial so the pool stays saturated.  ``None`` attach
-            # info marks a pickle fallback for that whole group.
-            manager = transport.SegmentManager()
-            shm_items: list[tuple[list[Any], tuple[Any, ...] | None]] = []
-            for group in group_list:
-                start = time.perf_counter()
-                try:
-                    with _trial_deadline(config.trial_timeout_s):
-                        world = study.build(group[0])
-                except ConfigurationError:
-                    raise
-                except (_TrialTimeout, Exception) as error:
-                    if not config.quarantine:
-                        raise
-                    for spec in group:
-                        record(_failure(spec, error, attempts=1))
-                    continue
-                build_s = time.perf_counter() - start
-                try:
-                    meta, columns = study.export_world(world)  # type: ignore[attr-defined]
-                    descriptor = manager.create(columns, refs=len(group))
-                except ConfigurationError:
-                    raise
-                except Exception:
-                    transport_fallbacks += len(group)
-                    shm_items.append((group, None))
-                    continue
-                for spec in group:
-                    shm_items.append(([spec], (descriptor, meta, build_s)))
-            pending_items = shm_items
-            if workers <= 1 or len(pending_items) <= 1:
-                for item_specs, attach in pending_items:
-                    if attach is None:
-                        consume(_run_group(study, item_specs, *group_args))
-                        continue
-                    descriptor, meta, build_s = attach
-                    consume(_run_group_attached(
-                        study, item_specs, descriptor, meta, build_s,
-                        *group_args,
-                    ))
-                    manager.release(descriptor.segment)
-            else:
-                for attempt in (0, 1):
-                    try:
-                        with ProcessPoolExecutor(
-                            max_workers=min(workers, len(pending_items))
-                        ) as pool:
-                            future_segment: dict[Any, str | None] = {}
-                            for item_specs, attach in pending_items:
-                                if attach is None:
-                                    future = pool.submit(
-                                        _run_group, study, item_specs,
-                                        *group_args)
-                                    future_segment[future] = None
-                                    continue
-                                descriptor, meta, build_s = attach
-                                future = pool.submit(
-                                    _run_group_attached, study, item_specs,
-                                    descriptor, meta, build_s, *group_args)
-                                future_segment[future] = descriptor.segment
-                            for future in as_completed(future_segment):
-                                consume(future.result())
-                                segment = future_segment[future]
-                                if segment is not None:
-                                    manager.release(segment)
-                        break
-                    except BrokenProcessPool:
-                        pending_items = [
-                            ([s for s in item_specs
-                              if s.trial_id not in completed], attach)
-                            for item_specs, attach in pending_items
-                        ]
-                        pending_items = [
-                            (item_specs, attach)
-                            for item_specs, attach in pending_items
-                            if item_specs
-                        ]
-                        if attempt == 1 or not pending_items:
-                            raise
-                        pool_restarts += 1
-        elif workers <= 1 or len(group_list) <= 1:
-            for group in group_list:
-                consume(run_one(study, group, *group_args))
-        else:
-            # A crashed worker (OOM kill, segfault, os._exit) breaks the
-            # whole pool; one restart resubmits the not-yet-completed
-            # groups before the failure is allowed to surface.
-            pending = group_list
-            for attempt in (0, 1):
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=min(workers, len(pending))
-                    ) as pool:
-                        # Distinct submit sites (not one via an alias) so
-                        # the pool-submit-module-fn lint can statically
-                        # see a module-level worker at each.
-                        if use_batches:
-                            futures = [
-                                pool.submit(_run_batch_group, study,
-                                            group, *group_args)
-                                for group in pending
-                            ]
-                        else:
-                            futures = [
-                                pool.submit(_run_group, study,
-                                            group, *group_args)
-                                for group in pending
-                            ]
-                        # Drain in completion order so finished groups land
-                        # in the resume artifact immediately — a slow
-                        # head-of-line group must not hold every other
-                        # group's trials hostage to a mid-run kill.  Trial
-                        # order is restored at the end.
-                        for future in as_completed(futures):
-                            consume(future.result())
-                    break
-                except BrokenProcessPool:
-                    pending = [
-                        [s for s in group if s.trial_id not in completed]
-                        for group in pending
-                    ]
-                    pending = [group for group in pending if group]
-                    if attempt == 1 or not pending:
-                        raise
-                    pool_restarts += 1
-    finally:
-        writer.close()
-        if manager is not None:
-            # Belt and braces: every exit path (success, quarantine,
-            # BrokenProcessPool, KeyboardInterrupt) unlinks whatever
-            # segments the refcounts have not already released.
-            manager.close_all()
-
-    executed = sum(len(group) for group in group_list)
-    # In batched mode every seed realizes its own (lightweight) world, so
-    # there is no cross-trial build sharing to account for.
-    world_builds = executed if use_batches else len(group_list)
-    ordered = [completed[i] for i in range(len(specs))]
-    return StudyResult(
-        study=study.name,
-        config=config,
-        trials=[r for r in ordered if not isinstance(r, TrialFailure)],
-        wall_s=time.perf_counter() - t0,
-        world_builds=world_builds,
-        world_reuses=executed - world_builds,
-        resumed=resumed,
-        streaming={
-            variant: {m: s.snapshot() for m, s in metrics.items()}
-            for variant, metrics in streams.items()
-        },
-        failures=[r for r in ordered if isinstance(r, TrialFailure)],
-        pool_restarts=pool_restarts,
-        batch_fallbacks=batch_fallbacks,
-        transport_fallbacks=transport_fallbacks,
-    )
+    return execute_study(study, config)

@@ -1,0 +1,101 @@
+"""Read-side view of the content-addressed result store.
+
+The store *is* the study engine's artifact directory: every run writes
+its trials to ``<store>/<study>_<fingerprint>_trials.jsonl``, where the
+fingerprint hashes the fully-resolved trial list (see
+:func:`repro.experiments.engine.study_fingerprint`).  The write side is
+entirely owned by the engine's artifact writer — this module only
+locates and reads artifacts for ``GET /results/{fingerprint}``, so the
+service can never corrupt what the engine resumes from.
+
+Rows are streamed, never slurped: a service-scale artifact (hundreds of
+seeds × many variants) is summarized in O(1) memory and paged in bounded
+chunks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+
+class ResultStore:
+    """Fingerprint-keyed lookups over one artifact directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def find(self, fingerprint: str) -> Path | None:
+        """The artifact holding ``fingerprint``'s trials, if any exists."""
+        if not _safe_fingerprint(fingerprint):
+            raise ConfigurationError(f"malformed fingerprint {fingerprint!r}")
+        matches = sorted(self.root.glob(f"*_{fingerprint}_trials.jsonl"))
+        if matches:
+            return matches[0]
+        # Legacy (pre-content-addressing) artifacts carry the fingerprint
+        # in their header line instead of their name.
+        for legacy in sorted(self.root.glob("*_trials.jsonl")):
+            header = _read_header(legacy)
+            if header is not None and header.get("fingerprint") == fingerprint:
+                return legacy
+        return None
+
+    def rows(self, fingerprint: str) -> Iterator[dict[str, Any]]:
+        """Every parseable trial row of the artifact, streamed in order."""
+        path = self.find(fingerprint)
+        if path is None:
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            handle.readline()  # header
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from a killed run
+                if isinstance(record, dict) and "trial_id" in record:
+                    yield record
+
+    def status_for(self, fingerprint: str) -> dict[str, Any]:
+        """Summary of one fingerprint's artifact (O(1) memory)."""
+        path = self.find(fingerprint)
+        if path is None:
+            return {"fingerprint": fingerprint, "exists": False}
+        completed = 0
+        failed = 0
+        study = None
+        header = _read_header(path)
+        if header is not None:
+            study = header.get("study")
+        for record in self.rows(fingerprint):
+            completed += 1
+            if record.get("status") == "failed":
+                failed += 1
+        return {
+            "fingerprint": fingerprint,
+            "exists": True,
+            "study": study,
+            "artifact": path.name,
+            "trials": completed,
+            "failed": failed,
+        }
+
+
+def _safe_fingerprint(fingerprint: str) -> bool:
+    """Only hex fingerprints may reach a glob (no path metacharacters)."""
+    return (
+        0 < len(fingerprint) <= 64
+        and all(c in "0123456789abcdef" for c in fingerprint)
+    )
+
+
+def _read_header(path: Path) -> dict[str, Any] | None:
+    """The artifact's header line, or None when unreadable/foreign."""
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return header if isinstance(header, dict) else None

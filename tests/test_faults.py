@@ -16,7 +16,12 @@ from repro.bgp.asys import AutonomousSystem
 from repro.bgp.relationships import ASGraph
 from repro.bgp.routing import RouteKind
 from repro.bgp.table import RoutingTable
-from repro.errors import AnalysisError, ConfigurationError, RoutingError
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    FallbackExhausted,
+    RoutingError,
+)
 from repro.faults import (
     FAULT_KINDS,
     FaultConfig,
@@ -262,6 +267,38 @@ class TestFallbackLookup:
         table = RoutingTable(g, ASN(10))
         with pytest.raises(RoutingError, match="no fallback route"):
             table.fallback_lookup(ASN(20), frozenset({ASN(2)}))
+
+    def test_provider_less_viewpoint_exhausts_typed(self):
+        # Same topology as test_no_fallback_raises: viewpoint 10 peers
+        # with 2 and has no providers at all.  The exhausted case must
+        # be the typed error naming the reason, not a bare fall-off.
+        g = ASGraph()
+        for i in (2, 10, 20):
+            g.add_as(AutonomousSystem(asn=ASN(i), name=f"as{i}"))
+        g.add_peering(ASN(10), ASN(2))
+        g.add_customer_provider(ASN(20), ASN(2))
+        table = RoutingTable(g, ASN(10))
+        with pytest.raises(FallbackExhausted, match="no transit providers"):
+            table.fallback_lookup(ASN(20), frozenset({ASN(2)}))
+
+    def test_all_dark_providers_exhaust_typed(self, fallback_world):
+        table = RoutingTable(fallback_world, ASN(10))
+        with pytest.raises(FallbackExhausted, match="provider.s. are dark"):
+            table.fallback_lookup(
+                ASN(20), frozenset({ASN(2), ASN(1), ASN(5)})
+            )
+        # FallbackExhausted stays catchable as a plain RoutingError.
+        assert issubclass(FallbackExhausted, RoutingError)
+
+    def test_exhaustion_is_deterministic(self, fallback_world):
+        table = RoutingTable(fallback_world, ASN(10))
+        dark = frozenset({ASN(2), ASN(1), ASN(5)})
+        messages = set()
+        for _ in range(3):
+            with pytest.raises(FallbackExhausted) as excinfo:
+                table.fallback_lookup(ASN(20), dark)
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1  # same inputs, same degrade, same words
 
 
 class TestFailoverBilling:

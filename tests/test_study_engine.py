@@ -18,7 +18,7 @@ from repro.experiments import (
     run_ensemble,
     run_study,
 )
-from repro.experiments.engine import _artifact_path
+from repro.experiments.engine import _artifact_path, study_fingerprint
 from repro.ixp.catalog import spec_by_acronym
 from repro.sim.detection_world import DetectionWorldConfig
 
@@ -185,13 +185,45 @@ class TestResume:
             t.value for t in full.trials
         ]
 
-    def test_fingerprint_mismatch_rejected(self, tmp_path):
+    def test_different_configs_coexist_per_fingerprint(self, tmp_path):
+        # Artifacts are content-addressed, so two configurations of the
+        # same study share one out_dir without colliding — and each
+        # resumes from its own file.
         study = ToyStudy()
-        run_study(study, StudyConfig(seeds=(1,), workers=1,
-                                     out_dir=str(tmp_path)))
-        with pytest.raises(ConfigurationError):
-            run_study(study, StudyConfig(seeds=(1, 2), workers=1,
-                                         out_dir=str(tmp_path)))
+        small = StudyConfig(seeds=(1,), workers=1, out_dir=str(tmp_path))
+        large = StudyConfig(seeds=(1, 2), workers=1, out_dir=str(tmp_path))
+        run_study(study, small)
+        first = run_study(study, large)
+        assert first.resumed == 0  # distinct fingerprint: a fresh artifact
+        fp_small = study_fingerprint(study, small.seeds)
+        fp_large = study_fingerprint(study, large.seeds)
+        assert fp_small != fp_large
+        assert _artifact_path(study, str(tmp_path), fp_small).exists()
+        assert _artifact_path(study, str(tmp_path), fp_large).exists()
+        # Reruns of either configuration are pure store hits.
+        assert run_study(study, small).resumed == 2
+        assert run_study(study, large).resumed == 4
+
+    def test_legacy_artifact_resumed_in_place(self, tmp_path):
+        # A pre-content-addressing artifact (no fingerprint in the name)
+        # whose header matches the configuration keeps working as-is.
+        study = ToyStudy()
+        config = StudyConfig(seeds=(1, 2), workers=1, out_dir=str(tmp_path))
+        run_study(study, config)
+        fingerprint = study_fingerprint(study, config.seeds)
+        modern = _artifact_path(study, str(tmp_path), fingerprint)
+        legacy = tmp_path / f"{study.name}_trials.jsonl"
+        modern.rename(legacy)
+        resumed = run_study(study, config)
+        assert resumed.resumed == 4
+        assert not modern.exists()  # appends stay on the legacy file
+        # A different configuration ignores the mismatched legacy file
+        # and starts its own content-addressed artifact beside it.
+        other = run_study(
+            study, StudyConfig(seeds=(3,), workers=1, out_dir=str(tmp_path))
+        )
+        assert other.resumed == 0
+        assert legacy.exists()
 
     def test_non_artifact_file_rejected(self, tmp_path):
         study = ToyStudy()
